@@ -1,0 +1,96 @@
+// Section IV-F: garbage collection overhead.
+//
+// Paper setup: a sequential workload of 1000 operations on a sorted linked
+// list with 10 elements (the small list magnifies version allocation).
+// Three configurations are compared:
+//   tight   — a free list small enough to trigger many GC phases,
+//   ample   — enough free version blocks to never collect,
+//   nosort  — ample, with version-block list sorting disabled.
+// Paper result: tight is only ~0.1% slower than ample, which is itself
+// ~0.1% slower than nosort (versions are created in order, so sorting does
+// almost no work — but it is what enables the GC).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workloads/linked_list.hpp"
+
+namespace osim {
+namespace {
+
+using bench::fmt;
+using bench::Scale;
+
+struct GcRun {
+  Cycles cycles;
+  std::uint64_t phases;
+  std::uint64_t traps;
+  std::uint64_t freed;
+  std::uint64_t checksum;
+};
+
+GcRun run_with(const MachineConfig& config, const DsSpec& spec) {
+  Env env(config);
+  const RunResult r = linked_list_versioned(env, spec, /*cores=*/1);
+  return {r.cycles, env.stats().gc_phases, env.stats().os_traps,
+          env.stats().blocks_freed, r.checksum};
+}
+
+}  // namespace
+}  // namespace osim
+
+int main(int argc, char** argv) {
+  using namespace osim;
+  using namespace osim::bench;
+  const Scale scale = Scale::parse(argc, argv);
+
+  DsSpec spec;
+  spec.initial_size = 10;
+  spec.ops = scale.ops(1000);
+  spec.reads_per_write = 1;  // write-heavy: every second op allocates blocks
+
+  MachineConfig tight = make_config(1);
+  tight.ostruct.initial_pool_blocks = 80;
+  tight.ostruct.trap_grow_blocks = 32;
+  tight.ostruct.gc_watermark = 64;
+
+  MachineConfig ample = make_config(1);
+  ample.ostruct.initial_pool_blocks = 1 << 20;
+  ample.ostruct.gc_watermark = 0;  // never collect
+
+  MachineConfig nosort = ample;
+  nosort.ostruct.sorted_lists = false;
+
+  const GcRun t = run_with(tight, spec);
+  const GcRun a = run_with(ample, spec);
+  const GcRun n = run_with(nosort, spec);
+
+  std::printf(
+      "Sec. IV-F: GC overhead — sequential, %d ops, 10-element sorted "
+      "list\n\n",
+      spec.ops);
+  rule(6, 13);
+  row({"config", "cycles", "GC phases", "OS traps", "blocks freed",
+       "vs ample"},
+      13);
+  rule(6, 13);
+  row({"tight", std::to_string(t.cycles), std::to_string(t.phases),
+       std::to_string(t.traps), std::to_string(t.freed),
+       fmt(100.0 * (static_cast<double>(t.cycles) / a.cycles - 1.0), 3) + "%"},
+      13);
+  row({"ample", std::to_string(a.cycles), std::to_string(a.phases),
+       std::to_string(a.traps), std::to_string(a.freed), "0.000%"},
+      13);
+  row({"no-sorting", std::to_string(n.cycles), std::to_string(n.phases),
+       std::to_string(n.traps), std::to_string(n.freed),
+       fmt(100.0 * (static_cast<double>(n.cycles) / a.cycles - 1.0), 3) + "%"},
+      13);
+  rule(6, 13);
+
+  std::printf("\noutputs: tight %s ample, ample %s no-sorting\n",
+              t.checksum == a.checksum ? "==" : "!=",
+              a.checksum == n.checksum ? "==" : "!=");
+  std::printf(
+      "\nPaper reference (Sec. IV-F): 135 GC phases; tight ~0.1%% slower "
+      "than\nample; ample ~0.1%% slower than no-sorting.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared utilities for the per-figure bench harnesses: command-line scale
+// control, machine-config construction, and aligned table printing.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runtime/env.hpp"
+#include "workloads/opgen.hpp"
+
+namespace osim::bench {
+
+/// Workload scale: --quick for smoke runs, --full for paper-sized runs,
+/// default is a medium scale that keeps every binary in the minutes range
+/// on one host core while preserving the result shapes.
+struct Scale {
+  double factor = 1.0;
+
+  static Scale parse(int argc, char** argv) {
+    Scale s;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) s.factor = 0.25;
+      if (std::strcmp(argv[i], "--full") == 0) s.factor = 4.0;
+    }
+    return s;
+  }
+
+  int ops(int base) const {
+    const int v = static_cast<int>(base * factor);
+    return v < 16 ? 16 : v;
+  }
+  int dim(int base) const {
+    const int v = static_cast<int>(base * (factor >= 1.0 ? 1.0 : 0.5));
+    return v < 8 ? 8 : v;
+  }
+};
+
+inline MachineConfig make_config(int cores) {
+  MachineConfig c;
+  c.num_cores = cores;
+  return c;
+}
+
+/// Print a row of "| cell | cell |" with the given widths.
+inline void row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("| %-*s ", width, c.c_str());
+  std::printf("|\n");
+}
+
+inline void rule(std::size_t cells, int width = 14) {
+  for (std::size_t i = 0; i < cells; ++i) {
+    std::printf("+");
+    for (int j = 0; j < width + 2; ++j) std::printf("-");
+  }
+  std::printf("+\n");
+}
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace osim::bench

@@ -1,0 +1,50 @@
+// Dataflow matrix-multiply chain (paper Sec. IV-B): F = (A x B) x D.
+//
+// O-structures act as I-structures here: each element of the intermediate
+// E is stored once (STORE-VERSION 1) and consumers LOAD-VERSION(1), which
+// blocks until the producer has run. No barrier separates the two
+// multiplications — rows of the second stage start as soon as their input
+// row exists, purely through memory ordering.
+//
+// Runs the same problem on 1, 4 and 16 cores and prints the speedups.
+#include <cstdio>
+
+#include "runtime/env.hpp"
+#include "workloads/matmul.hpp"
+
+using namespace osim;
+
+int main() {
+  MatmulSpec spec;
+  spec.n = 48;
+
+  std::printf("chained matmul F = (A x B) x D, n = %d\n\n", spec.n);
+
+  MachineConfig c1;
+  c1.num_cores = 1;
+  Env seq_env(c1);
+  const RunResult seq = matmul_sequential(seq_env, spec);
+  std::printf("sequential unversioned: %llu cycles\n",
+              static_cast<unsigned long long>(seq.cycles));
+
+  Cycles base = 0;
+  for (int cores : {1, 4, 16}) {
+    MachineConfig c;
+    c.num_cores = cores;
+    Env env(c);
+    const RunResult r = matmul_versioned(env, spec, cores);
+    if (cores == 1) base = r.cycles;
+    std::printf(
+        "versioned, %2d cores:   %9llu cycles  (self-speedup %.2fx, vs "
+        "unversioned %.2fx)  output %s\n",
+        cores, static_cast<unsigned long long>(r.cycles),
+        static_cast<double>(base) / r.cycles,
+        static_cast<double>(seq.cycles) / r.cycles,
+        r.checksum == seq.checksum ? "matches" : "MISMATCH");
+  }
+
+  std::printf(
+      "\nThe single-core versioned run pays the versioning overhead the\n"
+      "paper reports (~2.5x on matmul); parallel runs amortize it away.\n");
+  return 0;
+}

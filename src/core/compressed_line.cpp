@@ -1,0 +1,109 @@
+#include "core/compressed_line.hpp"
+
+namespace osim {
+
+void CompressedLine::clear() {
+  for (auto& s : slots_) s = Slot{};
+  has_base_ = false;
+  base_version_ = 0;
+  tick_ = 0;
+}
+
+int CompressedLine::occupancy() const {
+  int n = 0;
+  for (const auto& s : slots_) n += s.valid ? 1 : 0;
+  return n;
+}
+
+bool CompressedLine::install(const Entry& e) {
+  if (e.version > kMaxVersion) {
+    ++range_rejections_;
+    return false;
+  }
+  if (!has_base_ || empty()) {
+    // (Re)base on the incoming version: upper 18 bits of the lowest version
+    // stored in the line.
+    base_version_ = (e.version >> kOffsetBits) << kOffsetBits;
+    has_base_ = true;
+  }
+  if (!fits(e.version) || (e.locked_by != 0 && !fits(e.locked_by))) {
+    ++range_rejections_;
+    return false;
+  }
+  // Refresh in place if the version is already cached.
+  for (auto& s : slots_) {
+    if (s.valid && s.e.version == e.version) {
+      s.e = e;
+      s.lru = ++tick_;
+      return true;
+    }
+  }
+  Slot* victim = &slots_[0];
+  for (auto& s : slots_) {
+    if (!s.valid) {
+      victim = &s;
+      break;
+    }
+    if (s.lru < victim->lru) victim = &s;
+  }
+  victim->valid = true;
+  victim->e = e;
+  victim->lru = ++tick_;
+  return true;
+}
+
+std::optional<CompressedLine::Entry> CompressedLine::find_exact(Ver v) const {
+  for (const auto& s : slots_) {
+    if (s.valid && s.e.version == v) return s.e;
+  }
+  return std::nullopt;
+}
+
+std::optional<CompressedLine::Entry> CompressedLine::find_latest(
+    Ver cap) const {
+  for (const auto& s : slots_) {
+    if (!s.valid || s.e.version > cap) continue;
+    // Sound iff nothing can exist between this entry and the cap: either the
+    // entry is the list head, or its known newer neighbour lies beyond cap.
+    if (s.e.is_head || (s.e.has_newer && s.e.newer_version > cap)) return s.e;
+  }
+  return std::nullopt;
+}
+
+bool CompressedLine::set_lock(Ver v, TaskId locker) {
+  for (auto& s : slots_) {
+    if (s.valid && s.e.version == v) {
+      if (locker != 0 && !fits(locker)) {
+        ++range_rejections_;
+        s.valid = false;  // uncompressible: evict the entry
+        return false;
+      }
+      s.e.locked_by = locker;
+      return true;
+    }
+  }
+  return true;  // not cached: nothing to update
+}
+
+void CompressedLine::on_insert(Ver inserted, bool at_head) {
+  for (auto& s : slots_) {
+    if (!s.valid) continue;
+    if (at_head && s.e.is_head) {
+      s.e.is_head = false;
+      s.e.has_newer = true;
+      s.e.newer_version = inserted;
+    } else if (s.e.has_newer && s.e.version < inserted &&
+               inserted < s.e.newer_version) {
+      // The insert landed between this entry and its recorded neighbour.
+      s.e.newer_version = inserted;
+    }
+  }
+}
+
+void CompressedLine::erase(Ver v) {
+  for (auto& s : slots_) {
+    if (s.valid && s.e.version == v) s.valid = false;
+  }
+}
+
+}  // namespace osim

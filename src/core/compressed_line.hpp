@@ -1,0 +1,100 @@
+// Compressed version blocks (paper Sec. III-A, "Data compression").
+//
+// Eight version blocks compress into one 64-byte L1 line:
+//   - an 18-bit version base (upper 18 bits of the lowest version in line),
+//   - a 4-bit cache-line offset locating the list head (if cached),
+//   - 8 entries of { data (32b), version offset (14b), lock offset (14b) }.
+// Versions and lockers must fall within [base<<14, (base<<14) + 2^14); out-
+// of-range values are uncompressible and simply stay out of the line ("the
+// only restriction imposed by the compression").
+//
+// The line is a *timing* structure: direct-access hits are classified from
+// it, but semantic answers always come from the authoritative version list.
+// To make LOAD-LATEST direct hits sound from a partial cache, each entry
+// remembers the version of its immediately-newer list neighbour at fill
+// time ("adjacency"): entry e answers LOAD-LATEST(cap) iff
+// e.version <= cap and (e is the list head or cap < e.newer_version).
+// Hardware obtains the same knowledge for free: a full lookup that selects
+// a block has just walked past its newer neighbour.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "sim/types.hpp"
+
+namespace osim {
+
+class CompressedLine {
+ public:
+  static constexpr int kEntries = 8;
+  static constexpr int kOffsetBits = 14;
+  static constexpr int kBaseBits = 18;
+  static constexpr Ver kOffsetRange = Ver{1} << kOffsetBits;
+  /// Largest version representable at all: 18-bit base + 14-bit offset.
+  static constexpr Ver kMaxVersion = (Ver{1} << (kBaseBits + kOffsetBits)) - 1;
+
+  struct Entry {
+    Ver version = 0;
+    TaskId locked_by = 0;      // kNoTask when unlocked
+    std::uint64_t data = 0;
+    bool is_head = false;      // this entry is the newest version of the slot
+    bool has_newer = false;    // adjacency known
+    Ver newer_version = 0;     // version of the immediately-newer neighbour
+  };
+
+  CompressedLine() { clear(); }
+
+  /// Try to add (or refresh) an entry. Fails — returning false — when the
+  /// version or a nonzero locked_by cannot be expressed relative to the
+  /// line's base. On a full line the LRU entry is replaced (the paper lets
+  /// caches use "any appropriate (e.g. LRU) policy" within a line).
+  bool install(const Entry& e);
+
+  /// Entry holding exactly version v, if cached.
+  std::optional<Entry> find_exact(Ver v) const;
+
+  /// Entry that soundly answers LOAD-LATEST(cap), if any (see adjacency
+  /// rule above).
+  std::optional<Entry> find_latest(Ver cap) const;
+
+  /// Update the lock field of a cached version in place. Fails (false) if
+  /// the new locker does not fit the 14-bit offset, in which case the
+  /// caller must evict the entry.
+  bool set_lock(Ver v, TaskId locker);
+
+  /// Patch adjacency after an insert: any entry whose recorded newer
+  /// neighbour spanned across `inserted` must now point at it, and the old
+  /// head loses head status if the insert made a new head.
+  void on_insert(Ver inserted, bool at_head);
+
+  /// Drop the entry for version v (e.g. the block was reclaimed).
+  void erase(Ver v);
+
+  void clear();
+  int occupancy() const;
+  bool empty() const { return occupancy() == 0; }
+
+  /// Number of install attempts rejected for range reasons (stats hook).
+  std::uint64_t range_rejections() const { return range_rejections_; }
+
+ private:
+  struct Slot {
+    bool valid = false;
+    Entry e;
+    std::uint64_t lru = 0;
+  };
+
+  bool fits(Ver v) const {
+    return v >= base_version_ && v < base_version_ + kOffsetRange;
+  }
+
+  std::array<Slot, kEntries> slots_;
+  Ver base_version_ = 0;  // lowest representable version ((base << 14))
+  bool has_base_ = false;
+  std::uint64_t tick_ = 0;
+  std::uint64_t range_rejections_ = 0;
+};
+
+}  // namespace osim

@@ -1,0 +1,74 @@
+// Simulated protection and usage faults of the O-structure architecture
+// (paper Sec. III, "Addressing and protection").
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace osim {
+
+enum class FaultKind {
+  /// A conventional LOAD/STORE touched a page whose versioned bit is set.
+  kConventionalAccessToVersionedPage,
+  /// A versioned instruction referenced a page whose versioned bit is clear.
+  kVersionedAccessToUnversionedPage,
+  /// An access reached a version block whose head bit is not set (user code
+  /// attempting to enter a version block list other than through its head).
+  kNotListHead,
+  /// STORE-VERSION to a version that already exists ("once created, a
+  /// version can be locked but not modified").
+  kVersionAlreadyExists,
+  /// UNLOCK-VERSION by a task that does not hold the lock, or of an
+  /// unlocked version.
+  kNotLockOwner,
+  /// UNLOCK-VERSION asked to rename onto a version that already exists.
+  kRenameTargetExists,
+  /// Address is not an O-structure slot this manager ever allocated.
+  kInvalidAddress,
+  /// Task runtime violated GC rule #3 (spawned a task older than the oldest
+  /// active task) or ended a task that never began.
+  kTaskOrderViolation,
+};
+
+/// String name of a fault kind (stable; used in fault messages and tests).
+const char* to_string(FaultKind k);
+
+/// Thrown by the O-structure manager; the machine converts it into a
+/// SimError that aborts the run (a real system would deliver a signal).
+class OFault : public std::runtime_error {
+ public:
+  OFault(FaultKind kind, const std::string& detail)
+      : std::runtime_error(std::string("O-structure fault: ") +
+                           to_string(kind) + (detail.empty() ? "" : ": ") +
+                           detail),
+        kind_(kind) {}
+
+  FaultKind kind() const { return kind_; }
+
+ private:
+  FaultKind kind_;
+};
+
+inline const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kConventionalAccessToVersionedPage:
+      return "conventional access to versioned page";
+    case FaultKind::kVersionedAccessToUnversionedPage:
+      return "versioned access to unversioned page";
+    case FaultKind::kNotListHead:
+      return "access to non-head version block";
+    case FaultKind::kVersionAlreadyExists:
+      return "version already exists";
+    case FaultKind::kNotLockOwner:
+      return "unlock by non-owner";
+    case FaultKind::kRenameTargetExists:
+      return "rename target version already exists";
+    case FaultKind::kInvalidAddress:
+      return "invalid O-structure address";
+    case FaultKind::kTaskOrderViolation:
+      return "task ordering rule violation";
+  }
+  return "unknown fault";
+}
+
+}  // namespace osim

@@ -1,0 +1,95 @@
+#include "core/gc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/fault.hpp"
+
+namespace osim {
+
+void GarbageCollector::task_created(TaskId t) {
+  if (!known_.empty() && t < known_.begin()->first) {
+    throw OFault(FaultKind::kTaskOrderViolation,
+                 "task " + std::to_string(t) +
+                     " is older than the oldest unfinished task " +
+                     std::to_string(known_.begin()->first));
+  }
+  if (t <= floor_) {
+    throw OFault(FaultKind::kTaskOrderViolation,
+                 "task " + std::to_string(t) +
+                     " is not above the GC floor " + std::to_string(floor_));
+  }
+  known_[t]++;
+}
+
+void GarbageCollector::task_begin(TaskId t) {
+  if (known_.find(t) == known_.end()) task_created(t);
+  begun_[t] = true;
+}
+
+void GarbageCollector::task_end(TaskId t) {
+  auto it = known_.find(t);
+  if (it == known_.end()) {
+    throw OFault(FaultKind::kTaskOrderViolation,
+                 "TASK-END for task " + std::to_string(t) +
+                     " which is not running");
+  }
+  if (--it->second == 0) {
+    known_.erase(it);
+    begun_.erase(t);
+  }
+  try_finalize();
+}
+
+void GarbageCollector::on_shadowed(BlockIndex b, Ver shadower) {
+  VersionBlock& vb = pool_[b];
+  assert(vb.state == BlockState::kLive);
+  vb.state = BlockState::kShadowed;
+  shadowed_.push_back({b, vb.generation, shadower});
+  stats_.shadowed_blocks++;
+}
+
+bool GarbageCollector::start_phase() {
+  if (phase_active_ || shadowed_.empty()) return false;
+  pending_.swap(shadowed_);
+  fence_ = 0;
+  for (auto& s : pending_) {
+    VersionBlock& vb = pool_[s.block];
+    if (vb.generation == s.generation && vb.state == BlockState::kShadowed) {
+      vb.state = BlockState::kPending;
+    }
+    fence_ = std::max(fence_, s.shadower);
+  }
+  phase_active_ = true;
+  stats_.gc_phases++;
+  try_finalize();
+  return true;
+}
+
+void GarbageCollector::try_finalize() {
+  if (!phase_active_) return;
+  // Every pending block's possible readers are tasks older than the fence;
+  // finalize once no unfinished task is that old.
+  if (!known_.empty() && known_.begin()->first < fence_) return;
+  finalize();
+}
+
+void GarbageCollector::finalize() {
+  for (auto& s : pending_) {
+    VersionBlock& vb = pool_[s.block];
+    if (vb.generation != s.generation || vb.state != BlockState::kPending) {
+      continue;  // the O-structure was released wholesale in the meantime
+    }
+    assert(vb.locked_by == kNoTask &&
+           "GC rules guarantee reclaimed versions are unlocked");
+    reclaim_(s.block);
+  }
+  pending_.clear();
+  // Future tasks must be too young to read anything reclaimed under this
+  // fence. (Readers of a version shadowed by `fence_` have ids < fence_, so
+  // the floor is fence_ - 1; keep it simple and monotone.)
+  if (fence_ > 0) floor_ = std::max(floor_, fence_ - 1);
+  phase_active_ = false;
+}
+
+}  // namespace osim

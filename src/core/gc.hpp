@@ -1,0 +1,90 @@
+// Hardware garbage collector for version blocks (paper Sec. III-B).
+//
+// Protocol:
+//   * When a store shadows a version, the shadowed block is registered on
+//     the *shadowed* list together with the id of the version that shadows
+//     it (its "shadower").
+//   * A collection phase moves the shadowed list to the *pending* list and
+//     records a fence: the youngest shadower in the batch. (The paper words
+//     this as "the youngest active task is recorded" — the two coincide
+//     when stores come from active tasks, but fencing on the shadowers
+//     stays sound even when tasks are created long before they begin, as
+//     with a static task scheduler.)
+//   * A pending block can only be read by tasks older than its shadower, so
+//     once the oldest *unfinished* task (created or begun, GC rules 1-3) is
+//     younger than the fence, every pending block is unreachable and moves
+//     to the free list.
+// Phases are started by the manager when the free list drops below the
+// watermark; the collector itself runs in background hardware, so no cycles
+// are charged here (the manager charges a small trigger latency).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/version_block.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace osim {
+
+class GarbageCollector {
+ public:
+  /// `reclaim` unlinks the block from its version list, scrubs compressed-
+  /// line entries, and returns it to the pool's free list.
+  using ReclaimFn = std::function<void(BlockIndex)>;
+
+  GarbageCollector(BlockPool& pool, MachineStats& stats, ReclaimFn reclaim)
+      : pool_(pool), stats_(stats), reclaim_(std::move(reclaim)) {}
+
+  /// Task creation (rule #3 check point): the new task must be no older
+  /// than the oldest unfinished task and above the floor left by finalized
+  /// phases. Throws OFault(kTaskOrderViolation) otherwise.
+  void task_created(TaskId t);
+  /// TASK-BEGIN. Implicitly creates the task if the runtime did not
+  /// announce it (single-level runtimes call begin directly).
+  void task_begin(TaskId t);
+  /// TASK-END. May finalize the active phase. Throws on unknown task.
+  void task_end(TaskId t);
+
+  /// Register a block that became shadowed by version `shadower`.
+  void on_shadowed(BlockIndex b, Ver shadower);
+
+  /// Start a collection phase if none is active and shadowed work exists.
+  /// Returns true if a phase actually started (the manager charges trigger
+  /// latency for that case).
+  bool start_phase();
+
+  bool phase_active() const { return phase_active_; }
+  std::size_t shadowed_size() const { return shadowed_.size(); }
+  std::size_t pending_size() const { return pending_.size(); }
+  std::size_t unfinished_tasks() const { return known_.size(); }
+  TaskId floor() const { return floor_; }
+
+ private:
+  struct Shadowed {
+    BlockIndex block;
+    std::uint32_t generation;
+    Ver shadower;
+  };
+
+  void try_finalize();
+  void finalize();
+
+  BlockPool& pool_;
+  MachineStats& stats_;
+  ReclaimFn reclaim_;
+
+  std::map<TaskId, int> known_;  // unfinished tasks: id -> create count
+  std::map<TaskId, bool> begun_;  // subset of known_ that has begun
+  std::vector<Shadowed> shadowed_;
+  std::vector<Shadowed> pending_;
+  bool phase_active_ = false;
+  Ver fence_ = 0;
+  TaskId floor_ = 0;  // max fence of any finalized phase
+};
+
+}  // namespace osim

@@ -1,0 +1,104 @@
+// The versioned instruction set surface (paper Sec. II-A) and the optional
+// architectural trace.
+//
+// Tracing: when OStructConfig::trace_capacity > 0, the manager records the
+// last N versioned operations (ring buffer) with their timestamps — the
+// first tool one reaches for when a pipelined workload deadlocks or
+// misorders. Zero-cost when disabled.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace osim {
+
+/// The eight instructions the architecture adds.
+enum class OpCode : std::uint8_t {
+  kLoadVersion,
+  kLoadLatest,
+  kStoreVersion,
+  kLockLoadVersion,
+  kLockLoadLatest,
+  kUnlockVersion,
+  kTaskBegin,
+  kTaskEnd,
+};
+
+inline const char* to_string(OpCode op) {
+  switch (op) {
+    case OpCode::kLoadVersion:
+      return "LOAD-VERSION";
+    case OpCode::kLoadLatest:
+      return "LOAD-LATEST";
+    case OpCode::kStoreVersion:
+      return "STORE-VERSION";
+    case OpCode::kLockLoadVersion:
+      return "LOCK-LOAD-VERSION";
+    case OpCode::kLockLoadLatest:
+      return "LOCK-LOAD-LATEST";
+    case OpCode::kUnlockVersion:
+      return "UNLOCK-VERSION";
+    case OpCode::kTaskBegin:
+      return "TASK-BEGIN";
+    case OpCode::kTaskEnd:
+      return "TASK-END";
+  }
+  return "?";
+}
+
+/// One traced operation (recorded at issue, before any stall).
+struct TraceRecord {
+  Cycles time = 0;
+  CoreId core = 0;
+  OpCode op = OpCode::kLoadVersion;
+  Addr addr = 0;    ///< O-structure address (0 for TASK-BEGIN/END)
+  Ver version = 0;  ///< version / cap / task id argument
+};
+
+/// Fixed-capacity ring of TraceRecords.
+class OpTrace {
+ public:
+  explicit OpTrace(std::size_t capacity) : capacity_(capacity) {
+    ring_.reserve(capacity);
+  }
+
+  bool enabled() const { return capacity_ > 0; }
+
+  void record(const TraceRecord& r) {
+    if (capacity_ == 0) return;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(r);
+    } else {
+      ring_[next_] = r;
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++total_;
+  }
+
+  /// Records in issue order, oldest first.
+  std::vector<TraceRecord> snapshot() const {
+    std::vector<TraceRecord> out;
+    out.reserve(ring_.size());
+    if (ring_.size() < capacity_ || capacity_ == 0) {
+      out = ring_;
+    } else {
+      out.insert(out.end(), ring_.begin() + static_cast<long>(next_),
+                 ring_.end());
+      out.insert(out.end(), ring_.begin(),
+                 ring_.begin() + static_cast<long>(next_));
+    }
+    return out;
+  }
+
+  std::uint64_t total_recorded() const { return total_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+  std::vector<TraceRecord> ring_;
+};
+
+}  // namespace osim

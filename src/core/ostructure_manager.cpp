@@ -1,0 +1,558 @@
+#include "core/ostructure_manager.hpp"
+
+#include <cassert>
+#include <string>
+
+#include "core/fault.hpp"
+
+namespace osim {
+
+OStructureManager::OStructureManager(Machine& m)
+    : m_(m),
+      cfg_(m.config().ostruct),
+      pool_(cfg_.initial_pool_blocks),
+      gc_(pool_, m.stats(), [this](BlockIndex b) { reclaim(b); }),
+      comp_(static_cast<std::size_t>(m.config().num_cores)),
+      trace_(m.config().ostruct.trace_capacity) {
+  m_.memsys().set_line_drop_observer([this](CoreId core, Addr line) {
+    if (is_compressed_addr(line)) {
+      auto& map = comp_[static_cast<std::size_t>(core)];
+      if (map.erase(slot_of_compressed(line)) > 0) {
+        m_.stats().compressed_discards++;
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Allocation
+
+OAddr OStructureManager::alloc(std::size_t slots) {
+  if (slots == 0) throw OFault(FaultKind::kInvalidAddress, "zero-slot alloc");
+  auto& freed = slot_free_[slots];
+  std::uint64_t base;
+  if (!freed.empty()) {
+    base = freed.back();
+    freed.pop_back();
+  } else {
+    base = slots_.size();
+    slots_.resize(slots_.size() + slots);
+  }
+  for (std::uint64_t s = base; s < base + slots; ++s) {
+    SlotMeta& sm = slots_[s];
+    assert(!sm.allocated && sm.root == kNullBlock);
+    sm.allocated = true;
+  }
+  return ostruct_addr(base);
+}
+
+void OStructureManager::release(OAddr base, std::size_t slots) {
+  const std::uint64_t first = slot_of(base);
+  for (std::uint64_t s = first; s < first + slots; ++s) {
+    SlotMeta& sm = slots_[s];
+    // Discard every version of the slot.
+    BlockIndex b = sm.root;
+    while (b != kNullBlock) {
+      const BlockIndex next = pool_[b].next;
+      pool_.free(b);
+      m_.stats().blocks_freed++;
+      b = next;
+    }
+    sm.root = kNullBlock;
+    sm.allocated = false;
+    sm.order_broken = false;
+    sm.nversions = 0;
+    for (auto& per_core : comp_) per_core.erase(s);
+    // Anyone still parked here violated the release precondition; wake them
+    // so they fault with a clear diagnostic instead of deadlocking.
+    if (!sm.waiters.empty() && Fiber::current() != nullptr) {
+      m_.wake_all(sm.waiters, cfg_.wake_latency);
+    }
+  }
+  slot_free_[slots].push_back(first);
+}
+
+std::uint64_t OStructureManager::slot_of(OAddr a) const {
+  if (a < kOStructBase || (a - kOStructBase) % 8 != 0) {
+    throw OFault(FaultKind::kVersionedAccessToUnversionedPage,
+                 "address " + std::to_string(a) +
+                     " is outside the versioned region");
+  }
+  const std::uint64_t slot = (a - kOStructBase) / 8;
+  if (slot >= slots_.size() || !slots_[slot].allocated) {
+    throw OFault(FaultKind::kVersionedAccessToUnversionedPage,
+                 "slot " + std::to_string(slot) + " is not allocated");
+  }
+  return slot;
+}
+
+bool OStructureManager::is_versioned_addr(Addr a) const {
+  if (a < kOStructBase || (a - kOStructBase) % 8 != 0) return false;
+  const std::uint64_t slot = (a - kOStructBase) / 8;
+  return slot < slots_.size() && slots_[slot].allocated;
+}
+
+void OStructureManager::check_conventional(Addr a) const {
+  if (is_versioned_addr(a)) {
+    throw OFault(FaultKind::kConventionalAccessToVersionedPage,
+                 "slot " + std::to_string((a - kOStructBase) / 8));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timing helpers
+
+void OStructureManager::begin_attempt(const OpFlags& f, int attempt,
+                                       OpCode op, OAddr a, Ver v) {
+  m_.sync_to_global_order();
+  if (attempt == 0) {
+    CoreStats& cs = m_.running_core_stats();
+    cs.versioned_ops++;
+    if (f.root) cs.root_loads++;
+    if (trace_.enabled()) {
+      trace_.record({m_.now(), m_.current_core(), op, a, v});
+    }
+  }
+  if (cfg_.injected_latency != 0) m_.advance(cfg_.injected_latency);
+}
+
+void OStructureManager::stall(const OpFlags& f, std::uint64_t slot,
+                              int attempt) {
+  if (attempt == 0) {
+    CoreStats& cs = m_.running_core_stats();
+    cs.stalls++;
+    if (f.root) cs.root_stalls++;
+  }
+  m_.block_on(slots_[slot].waiters);
+}
+
+CompressedLine* OStructureManager::comp_line(CoreId core, std::uint64_t slot) {
+  if (!m_.memsys().line_in_l1(core, compressed_addr(slot))) return nullptr;
+  auto& map = comp_[static_cast<std::size_t>(core)];
+  auto it = map.find(slot);
+  return it == map.end() ? nullptr : &it->second;
+}
+
+void OStructureManager::comp_install(std::uint64_t slot,
+                                     const CompressedLine::Entry& e) {
+  if (!cfg_.enable_compression) return;
+  const CoreId core = m_.current_core();
+  CompressedLine& cl = comp_[static_cast<std::size_t>(core)][slot];
+  const std::uint64_t rejected_before = cl.range_rejections();
+  if (cl.install(e)) {
+    m_.stats().compressed_installs++;
+  } else {
+    m_.stats().compress_overflows += cl.range_rejections() - rejected_before;
+  }
+  // Materialize the line in the L1 tag array (hardware builds it locally).
+  m_.memsys().install_line(core, compressed_addr(slot), /*dirty=*/true);
+}
+
+void OStructureManager::comp_remote_insert(std::uint64_t slot, Ver v,
+                                           bool at_head) {
+  // Remote caches either discard their compressed line for this O-structure
+  // when they observe the coherence message (paper: "the simplest course of
+  // action is to discard the compressed version block") or — the paper's
+  // future-work variant — patch it in situ. Either way the information
+  // piggybacks on the version-block line's own coherence message (which the
+  // paper extends to carry the list-head address), so no extra latency is
+  // charged.
+  const CoreId me = m_.current_core();
+  if (!cfg_.inplace_comp_update) {
+    m_.memsys().invalidate_others(me, compressed_addr(slot));
+    return;
+  }
+  for (CoreId c = 0; c < m_.num_cores(); ++c) {
+    if (c == me) continue;
+    if (CompressedLine* cl = comp_line(c, slot)) cl->on_insert(v, at_head);
+  }
+}
+
+void OStructureManager::comp_remote_lock(std::uint64_t slot, Ver v,
+                                         TaskId locker) {
+  const CoreId me = m_.current_core();
+  if (!cfg_.inplace_comp_update) {
+    m_.memsys().invalidate_others(me, compressed_addr(slot));
+    return;
+  }
+  for (CoreId c = 0; c < m_.num_cores(); ++c) {
+    if (c == me) continue;
+    if (CompressedLine* cl = comp_line(c, slot)) cl->set_lock(v, locker);
+  }
+}
+
+void OStructureManager::charge_lookup(std::uint64_t slot, const FindResult& fr,
+                                      LookupKind kind, Ver key,
+                                      AccessType final_access,
+                                      std::optional<TaskId> probe_locked_by) {
+  const CoreId core = m_.current_core();
+  CoreStats& cs = m_.running_core_stats();
+
+  // Snapshot the block's fields now: the charged walk below yields, and the
+  // block could be reclaimed or mutated before the walk completes.
+  CompressedLine::Entry snap;
+  {
+    const VersionBlock& vb = pool_[fr.block];
+    snap.version = vb.version;
+    snap.locked_by = vb.locked_by;
+    snap.data = vb.data;
+    snap.is_head = fr.is_head;
+    snap.has_newer = fr.has_newer;
+    snap.newer_version = fr.newer;
+  }
+
+  if (cfg_.enable_compression) {
+    if (CompressedLine* cl = comp_line(core, slot)) {
+      const auto e = kind == LookupKind::kExact ? cl->find_exact(key)
+                                                : cl->find_latest(key);
+      const TaskId want = probe_locked_by.value_or(snap.locked_by);
+      if (e && e->version == snap.version && e->locked_by == want) {
+        // Direct access: a single L1 probe of the compressed line.
+        cs.direct_hits++;
+        m_.mem_access(compressed_addr(slot), final_access);
+        return;
+      }
+    }
+  }
+
+  // Full lookup: the physical address of the list head comes from the page
+  // table through the TLB (paper Fig. 4) — cached translation, no memory
+  // access — then the version block list is walked. Blocks passed over are
+  // read without polluting the L1; the requested block is installed
+  // normally and its compressed entry is (re)built.
+  cs.full_lookups++;
+  cs.walk_blocks += static_cast<std::uint64_t>(fr.blocks_walked);
+  AccessOptions nofill;
+  nofill.fill_l1 = !cfg_.pollution_avoidance;
+  // Re-walk the current list for addresses; the list may have changed since
+  // the semantic decision, so bound the walk by both count and list end.
+  int remaining = fr.blocks_walked - 1;
+  for (BlockIndex b = slots_[slot].root; b != kNullBlock && remaining > 0;
+       b = pool_[b].next, --remaining) {
+    m_.mem_access(version_block_addr(b), AccessType::kRead, nofill);
+  }
+  // Compressed/uncompressed choice (paper Sec. III-A): packing into a
+  // compressed line only pays when the slot holds multiple versions (one
+  // 64-byte line carries 8 of them); a single-version slot is denser as a
+  // plain block line (4 blocks per line). The L1 keeps exactly one resident
+  // form per lookup: the compressed line, or the uncompressed block line.
+  const bool compress =
+      cfg_.enable_compression && slots_[slot].nversions > 1;
+  AccessOptions final_opts;
+  final_opts.fill_l1 = !compress;
+  m_.mem_access(version_block_addr(fr.block), final_access, final_opts);
+  if (compress) comp_install(slot, snap);
+}
+
+// ---------------------------------------------------------------------------
+// Block allocation and GC plumbing
+
+BlockIndex OStructureManager::alloc_block() {
+  // Pop from this core's bank of the hardware free list (one exclusive
+  // access to the bank head; banks are per-core, paper Fig. 2).
+  m_.mem_access(free_list_addr(m_.current_core()), AccessType::kWrite);
+  BlockIndex b = pool_.alloc();
+  if (b == kNullBlock) {
+    // Free list exhausted: give the GC a chance, then trap to the OS.
+    if (gc_.start_phase()) m_.advance(cfg_.gc_trigger_latency);
+    b = pool_.alloc();
+    if (b == kNullBlock) {
+      pool_.grow(cfg_.trap_grow_blocks);
+      m_.stats().os_traps++;
+      m_.advance(cfg_.os_trap_latency);
+      b = pool_.alloc();
+      assert(b != kNullBlock);
+    }
+  }
+  m_.stats().blocks_allocated++;
+  if (pool_.free_count() < cfg_.gc_watermark && gc_.start_phase()) {
+    m_.advance(cfg_.gc_trigger_latency);
+  }
+  return b;
+}
+
+void OStructureManager::reclaim(BlockIndex b) {
+  VersionBlock& vb = pool_[b];
+  SlotMeta& sm = slots_[vb.slot];
+  sm.nversions--;
+  list_unlink(pool_, &sm.root, b);
+  for (auto& per_core : comp_) {
+    auto it = per_core.find(vb.slot);
+    if (it != per_core.end()) it->second.erase(vb.version);
+  }
+  pool_.free(b);
+  m_.stats().blocks_freed++;
+}
+
+// ---------------------------------------------------------------------------
+// The versioned ISA
+
+std::uint64_t OStructureManager::load_version(OAddr a, Ver v, OpFlags f) {
+  for (int attempt = 0;; ++attempt) {
+    begin_attempt(f, attempt, OpCode::kLoadVersion, a, v);
+    const std::uint64_t slot = slot_of(a);
+    SlotMeta& sm = slots_[slot];
+    const FindResult fr =
+        find_exact(pool_, sm.root, v, effective_sorted(sm));
+    if (fr.found() && pool_[fr.block].locked_by == kNoTask) {
+      const std::uint64_t data = pool_[fr.block].data;
+      charge_lookup(slot, fr, LookupKind::kExact, v);
+      return data;
+    }
+    stall(f, slot, attempt);
+  }
+}
+
+std::uint64_t OStructureManager::load_latest(OAddr a, Ver cap, Ver* found,
+                                             OpFlags f) {
+  for (int attempt = 0;; ++attempt) {
+    begin_attempt(f, attempt, OpCode::kLoadLatest, a, cap);
+    const std::uint64_t slot = slot_of(a);
+    SlotMeta& sm = slots_[slot];
+    const FindResult fr =
+        find_latest(pool_, sm.root, cap, effective_sorted(sm));
+    if (fr.found() && pool_[fr.block].locked_by == kNoTask) {
+      const std::uint64_t data = pool_[fr.block].data;
+      const Ver got = pool_[fr.block].version;
+      charge_lookup(slot, fr, LookupKind::kLatest, cap);
+      if (found != nullptr) *found = got;
+      return data;
+    }
+    stall(f, slot, attempt);
+  }
+}
+
+std::uint64_t OStructureManager::lock_load_version(OAddr a, Ver v,
+                                                   TaskId locker, OpFlags f) {
+  for (int attempt = 0;; ++attempt) {
+    begin_attempt(f, attempt, OpCode::kLockLoadVersion, a, v);
+    const std::uint64_t slot = slot_of(a);
+    SlotMeta& sm = slots_[slot];
+    const FindResult fr =
+        find_exact(pool_, sm.root, v, effective_sorted(sm));
+    if (fr.found() && pool_[fr.block].locked_by == kNoTask) {
+      VersionBlock& vb = pool_[fr.block];
+      vb.locked_by = locker;  // semantic effect, atomic at this timestamp
+      const std::uint64_t data = vb.data;
+      // Locking needs exclusive access to the block's line (paper Sec.
+      // III-A "Locking a version"): the lookup's final transaction is a
+      // read-for-ownership, and compressed copies elsewhere are discarded.
+      charge_lookup(slot, fr, LookupKind::kExact, v, AccessType::kWrite,
+                    kNoTask);
+      if (CompressedLine* cl = comp_line(m_.current_core(), slot)) {
+        cl->set_lock(v, locker);
+      }
+      comp_remote_lock(slot, v, locker);
+      return data;
+    }
+    stall(f, slot, attempt);
+  }
+}
+
+std::uint64_t OStructureManager::lock_load_latest(OAddr a, Ver cap,
+                                                  TaskId locker, Ver* found,
+                                                  OpFlags f) {
+  for (int attempt = 0;; ++attempt) {
+    begin_attempt(f, attempt, OpCode::kLockLoadLatest, a, cap);
+    const std::uint64_t slot = slot_of(a);
+    SlotMeta& sm = slots_[slot];
+    const FindResult fr =
+        find_latest(pool_, sm.root, cap, effective_sorted(sm));
+    if (fr.found() && pool_[fr.block].locked_by == kNoTask) {
+      VersionBlock& vb = pool_[fr.block];
+      vb.locked_by = locker;
+      const std::uint64_t data = vb.data;
+      const Ver got = vb.version;
+      charge_lookup(slot, fr, LookupKind::kLatest, cap, AccessType::kWrite,
+                    kNoTask);
+      if (CompressedLine* cl = comp_line(m_.current_core(), slot)) {
+        cl->set_lock(got, locker);
+      }
+      comp_remote_lock(slot, got, locker);
+      if (found != nullptr) *found = got;
+      return data;
+    }
+    stall(f, slot, attempt);
+  }
+}
+
+void OStructureManager::store_impl(std::uint64_t slot, Ver v,
+                                   std::uint64_t data) {
+  // alloc_block() charges memory accesses and may yield to other cores,
+  // which can allocate slots and reallocate slots_: SlotMeta references
+  // must only be taken afterwards.
+  const BlockIndex nb = alloc_block();
+  VersionBlock& vb = pool_[nb];
+  vb.version = v;
+  vb.data = data;
+  vb.slot = slot;
+
+  SlotMeta& sm = slots_[slot];
+  InsertResult ir;
+  try {
+    ir = list_insert(pool_, &sm.root, nb, cfg_.sorted_lists);
+    if (!ir.order_kept) sm.order_broken = true;
+  } catch (const OFault&) {
+    pool_.free(nb);  // duplicate version: return the block before faulting
+    m_.stats().blocks_allocated--;
+    throw;
+  }
+  // Snapshot everything the compressed-line update needs before any charged
+  // access can yield to other cores.
+  CompressedLine::Entry snap;
+  snap.version = v;
+  snap.data = data;
+  snap.is_head = ir.at_head;
+  if (cfg_.sorted_lists && ir.pred != kNullBlock) {
+    snap.has_newer = true;
+    snap.newer_version = pool_[ir.pred].version;
+  }
+
+  // Timing: walk to the insertion point (the list head address itself is a
+  // TLB-cached page-table translation) and the two exclusive line
+  // acquisitions of the insertion protocol (new block + predecessor,
+  // lowest-address first per the paper's deadlock-avoidance order).
+  AccessOptions nofill;
+  nofill.fill_l1 = false;
+  // Note: `sm` must not be used past this point — slots_ may reallocate
+  // while charged accesses yield to other cores; re-fetch via slots_[slot].
+  int remaining = ir.blocks_walked;
+  for (BlockIndex b = slots_[slot].root; b != kNullBlock && remaining > 0;
+       b = pool_[b].next, --remaining) {
+    if (b != nb) m_.mem_access(version_block_addr(b), AccessType::kRead,
+                               nofill);
+  }
+  const Addr na = version_block_addr(nb);
+  const Addr pa =
+      ir.pred != kNullBlock ? version_block_addr(ir.pred) : root_addr(slot);
+  m_.mem_access(std::min(na, pa), AccessType::kWrite);
+  m_.mem_access(std::max(na, pa), AccessType::kWrite);
+  if (ir.at_head) m_.mem_access(root_addr(slot), AccessType::kWrite);
+
+  // GC shadow registration. An insert at the head shadows the old head with
+  // the new version; a mid-list insert is itself born shadowed by its
+  // immediately-newer neighbour.
+  if (ir.shadowed != kNullBlock) {
+    gc_.on_shadowed(ir.shadowed, ir.at_head ? v : snap.newer_version);
+  }
+
+  // Compressed-line maintenance: patch the local line's adjacency, install
+  // the new version, and make remote caches discard their copies.
+  slots_[slot].nversions++;
+  const CoreId core = m_.current_core();
+  if (CompressedLine* cl = comp_line(core, slot)) {
+    cl->on_insert(v, ir.at_head);
+  }
+  if (slots_[slot].nversions > 1) comp_install(slot, snap);
+  comp_remote_insert(slot, v, ir.at_head);
+
+  // A new version may satisfy parked LOAD/LOCK attempts.
+  m_.wake_all(slots_[slot].waiters, cfg_.wake_latency);
+}
+
+void OStructureManager::store_version(OAddr a, Ver v, std::uint64_t data,
+                                      OpFlags f) {
+  begin_attempt(f, 0, OpCode::kStoreVersion, a, v);
+  store_impl(slot_of(a), v, data);
+}
+
+void OStructureManager::unlock_version(OAddr a, Ver locked_v, TaskId owner,
+                                       std::optional<Ver> rename_to,
+                                       OpFlags f) {
+  begin_attempt(f, 0, OpCode::kUnlockVersion, a, locked_v);
+  const std::uint64_t slot = slot_of(a);
+  SlotMeta& sm = slots_[slot];
+  const FindResult fr =
+      find_exact(pool_, sm.root, locked_v, effective_sorted(sm));
+  if (!fr.found()) {
+    throw OFault(FaultKind::kNotLockOwner,
+                 "unlock of nonexistent version " + std::to_string(locked_v));
+  }
+  VersionBlock& vb = pool_[fr.block];
+  if (vb.locked_by != owner) {
+    throw OFault(FaultKind::kNotLockOwner,
+                 "version " + std::to_string(locked_v) + " locked by " +
+                     std::to_string(vb.locked_by) + ", unlock by " +
+                     std::to_string(owner));
+  }
+  if (rename_to.has_value() &&
+      find_exact(pool_, sm.root, *rename_to, effective_sorted(sm)).found()) {
+    throw OFault(FaultKind::kRenameTargetExists, std::to_string(*rename_to));
+  }
+
+  vb.locked_by = kNoTask;
+  const std::uint64_t data = vb.data;
+  m_.mem_access(version_block_addr(fr.block), AccessType::kWrite);
+  if (CompressedLine* cl = comp_line(m_.current_core(), slot)) {
+    cl->set_lock(locked_v, kNoTask);
+  }
+  comp_remote_lock(slot, locked_v, kNoTask);
+
+  if (rename_to.has_value()) {
+    // Renaming: materialize the same value as a new, unlocked version.
+    store_impl(slot, *rename_to, data);
+  } else {
+    m_.wake_all(slots_[slot].waiters, cfg_.wake_latency);
+  }
+}
+
+void OStructureManager::task_created(TaskId t) { gc_.task_created(t); }
+
+void OStructureManager::task_begin(TaskId t) {
+  m_.sync_to_global_order();
+  m_.exec(1);  // the TASK-BEGIN instruction itself
+  if (trace_.enabled()) {
+    trace_.record({m_.now(), m_.current_core(), OpCode::kTaskBegin, 0, t});
+  }
+  gc_.task_begin(t);
+}
+
+void OStructureManager::task_end(TaskId t) {
+  m_.sync_to_global_order();
+  m_.exec(1);
+  if (trace_.enabled()) {
+    trace_.record({m_.now(), m_.current_core(), OpCode::kTaskEnd, 0, t});
+  }
+  gc_.task_end(t);
+  m_.running_core_stats().tasks_executed++;
+}
+
+// ---------------------------------------------------------------------------
+// Host-side inspection
+
+std::optional<std::uint64_t> OStructureManager::peek_version(OAddr a,
+                                                             Ver v) const {
+  const std::uint64_t slot = slot_of(a);
+  const FindResult fr =
+      find_exact(pool_, slots_[slot].root, v, effective_sorted(slots_[slot]));
+  if (!fr.found()) return std::nullopt;
+  return pool_[fr.block].data;
+}
+
+std::optional<Ver> OStructureManager::newest_version(OAddr a) const {
+  const std::uint64_t slot = slot_of(a);
+  BlockIndex b = slots_[slot].root;
+  if (b == kNullBlock) return std::nullopt;
+  if (effective_sorted(slots_[slot])) return pool_[b].version;
+  Ver best = pool_[b].version;
+  for (; b != kNullBlock; b = pool_[b].next) {
+    best = std::max(best, pool_[b].version);
+  }
+  return best;
+}
+
+std::optional<TaskId> OStructureManager::lock_holder(OAddr a, Ver v) const {
+  const std::uint64_t slot = slot_of(a);
+  const FindResult fr =
+      find_exact(pool_, slots_[slot].root, v, effective_sorted(slots_[slot]));
+  if (!fr.found()) return std::nullopt;
+  const TaskId l = pool_[fr.block].locked_by;
+  return l == kNoTask ? std::nullopt : std::optional<TaskId>(l);
+}
+
+int OStructureManager::version_count(OAddr a) const {
+  const std::uint64_t slot = slot_of(a);
+  return list_length(pool_, slots_[slot].root);
+}
+
+}  // namespace osim

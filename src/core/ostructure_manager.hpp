@@ -1,0 +1,206 @@
+// The O-structure Memory Version Manager (paper Sec. III, Fig. 2).
+//
+// This is the architectural contribution: it implements the versioned
+// instruction set (LOAD-VERSION, LOAD-LATEST, STORE-VERSION,
+// LOCK-LOAD-VERSION, LOCK-LOAD-LATEST, UNLOCK-VERSION, TASK-BEGIN,
+// TASK-END) on top of the simulated cache hierarchy.
+//
+// Semantics vs. timing. Every operation's *semantic* effect (which version
+// is read, which block is locked, where an insert lands) is decided and
+// applied atomically at the operation's start timestamp, against the
+// authoritative version lists in the block pool. *Timing* is then charged
+// through the memory hierarchy: a direct access costs one L1 probe of the
+// slot's compressed line; a full lookup costs the root-pointer access plus
+// one access per version block walked, with only the final block installed
+// in L1 (the paper's pollution avoidance). Because operations serialize at
+// timestamps, the paper's two-cache-line exclusive-acquisition/retry
+// protocol for inserts can never actually race here; its cost (two
+// exclusive line acquisitions) is still charged.
+//
+// Blocking semantics (a load of an uncreated version, a load/lock of a
+// locked version) park the core on the slot's wait list; every store or
+// unlock to the slot wakes the waiters, which re-evaluate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compressed_line.hpp"
+#include "core/isa.hpp"
+#include "core/gc.hpp"
+#include "core/version_block.hpp"
+#include "core/version_list.hpp"
+#include "sim/address_map.hpp"
+#include "sim/machine.hpp"
+
+namespace osim {
+
+/// User-visible address of an O-structure slot (8-byte granularity inside
+/// the versioned region).
+using OAddr = Addr;
+
+struct OpFlags {
+  /// Workload-level "root of the data structure" access; feeds the
+  /// root-stall statistics of Sec. IV-D.
+  bool root = false;
+};
+
+class OStructureManager {
+ public:
+  /// The manager registers itself as the machine's L1 drop observer (for
+  /// compressed-line coherence); create at most one per machine.
+  explicit OStructureManager(Machine& m);
+
+  // ---- O-structure allocation (the OS/runtime interface) ----
+
+  /// Allocate `slots` contiguous O-structure slots; their pages get the
+  /// versioned bit. Returns the address of the first slot.
+  OAddr alloc(std::size_t slots = 1);
+
+  /// Convert the slots back to conventional memory. All their versions are
+  /// discarded. The caller must guarantee no unfinished task touches them
+  /// (paper Sec. III-C); parked waiters are woken and will fault.
+  void release(OAddr base, std::size_t slots = 1);
+
+  // ---- The versioned ISA (call only from a core fiber) ----
+
+  /// LOAD-VERSION: value of exactly version `v`; blocks until it exists and
+  /// is unlocked (locks on *other* versions are ignored).
+  std::uint64_t load_version(OAddr a, Ver v, OpFlags f = {});
+
+  /// LOAD-LATEST: value of the highest version <= `cap`; blocks while no
+  /// such version exists or the candidate is locked. The version actually
+  /// read is reported through `found` if non-null.
+  std::uint64_t load_latest(OAddr a, Ver cap, Ver* found = nullptr,
+                            OpFlags f = {});
+
+  /// STORE-VERSION: create version `v` holding `data`. Faults if `v`
+  /// already exists (versions are immutable once created).
+  void store_version(OAddr a, Ver v, std::uint64_t data, OpFlags f = {});
+
+  /// LOCK-LOAD-VERSION: LOAD-VERSION + lock; blocks while locked by others.
+  std::uint64_t lock_load_version(OAddr a, Ver v, TaskId locker,
+                                  OpFlags f = {});
+
+  /// LOCK-LOAD-LATEST: LOAD-LATEST + lock of the version that was read.
+  std::uint64_t lock_load_latest(OAddr a, Ver cap, TaskId locker,
+                                 Ver* found = nullptr, OpFlags f = {});
+
+  /// UNLOCK-VERSION: release `locked_v` (held by `owner`), optionally
+  /// renaming: creating unlocked version `rename_to` with the same value.
+  void unlock_version(OAddr a, Ver locked_v, TaskId owner,
+                      std::optional<Ver> rename_to = std::nullopt,
+                      OpFlags f = {});
+
+  /// Task creation announcement (GC rule #3 check point). Host-context
+  /// safe; charges nothing — creation belongs to the spawning program.
+  void task_created(TaskId t);
+  /// TASK-BEGIN / TASK-END: GC progress reports (rules #2-#3).
+  void task_begin(TaskId t);
+  void task_end(TaskId t);
+
+  // ---- Protection ----
+
+  /// True if `a` falls on an allocated O-structure slot.
+  bool is_versioned_addr(Addr a) const;
+  /// Fault check for conventional loads/stores (versioned-bit protection).
+  void check_conventional(Addr a) const;
+
+  // ---- Host-side inspection (no timing; tests and tools) ----
+  std::optional<std::uint64_t> peek_version(OAddr a, Ver v) const;
+  std::optional<Ver> newest_version(OAddr a) const;
+  std::optional<TaskId> lock_holder(OAddr a, Ver v) const;
+  int version_count(OAddr a) const;
+  std::size_t free_blocks() const { return pool_.free_count(); }
+
+  GarbageCollector& gc() { return gc_; }
+  BlockPool& pool() { return pool_; }
+  const OStructConfig& config() const { return cfg_; }
+  /// Architectural trace (enabled via OStructConfig::trace_capacity).
+  const OpTrace& trace() const { return trace_; }
+
+ private:
+  struct SlotMeta {
+    BlockIndex root = kNullBlock;
+    bool allocated = false;
+    /// Live version count; steers the compressed/uncompressed choice (the
+    /// paper's caches "can store both compressed and uncompressed versions
+    /// of an O-structure at the same time" — packing into a compressed
+    /// line only pays once a slot holds more than one version).
+    int nversions = 0;
+    /// Unsorted mode: set once an out-of-order insert breaks the de-facto
+    /// descending order; until then lookups may still early-terminate.
+    bool order_broken = false;
+    WaitList waiters;
+  };
+
+  /// Whether lookups on this slot may use sorted-order early termination.
+  bool effective_sorted(const SlotMeta& sm) const {
+    return cfg_.sorted_lists || !sm.order_broken;
+  }
+
+  enum class LookupKind { kExact, kLatest };
+
+  std::uint64_t slot_of(OAddr a) const;
+  SlotMeta& meta(std::uint64_t slot) { return slots_[slot]; }
+
+  /// Per-attempt preamble: global ordering, injected latency, stats, and
+  /// the architectural trace (recorded at first issue only).
+  void begin_attempt(const OpFlags& f, int attempt, OpCode op, OAddr a,
+                     Ver v);
+  /// First-stall accounting, then park on the slot's wait list.
+  void stall(const OpFlags& f, std::uint64_t slot, int attempt);
+
+  /// Charge the cost of a satisfied lookup (direct or full) and maintain
+  /// the compressed line. `fr` is the authoritative find result. Lock
+  /// operations pass `final_access = kWrite`: the hardware fetches the
+  /// target block with a single read-for-ownership transaction instead of
+  /// a read followed by an upgrade.
+  /// `probe_locked_by`: the lock state the compressed entry is expected to
+  /// show for a direct hit. Lock operations apply their semantic effect
+  /// before charging, so they pass the pre-lock state (kNoTask) here while
+  /// the freshly-installed entry carries the new lock.
+  void charge_lookup(std::uint64_t slot, const FindResult& fr,
+                     LookupKind kind, Ver key,
+                     AccessType final_access = AccessType::kRead,
+                     std::optional<TaskId> probe_locked_by = std::nullopt);
+
+  /// The core's compressed line for `slot`, valid only while the line is
+  /// resident in its L1; nullptr otherwise.
+  CompressedLine* comp_line(CoreId core, std::uint64_t slot);
+  /// Install/refresh a compressed entry after a lookup or store. Takes a
+  /// snapshot of the block's fields (the block itself may be reclaimed
+  /// during the charged walk's yields).
+  void comp_install(std::uint64_t slot, const CompressedLine::Entry& e);
+  /// Propagate an insert on `slot` to remote compressed lines: discard
+  /// them (the paper's simple policy) or, under inplace_comp_update, patch
+  /// their head/adjacency metadata through the extended coherence message.
+  void comp_remote_insert(std::uint64_t slot, Ver v, bool at_head);
+  /// Propagate a lock-field change likewise.
+  void comp_remote_lock(std::uint64_t slot, Ver v, TaskId locker);
+
+  /// Allocate a version block, growing the pool via the OS trap if needed
+  /// and kicking the GC at the watermark. Charges free-list access.
+  BlockIndex alloc_block();
+  /// GC reclaim callback: unlink, scrub compressed entries, free.
+  void reclaim(BlockIndex b);
+
+  /// Shared implementation of STORE-VERSION and the renaming half of
+  /// UNLOCK-VERSION (assumes begin_attempt already ran).
+  void store_impl(std::uint64_t slot, Ver v, std::uint64_t data);
+
+  Machine& m_;
+  OStructConfig cfg_;
+  BlockPool pool_;
+  GarbageCollector gc_;
+  std::vector<SlotMeta> slots_;
+  /// Per-core side storage for compressed lines (timing metadata; presence
+  /// in L1 is tracked by the real tag array via compressed_addr()).
+  std::vector<std::unordered_map<std::uint64_t, CompressedLine>> comp_;
+  std::unordered_map<std::size_t, std::vector<std::uint64_t>> slot_free_;
+  OpTrace trace_;
+};
+
+}  // namespace osim

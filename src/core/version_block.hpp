@@ -1,0 +1,107 @@
+// Version blocks and the hardware-managed free list (paper Sec. III).
+//
+// A version block is the 16-byte unit of O-structure storage:
+//   version id (32b) | next pointer (30b) | locked-by (32b) | head bit | data
+// Blocks live in a pool of simulated physical memory; "physical pointers"
+// are pool indices (bounded to 30 bits like the paper's next field). The
+// host-side struct carries extra bookkeeping (owning slot, GC state,
+// generation) that a hardware implementation derives structurally; none of
+// it counts toward the modelled 16-byte footprint.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace osim {
+
+using BlockIndex = std::uint32_t;
+
+/// Null "physical pointer". The paper's next field is 30 bits; we reserve
+/// the all-ones 30-bit pattern.
+inline constexpr BlockIndex kNullBlock = (1u << 30) - 1;
+
+/// locked_by value of an unlocked version. Task IDs start at 1.
+inline constexpr TaskId kNoTask = 0;
+
+/// GC lifecycle of a block (paper Sec. III-B): free -> live -> shadowed ->
+/// pending -> free.
+enum class BlockState : std::uint8_t { kFree, kLive, kShadowed, kPending };
+
+struct VersionBlock {
+  // ---- Modelled fields (the 16-byte structure) ----
+  Ver version = 0;
+  BlockIndex next = kNullBlock;
+  TaskId locked_by = kNoTask;
+  bool head = false;
+  std::uint64_t data = 0;
+
+  // ---- Host bookkeeping (not modelled storage) ----
+  std::uint64_t slot = 0;  ///< owning O-structure slot, for GC unlink
+  BlockState state = BlockState::kFree;
+  std::uint32_t generation = 0;  ///< bumped on free; guards stale GC refs
+};
+
+/// Pool of version blocks with an intrusive free list threaded through the
+/// `next` fields, as in the paper ("version blocks are just ordinary memory
+/// structures"). Growth happens through an explicit OS-trap entry point so
+/// the manager can charge trap latency and count traps.
+class BlockPool {
+ public:
+  explicit BlockPool(std::size_t initial_blocks) { grow(initial_blocks); }
+
+  /// Pop a block from the free list; returns kNullBlock when exhausted (the
+  /// caller must then raise the OS trap and grow()).
+  BlockIndex alloc() {
+    if (free_head_ == kNullBlock) return kNullBlock;
+    const BlockIndex b = free_head_;
+    VersionBlock& vb = blocks_[b];
+    free_head_ = vb.next;
+    --free_count_;
+    vb.next = kNullBlock;
+    vb.head = false;
+    vb.locked_by = kNoTask;
+    vb.state = BlockState::kLive;
+    return b;
+  }
+
+  /// Return a block to the free list and bump its generation.
+  void free(BlockIndex b) {
+    VersionBlock& vb = blocks_[b];
+    vb.state = BlockState::kFree;
+    vb.generation++;
+    vb.next = free_head_;
+    free_head_ = b;
+    ++free_count_;
+  }
+
+  /// Carve `n` more blocks (the runtime's trap handler). Pool size is capped
+  /// by the 30-bit physical pointer width.
+  void grow(std::size_t n) {
+    const std::size_t old = blocks_.size();
+    if (old + n >= kNullBlock) {
+      throw std::length_error("version block pool exceeds 30-bit pointers");
+    }
+    blocks_.resize(old + n);
+    for (std::size_t i = old; i < old + n; ++i) {
+      blocks_[i].next = free_head_;
+      free_head_ = static_cast<BlockIndex>(i);
+    }
+    free_count_ += n;
+  }
+
+  VersionBlock& operator[](BlockIndex b) { return blocks_[b]; }
+  const VersionBlock& operator[](BlockIndex b) const { return blocks_[b]; }
+
+  std::size_t free_count() const { return free_count_; }
+  std::size_t size() const { return blocks_.size(); }
+
+ private:
+  std::vector<VersionBlock> blocks_;
+  BlockIndex free_head_ = kNullBlock;
+  std::size_t free_count_ = 0;
+};
+
+}  // namespace osim

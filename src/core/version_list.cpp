@@ -1,0 +1,159 @@
+#include "core/version_list.hpp"
+
+#include <cassert>
+
+#include "core/fault.hpp"
+
+namespace osim {
+
+namespace {
+
+void check_head_bit(const BlockPool& pool, BlockIndex head) {
+  if (head != kNullBlock && !pool[head].head) {
+    throw OFault(FaultKind::kNotListHead,
+                 "version block list entered past its head");
+  }
+}
+
+}  // namespace
+
+FindResult find_exact(const BlockPool& pool, BlockIndex head, Ver v,
+                      bool sorted) {
+  check_head_bit(pool, head);
+  FindResult r;
+  BlockIndex prev = kNullBlock;
+  for (BlockIndex b = head; b != kNullBlock; prev = b, b = pool[b].next) {
+    ++r.blocks_walked;
+    const VersionBlock& vb = pool[b];
+    if (vb.version == v) {
+      r.block = b;
+      if (sorted) {
+        r.is_head = (prev == kNullBlock);
+        if (prev != kNullBlock) {
+          r.has_newer = true;
+          r.newer = pool[prev].version;
+        }
+      }
+      return r;
+    }
+    // Sorted newest-first: once we pass below v, it cannot exist.
+    if (sorted && vb.version < v) return r;
+  }
+  return r;
+}
+
+FindResult find_latest(const BlockPool& pool, BlockIndex head, Ver cap,
+                       bool sorted) {
+  check_head_bit(pool, head);
+  FindResult r;
+  BlockIndex best = kNullBlock;
+  BlockIndex prev = kNullBlock;
+  for (BlockIndex b = head; b != kNullBlock; prev = b, b = pool[b].next) {
+    ++r.blocks_walked;
+    const VersionBlock& vb = pool[b];
+    if (vb.version <= cap) {
+      if (sorted) {
+        // First block at or below the cap is the highest such version.
+        r.block = b;
+        r.is_head = (prev == kNullBlock);
+        if (prev != kNullBlock) {
+          r.has_newer = true;
+          r.newer = pool[prev].version;
+        }
+        return r;
+      }
+      if (best == kNullBlock || vb.version > pool[best].version) best = b;
+    }
+  }
+  r.block = best;  // unsorted: adjacency unknown, leave is_head/has_newer off
+  return r;
+}
+
+int list_length(const BlockPool& pool, BlockIndex head) {
+  int n = 0;
+  for (BlockIndex b = head; b != kNullBlock; b = pool[b].next) ++n;
+  return n;
+}
+
+InsertResult list_insert(BlockPool& pool, BlockIndex* root, BlockIndex fresh,
+                         bool sorted) {
+  check_head_bit(pool, *root);
+  InsertResult r;
+  r.block = fresh;
+  VersionBlock& nb = pool[fresh];
+  assert(nb.state == BlockState::kLive);
+
+  if (!sorted) {
+    // Ablation mode: always push at head. Shadowing is tracked for the
+    // in-order-creation case (the paper notes in-order is the common case).
+    const BlockIndex old_head = *root;
+    nb.next = old_head;
+    nb.head = true;
+    if (old_head != kNullBlock) {
+      pool[old_head].head = false;
+      if (pool[old_head].version < nb.version) {
+        r.shadowed = old_head;
+      } else {
+        r.shadowed = fresh;  // born shadowed by the (newer) old head
+        r.order_kept = false;
+      }
+    }
+    *root = fresh;
+    r.at_head = true;
+    return r;
+  }
+
+  // Sorted insert, newest (largest version) first.
+  BlockIndex prev = kNullBlock;
+  BlockIndex cur = *root;
+  while (cur != kNullBlock && pool[cur].version > nb.version) {
+    ++r.blocks_walked;
+    prev = cur;
+    cur = pool[cur].next;
+  }
+  if (cur != kNullBlock && pool[cur].version == nb.version) {
+    throw OFault(FaultKind::kVersionAlreadyExists,
+                 "version " + std::to_string(nb.version));
+  }
+  nb.next = cur;
+  if (prev == kNullBlock) {
+    // New head: it shadows the previous newest version (if any).
+    nb.head = true;
+    if (*root != kNullBlock) {
+      pool[*root].head = false;
+      r.shadowed = *root;
+    }
+    *root = fresh;
+    r.at_head = true;
+  } else {
+    // Mid-list insert: a newer version already exists, so the new block is
+    // born shadowed (only tasks in [v, next-newer) can ever read it).
+    pool[prev].next = fresh;
+    r.pred = prev;
+    r.shadowed = fresh;
+  }
+  return r;
+}
+
+int list_unlink(BlockPool& pool, BlockIndex* root, BlockIndex b) {
+  assert(*root != kNullBlock);
+  if (*root == b) {
+    VersionBlock& vb = pool[b];
+    *root = vb.next;
+    vb.head = false;
+    if (*root != kNullBlock) pool[*root].head = true;
+    return 1;
+  }
+  int walked = 1;
+  BlockIndex prev = *root;
+  while (pool[prev].next != b) {
+    prev = pool[prev].next;
+    assert(prev != kNullBlock && "block not found in its list");
+    ++walked;
+  }
+  pool[prev].next = pool[b].next;
+  pool[b].next = kNullBlock;
+  return walked + 1;
+}
+
+}  // namespace osim

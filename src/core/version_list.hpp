@@ -1,0 +1,74 @@
+// Version block list operations (paper Sec. III, Fig. 3).
+//
+// One O-structure slot owns one singly-linked list of version blocks,
+// referenced from a root pointer. The architected configuration keeps the
+// list sorted newest-first (version vg closer to the head than vl iff
+// vg > vl), which enables early termination of lookups and the shadowing-
+// based GC; an unsorted mode (insert-at-head regardless of order) exists for
+// the Sec. IV-F ablation.
+//
+// These are pure data-structure operations on the pool: no timing, no
+// caching. Every function reports how many blocks it touched so the manager
+// can charge the walk through the memory hierarchy.
+#pragma once
+
+#include <cstdint>
+
+#include "core/version_block.hpp"
+
+namespace osim {
+
+struct FindResult {
+  BlockIndex block = kNullBlock;  ///< the matching block, or kNullBlock
+  int blocks_walked = 0;          ///< blocks touched, including the match
+  bool is_head = false;           ///< the match is the list head
+  bool has_newer = false;         ///< `newer` is valid
+  Ver newer = 0;  ///< version of the immediately-newer neighbour (sorted
+                  ///< lists only; feeds compressed-line adjacency)
+  bool found() const { return block != kNullBlock; }
+};
+
+struct InsertResult {
+  BlockIndex block = kNullBlock;     ///< the newly inserted block
+  BlockIndex pred = kNullBlock;      ///< block now pointing at it (or null)
+  BlockIndex shadowed = kNullBlock;  ///< block that became shadowed, if any
+  int blocks_walked = 0;
+  bool at_head = false;  ///< the insert replaced the list head
+  /// Unsorted mode only: the list is still de-facto descending after this
+  /// insert (versions were created in order, the common case the paper's
+  /// Sec. IV-F ablation measures). Lookups may then still early-terminate.
+  bool order_kept = true;
+};
+
+/// Find the block holding exactly version `v`. Checks the head bit of the
+/// first block (the paper's protection rule) and throws OFault(kNotListHead)
+/// on violation. Early-terminates on sorted lists.
+FindResult find_exact(const BlockPool& pool, BlockIndex head, Ver v,
+                      bool sorted);
+
+/// Find the block holding the highest version <= `cap` (LOAD-LATEST). On a
+/// sorted list this is the first block with version <= cap; unsorted lists
+/// require a full scan.
+FindResult find_latest(const BlockPool& pool, BlockIndex head, Ver cap,
+                       bool sorted);
+
+/// Number of blocks in the list (test/GC helper).
+int list_length(const BlockPool& pool, BlockIndex head);
+
+/// Insert a fresh block (already alloc()ed, with version/data set by the
+/// caller) into the list rooted at `*root`. Maintains sort order and the
+/// head bit when `sorted`; otherwise pushes at the head. Throws
+/// OFault(kVersionAlreadyExists) on duplicates.
+///
+/// `result.shadowed` reports the block that this insertion shadows (paper
+/// Sec. III-B): inserting a new newest version shadows the previous head;
+/// inserting mid-list means the new block itself is born shadowed.
+InsertResult list_insert(BlockPool& pool, BlockIndex* root, BlockIndex fresh,
+                         bool sorted);
+
+/// Unlink `b` from the list rooted at `*root` (GC reclamation). The caller
+/// guarantees `b` belongs to this list. Returns the number of blocks walked
+/// to find the predecessor.
+int list_unlink(BlockPool& pool, BlockIndex* root, BlockIndex b);
+
+}  // namespace osim

@@ -1,0 +1,90 @@
+// Env: the software runtime's view of one simulated machine — the Machine,
+// its O-structure manager, and timed conventional-access helpers.
+//
+// Workload code is execution-driven: data structures live in host memory and
+// every modelled access goes through ld()/st(), which charge the memory
+// hierarchy and enforce the versioned-bit protection (conventional accesses
+// to O-structure pages fault, paper Sec. III).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <unordered_map>
+
+#include "core/ostructure_manager.hpp"
+#include "sim/machine.hpp"
+
+namespace osim {
+
+class Env {
+ public:
+  explicit Env(const MachineConfig& cfg) : m_(cfg), osm_(m_) {}
+
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  Machine& machine() { return m_; }
+  OStructureManager& osm() { return osm_; }
+  MachineStats& stats() { return m_.stats(); }
+  const MachineConfig& config() const { return m_.config(); }
+  Cycles elapsed() const { return m_.elapsed(); }
+
+  /// Timed conventional load of a host object (call from a core fiber).
+  template <typename T>
+  T ld(const T& ref) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const Addr a = reinterpret_cast<Addr>(&ref);
+    osm_.check_conventional(a);
+    m_.mem_access(translate(a), AccessType::kRead);
+    return ref;
+  }
+
+  /// Timed conventional store to a host object.
+  template <typename T>
+  void st(T& ref, T val) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const Addr a = reinterpret_cast<Addr>(&ref);
+    osm_.check_conventional(a);
+    m_.mem_access(translate(a), AccessType::kWrite);
+    ref = val;
+  }
+
+  /// Deterministic image of a host address: each distinct host cache line
+  /// is assigned a synthetic line in first-touch order, so cache indexing
+  /// (and therefore timing) is independent of the host allocator's layout.
+  Addr translate(Addr host) {
+    const Addr line = line_of(host);
+    auto [it, fresh] = line_map_.try_emplace(line, next_line_);
+    if (fresh) ++next_line_;
+    return kConventionalBase + it->second * kLineBytes + (host - line);
+  }
+
+  /// Charge `n` non-memory instructions.
+  void exec(std::uint64_t n) { m_.exec(n); }
+
+  /// Install a program on a core (forwarding to the machine).
+  void spawn(CoreId core, std::function<void()> body) {
+    m_.spawn(core, std::move(body));
+  }
+
+  /// Run the machine to completion and return elapsed cycles.
+  Cycles run() {
+    m_.run();
+    return m_.elapsed();
+  }
+
+  /// Convenience: run `body` on core 0 only.
+  Cycles run_sequential(std::function<void()> body) {
+    spawn(0, std::move(body));
+    return run();
+  }
+
+ private:
+  Machine m_;
+  OStructureManager osm_;
+  std::unordered_map<Addr, Addr> line_map_;
+  Addr next_line_ = 0;
+};
+
+}  // namespace osim

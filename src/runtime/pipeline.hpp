@@ -1,0 +1,141 @@
+// The task-pipelining protocol of paper Sec. IV-D, as reusable pieces:
+//
+//   * The root of the data structure is entered in task order, via
+//     LOCK-LOAD-VERSION(tid) for mutating tasks and LOAD-VERSION(tid) for
+//     read-only tasks (a "ticket": version t of the root exists exactly when
+//     task t may enter).
+//   * Mutators traverse hand-over-hand: LOCK-LOAD-LATEST(tid) the next
+//     pointer before releasing the previous one, so a younger task can never
+//     overtake an older one on the same path.
+//   * Pointer modifications rename: STORE-VERSION(new, tid) creates a new
+//     version instead of overwriting, eliminating anti-dependencies; old
+//     readers keep seeing their snapshot.
+//   * Read-only tasks traverse with LOAD-LATEST(tid) and hold no locks; they
+//     stall only when they catch up with an older mutator's lock.
+//
+// The result is deterministic: the parallel execution's outcome equals the
+// sequential program's (every workload test asserts this).
+#pragma once
+
+#include <cassert>
+#include <optional>
+
+#include "runtime/versioned.hpp"
+
+namespace osim {
+
+/// The in-order entry ticket at a data structure's root. The versioned slot
+/// carries the root *value* (e.g. the pointer to the first node), so that
+/// entering the structure and reading its root is a single versioned access.
+///
+/// Root versions are created per *mutator*: mutating task m publishes
+/// version m when it leaves the root. A task entering the structure names
+/// the version of the closest preceding mutator in task order (`prev` —
+/// statically known to the runtime, which created the tasks in program
+/// order). Read-only tasks therefore neither lock nor store at the root —
+/// any number of readers between two mutators proceed concurrently — while
+/// mutators enter strictly in order (paper Sec. IV-D: "the root ... is
+/// entered in-order, relying on LOCK-LOAD-VERSION (mutating tasks) or
+/// LOAD-VERSION (read-only tasks)").
+template <typename T>
+class TicketRoot {
+ public:
+  TicketRoot() = default;
+  explicit TicketRoot(Env& env) { bind(env); }
+
+  void bind(Env& env) {
+    root_.bind(env);
+    root_.mark_root();
+  }
+
+  /// Host-side initialisation: the setup phase acts as mutator
+  /// `setup_version`, unblocking the first tasks.
+  void init(T value, Ver setup_version) { root_.store_ver(value, setup_version); }
+
+  /// Mutator entry: waits for the preceding mutator's version and locks it
+  /// (excluding the next mutator until leave_mut). Returns the root value.
+  T enter_mut(TaskId tid, Ver prev) { return root_.lock_load_ver(prev, tid); }
+
+  /// Mutator exit: publish this task's root version (same value renamed,
+  /// or the new root value if the mutation changed it) and release the
+  /// lock, admitting the next mutator and any waiting readers.
+  void leave_mut(TaskId tid, Ver prev,
+                 std::optional<T> new_value = std::nullopt) {
+    if (new_value.has_value()) {
+      root_.store_ver(*new_value, tid);
+      root_.unlock_ver(prev, tid);
+    } else {
+      root_.unlock_ver(prev, tid, /*rename_to=*/Ver{tid});
+    }
+  }
+
+  /// Read-only entry: load the preceding mutator's root version. Blocks
+  /// until that mutator has published (and while the next mutator briefly
+  /// holds the lock on it); no store, no lock — readers stay concurrent.
+  T enter_ro(Ver prev) { return root_.load_ver(prev); }
+
+  versioned<T>& slot() { return root_; }
+
+ private:
+  versioned<T> root_;
+};
+
+/// Hand-over-hand lock cursor for mutating tasks. Holds at most one lock at
+/// a time; advance() acquires the next hop before releasing the current one.
+template <typename T>
+class HandOverHand {
+ public:
+  explicit HandOverHand(TaskId tid) : tid_(tid) {}
+
+  ~HandOverHand() { assert(held_ == nullptr && "lock leaked"); }
+
+  /// Acquire `next` (LOCK-LOAD-LATEST at this task's cap) and then release
+  /// the currently held lock unchanged. Returns `next`'s value.
+  T advance(versioned<T>& next) {
+    Ver locked = 0;
+    const T value = next.lock_load_last(tid_, tid_, &locked);
+    release_unchanged();
+    held_ = &next;
+    held_ver_ = locked;
+    return value;
+  }
+
+  /// Take ownership of a lock the caller acquired directly (used when the
+  /// previous hold is the root ticket, whose release protocol differs).
+  void adopt(versioned<T>& f, Ver locked) {
+    assert(held_ == nullptr);
+    held_ = &f;
+    held_ver_ = locked;
+  }
+
+  /// True while a lock is held.
+  bool holding() const { return held_ != nullptr; }
+  /// The field currently locked (must be holding()).
+  versioned<T>& held() const { return *held_; }
+
+  /// Publish a new value for the held field (STORE-VERSION rename at this
+  /// task's id) and release the lock. The old version stays readable by
+  /// older tasks: write-after-read dependencies are gone.
+  void modify_and_release(T new_value) {
+    assert(held_ != nullptr);
+    held_->store_ver(new_value, tid_);
+    release_unchanged();
+  }
+
+  /// Release the held lock without changing the value.
+  void release_unchanged() {
+    if (held_ != nullptr) {
+      held_->unlock_ver(held_ver_, tid_);
+      held_ = nullptr;
+    }
+  }
+
+  TaskId tid() const { return tid_; }
+
+ private:
+  TaskId tid_;
+  versioned<T>* held_ = nullptr;
+  Ver held_ver_ = 0;
+};
+
+}  // namespace osim

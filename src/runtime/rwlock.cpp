@@ -1,0 +1,56 @@
+#include "runtime/rwlock.hpp"
+
+namespace osim {
+
+namespace {
+constexpr std::uint64_t kAcquireInstructions = 6;
+constexpr Cycles kWakeLatency = 8;
+}  // namespace
+
+void SimRWLock::rmw() {
+  env_.exec(kAcquireInstructions);
+  env_.st(word_, word_ + 1);  // the atomic RMW on the lock word
+}
+
+void SimRWLock::lock_shared() {
+  env_.machine().sync_to_global_order();
+  while (writer_ || writers_waiting_ > 0) {
+    env_.machine().block_on(reader_q_);
+  }
+  ++readers_;
+  rmw();
+}
+
+void SimRWLock::unlock_shared() {
+  env_.machine().sync_to_global_order();
+  --readers_;
+  rmw();
+  if (readers_ == 0 && !writer_q_.empty()) {
+    env_.machine().wake_all(writer_q_, kWakeLatency);
+  }
+}
+
+void SimRWLock::lock() {
+  env_.machine().sync_to_global_order();
+  ++writers_waiting_;
+  while (writer_ || readers_ > 0) {
+    env_.machine().block_on(writer_q_);
+  }
+  --writers_waiting_;
+  writer_ = true;
+  rmw();
+}
+
+void SimRWLock::unlock() {
+  env_.machine().sync_to_global_order();
+  writer_ = false;
+  rmw();
+  // Writer preference: queued writers go first, then the reader herd.
+  if (!writer_q_.empty()) {
+    env_.machine().wake_all(writer_q_, kWakeLatency);
+  } else if (!reader_q_.empty()) {
+    env_.machine().wake_all(reader_q_, kWakeLatency);
+  }
+}
+
+}  // namespace osim

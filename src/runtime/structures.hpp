@@ -1,0 +1,87 @@
+// Dataflow synchronization structures built on O-structures (paper Table I
+// and Sec. V-A): I-structures (write-once rendezvous, full/empty semantics)
+// and M-structures (take/put mutable cells). Both are thin mappings onto
+// the versioned ISA — the point the paper makes is that one mechanism
+// subsumes these classic dataflow memories while adding unbounded
+// versioning on top.
+#pragma once
+
+#include <cstdint>
+
+#include <unordered_map>
+
+#include "runtime/versioned.hpp"
+
+namespace osim {
+
+/// I-structure: a single-assignment cell [Arvind et al.]. get() blocks
+/// until the producer has put(); a second put() is a fault (the "already
+/// written" error of classic I-structures falls out of STORE-VERSION's
+/// immutability).
+template <typename T>
+class istructure {
+ public:
+  istructure() = default;
+  explicit istructure(Env& env) : cell_(env) {}
+
+  void bind(Env& env) { cell_.bind(env); }
+
+  /// Fill the cell. Exactly once; a second put faults.
+  void put(T value) { cell_.store_ver(value, 1); }
+
+  /// Read the cell, blocking until it has been filled.
+  T get() const { return cell_.load_ver(1); }
+
+  /// Non-blocking host-side probe (tests/tools).
+  bool full() const { return cell_.peek(1).has_value(); }
+
+ private:
+  versioned<T> cell_;
+};
+
+/// M-structure: a mutable cell with atomic take/put [Barth et al.]. take()
+/// blocks until the cell is full, then empties it (excluding other takers);
+/// put() refills it. Built on locking + renaming: take locks the newest
+/// version, put renames the taker's lock into a fresh version holding the
+/// new value — so the cell also keeps its full version history, which
+/// classic M-structures lose.
+template <typename T>
+class mstructure {
+ public:
+  mstructure() = default;
+  explicit mstructure(Env& env) : cell_(env) {}
+
+  void bind(Env& env) { cell_.bind(env); }
+
+  /// Initialize (version 1). Call once before any take.
+  void init(T value) { cell_.store_ver(value, 1); }
+
+  /// Atomically read-and-empty. Blocks while another task holds the cell.
+  /// Returns the value; the matching put() must pass the same taker id.
+  T take(TaskId taker) {
+    Ver got = 0;
+    const T v = cell_.lock_load_last(kCap, taker, &got);
+    held_[taker] = got;  // per-taker: a new holder may lock the next version
+    return v;            // the moment put() stores it, before the unlock
+  }
+
+  /// Refill after take(): creates the next version and releases the taker's
+  /// exclusion in one STORE-VERSION + UNLOCK-VERSION pair.
+  void put(TaskId taker, T value) {
+    const Ver held = held_.at(taker);
+    held_.erase(taker);
+    cell_.store_ver(value, held + 1);
+    cell_.unlock_ver(held, taker);
+  }
+
+  /// History access: the value as of version `v` (blocks until created).
+  T history(Ver v) const { return cell_.load_ver(v); }
+
+ private:
+  static constexpr Ver kCap = ~Ver{0} >> 1;
+
+  versioned<T> cell_;
+  std::unordered_map<TaskId, Ver> held_;
+};
+
+}  // namespace osim

@@ -1,0 +1,174 @@
+#include "runtime/sw_ostructures.hpp"
+
+#include "core/fault.hpp"
+
+namespace osim {
+
+namespace {
+// Software costs per operation: call/dispatch overhead, compare/branch per
+// record, allocator work for a new record. These are deliberately modest —
+// even so, the software path loses badly to the hardware one (the paper's
+// observation).
+constexpr std::uint64_t kCallInstr = 18;
+constexpr std::uint64_t kWalkInstr = 4;
+constexpr std::uint64_t kAllocInstr = 24;
+constexpr Cycles kWakeLatency = 20;  // futex wake via the OS is not free
+}  // namespace
+
+void SwOStructure::acquire() {
+  env_.machine().sync_to_global_order();
+  env_.exec(kCallInstr);
+  while (locked_) {
+    env_.machine().block_on(lock_q_);
+  }
+  locked_ = true;
+  env_.st(lock_word_, lock_word_ + 1);  // the CAS
+}
+
+void SwOStructure::release_and_wake() {
+  locked_ = false;
+  env_.st(lock_word_, lock_word_ + 1);
+  if (!lock_q_.empty()) env_.machine().wake_all(lock_q_, kWakeLatency);
+}
+
+SwOStructure::Record* SwOStructure::find_exact(Ver v) {
+  for (Record* r = env_.ld(head_); r != nullptr; r = env_.ld(r->next)) {
+    env_.exec(kWalkInstr);
+    const Ver rv = env_.ld(r->version);
+    if (rv == v) return r;
+    if (rv < v) return nullptr;  // sorted newest-first
+  }
+  return nullptr;
+}
+
+SwOStructure::Record* SwOStructure::find_latest(Ver cap) {
+  for (Record* r = env_.ld(head_); r != nullptr; r = env_.ld(r->next)) {
+    env_.exec(kWalkInstr);
+    if (env_.ld(r->version) <= cap) return r;
+  }
+  return nullptr;
+}
+
+SwOStructure::Record* SwOStructure::insert(Ver v, std::uint64_t data) {
+  env_.exec(kAllocInstr);
+  records_.push_back(std::make_unique<Record>());
+  Record* n = records_.back().get();
+  env_.st(n->version, v);
+  env_.st(n->data, data);
+  Record* prev = nullptr;
+  Record* cur = env_.ld(head_);
+  while (cur != nullptr && env_.ld(cur->version) > v) {
+    env_.exec(kWalkInstr);
+    prev = cur;
+    cur = env_.ld(cur->next);
+  }
+  if (cur != nullptr && cur->version == v) {
+    throw OFault(FaultKind::kVersionAlreadyExists,
+                 "software O-structure version " + std::to_string(v));
+  }
+  env_.st(n->next, cur);
+  if (prev == nullptr) {
+    env_.st(head_, n);
+  } else {
+    env_.st(prev->next, n);
+  }
+  ++count_;
+  return n;
+}
+
+void SwOStructure::store_version(Ver v, std::uint64_t data) {
+  acquire();
+  try {
+    insert(v, data);
+  } catch (...) {
+    release_and_wake();
+    throw;
+  }
+  release_and_wake();
+  if (!version_q_.empty()) env_.machine().wake_all(version_q_, kWakeLatency);
+}
+
+std::uint64_t SwOStructure::load_version(Ver v) {
+  for (;;) {
+    acquire();
+    Record* r = find_exact(v);
+    if (r != nullptr && env_.ld(r->locked_by) == 0) {
+      const std::uint64_t data = env_.ld(r->data);
+      release_and_wake();
+      return data;
+    }
+    release_and_wake();
+    env_.machine().block_on(version_q_);
+  }
+}
+
+std::uint64_t SwOStructure::load_latest(Ver cap, Ver* found) {
+  for (;;) {
+    acquire();
+    Record* r = find_latest(cap);
+    if (r != nullptr && env_.ld(r->locked_by) == 0) {
+      const std::uint64_t data = env_.ld(r->data);
+      if (found != nullptr) *found = r->version;
+      release_and_wake();
+      return data;
+    }
+    release_and_wake();
+    env_.machine().block_on(version_q_);
+  }
+}
+
+std::uint64_t SwOStructure::lock_load_version(Ver v, TaskId locker) {
+  for (;;) {
+    acquire();
+    Record* r = find_exact(v);
+    if (r != nullptr && env_.ld(r->locked_by) == 0) {
+      env_.st(r->locked_by, locker);
+      const std::uint64_t data = env_.ld(r->data);
+      release_and_wake();
+      return data;
+    }
+    release_and_wake();
+    env_.machine().block_on(version_q_);
+  }
+}
+
+std::uint64_t SwOStructure::lock_load_latest(Ver cap, TaskId locker,
+                                             Ver* found) {
+  for (;;) {
+    acquire();
+    Record* r = find_latest(cap);
+    if (r != nullptr && env_.ld(r->locked_by) == 0) {
+      env_.st(r->locked_by, locker);
+      const std::uint64_t data = env_.ld(r->data);
+      if (found != nullptr) *found = r->version;
+      release_and_wake();
+      return data;
+    }
+    release_and_wake();
+    env_.machine().block_on(version_q_);
+  }
+}
+
+void SwOStructure::unlock_version(Ver locked_v, TaskId owner,
+                                  std::optional<Ver> rename_to) {
+  acquire();
+  Record* r = find_exact(locked_v);
+  if (r == nullptr || env_.ld(r->locked_by) != owner) {
+    release_and_wake();
+    throw OFault(FaultKind::kNotLockOwner,
+                 "software O-structure version " + std::to_string(locked_v));
+  }
+  env_.st(r->locked_by, TaskId{0});
+  std::uint64_t data = 0;
+  if (rename_to.has_value()) data = env_.ld(r->data);
+  try {
+    if (rename_to.has_value()) insert(*rename_to, data);
+  } catch (...) {
+    release_and_wake();
+    throw;
+  }
+  release_and_wake();
+  if (!version_q_.empty()) env_.machine().wake_all(version_q_, kWakeLatency);
+}
+
+}  // namespace osim

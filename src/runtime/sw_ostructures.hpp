@@ -1,0 +1,83 @@
+// Software O-structures: the paper's abandoned starting point.
+//
+// "O-structures interface and capabilities can be implemented purely as a
+// software runtime abstraction; we've indeed started with a software
+// prototype. However, the logic added to versioned memory operations
+// incurred too much overhead, indicating hardware support is required."
+// (paper Sec. II-C). This module provides that software runtime on top of
+// *conventional* simulated memory only, so the hardware/software gap can be
+// quantified (see bench_sw_vs_hw):
+//
+//   * each location holds a lock word plus a sorted singly-linked list of
+//     (version, locked_by, data) records in ordinary memory,
+//   * every operation takes the location lock (an atomic RMW), walks the
+//     records with plain loads, and releases the lock,
+//   * blocked operations park on a futex-like wait list and re-acquire.
+//
+// Semantics match the hardware O-structures exactly (the tests assert it);
+// only the cost differs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/env.hpp"
+
+namespace osim {
+
+class SwOStructure {
+ public:
+  explicit SwOStructure(Env& env) : env_(env) {}
+
+  SwOStructure(const SwOStructure&) = delete;
+  SwOStructure& operator=(const SwOStructure&) = delete;
+
+  /// STORE-VERSION equivalent. Faults (throws OFault) on duplicates.
+  void store_version(Ver v, std::uint64_t data);
+  /// LOAD-VERSION equivalent: blocks until version `v` exists, unlocked.
+  std::uint64_t load_version(Ver v);
+  /// LOAD-LATEST equivalent.
+  std::uint64_t load_latest(Ver cap, Ver* found = nullptr);
+  /// LOCK-LOAD-VERSION / LOCK-LOAD-LATEST equivalents.
+  std::uint64_t lock_load_version(Ver v, TaskId locker);
+  std::uint64_t lock_load_latest(Ver cap, TaskId locker, Ver* found = nullptr);
+  /// UNLOCK-VERSION equivalent, with optional renaming.
+  void unlock_version(Ver locked_v, TaskId owner,
+                      std::optional<Ver> rename_to = std::nullopt);
+
+  int version_count() const { return count_; }
+
+ private:
+  struct Record {
+    Ver version = 0;
+    TaskId locked_by = 0;
+    std::uint64_t data = 0;
+    Record* next = nullptr;
+  };
+
+  /// Take the location lock: a CAS loop in software. Contended acquisitions
+  /// park on the wait list (a futex would); the RMW itself is a charged
+  /// exclusive access to the lock word.
+  void acquire();
+  void release_and_wake();
+
+  /// Find the record for exactly `v` (charged walk). Must hold the lock.
+  Record* find_exact(Ver v);
+  /// Find the newest record at or below `cap` (charged walk).
+  Record* find_latest(Ver cap);
+  /// Insert a fresh record in sorted order (charged walk + link writes).
+  Record* insert(Ver v, std::uint64_t data);
+
+  Env& env_;
+  std::uint64_t lock_word_ = 0;
+  bool locked_ = false;
+  WaitList lock_q_;
+  WaitList version_q_;  ///< waiters for versions/unlocks (futex-style)
+  Record* head_ = nullptr;
+  int count_ = 0;
+  std::vector<std::unique_ptr<Record>> records_;
+};
+
+}  // namespace osim

@@ -1,0 +1,80 @@
+// Parallel task runtime (paper Sec. IV-A): sequential code is divided into
+// tasks, identified by monotonically growing task IDs that double as version
+// numbers (GC rule #1). Tasks are statically assigned to cores (tid mod
+// cores, as in the paper: "a static assignment of tasks to cores... imposes
+// a minimal runtime overhead, but neglects load imbalance") and each worker
+// executes its tasks in creation order, bracketing them with
+// TASK-BEGIN/TASK-END (GC rule #2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "runtime/env.hpp"
+
+namespace osim {
+
+class TaskRuntime {
+ public:
+  using TaskFn = std::function<void(TaskId)>;
+
+  /// Instructions charged per task for dispatch (queue pop, argument setup).
+  static constexpr std::uint64_t kDispatchInstructions = 24;
+
+  TaskRuntime(Env& env, int workers)
+      : env_(env), queues_(static_cast<std::size_t>(workers)) {}
+
+  int workers() const { return static_cast<int>(queues_.size()); }
+
+  /// Enqueue a task. Must be called before run(); assignment is static.
+  /// Announces the task to the GC (rule #3 is checked at creation).
+  void create_task(TaskId tid, TaskFn fn) {
+    env_.osm().task_created(tid);
+    queues_[tid % queues_.size()].emplace_back(tid, std::move(fn));
+  }
+
+  /// Unmeasured setup run on core 0 before any task starts; the other
+  /// workers wait on a start gate. Optional.
+  void set_setup(std::function<void()> fn) { setup_ = std::move(fn); }
+
+  /// Spawn one worker fiber per core and run the machine to completion.
+  /// Returns the *measured* cycles: setup completion to last task finish.
+  Cycles run() {
+    for (std::size_t c = 0; c < queues_.size(); ++c) {
+      env_.spawn(static_cast<CoreId>(c), [this, c] {
+        Machine& m = env_.machine();
+        if (c == 0) {
+          if (setup_) setup_();
+          setup_end_ = m.now();
+          started_ = true;
+          m.wake_all(gate_, /*wake_latency=*/0);
+        } else if (!started_) {
+          m.block_on(gate_);
+        }
+        for (auto& [tid, fn] : queues_[c]) {
+          env_.exec(kDispatchInstructions);
+          env_.osm().task_begin(tid);
+          fn(tid);
+          env_.osm().task_end(tid);
+        }
+      });
+    }
+    const Cycles total = env_.run();
+    return total - setup_end_;
+  }
+
+  /// Clock value at which the measured phase began.
+  Cycles setup_end() const { return setup_end_; }
+
+ private:
+  Env& env_;
+  std::vector<std::vector<std::pair<TaskId, TaskFn>>> queues_;
+  std::function<void()> setup_;
+  WaitList gate_;
+  Cycles setup_end_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace osim

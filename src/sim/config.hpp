@@ -1,0 +1,105 @@
+// Machine configuration. Defaults reproduce Table II of the paper:
+//   Processor   2-way in-order (ARM ISA), 2 GHz
+//   L1 I/D      32 KB, 8-way, 64 B lines, 4-cycle hit latency
+//   L2          1.5 MB x #cores, shared, 16-way, 64 B lines, 35-cycle hit
+//   Memory      64 GB, 60 ns latency (120 cycles at 2 GHz)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace osim {
+
+/// Geometry and latency of one cache level.
+struct CacheConfig {
+  std::size_t size_bytes = 32 * 1024;
+  int ways = 8;
+  int line_bytes = kLineBytes;
+  Cycles hit_latency = 4;
+
+  std::size_t num_sets() const {
+    return size_bytes / (static_cast<std::size_t>(ways) * line_bytes);
+  }
+};
+
+/// O-structure subsystem parameters (Sec. III of the paper).
+struct OStructConfig {
+  /// Initial number of version blocks carved into the free list.
+  std::size_t initial_pool_blocks = 1 << 20;
+  /// Blocks added per OS trap when the free list is exhausted (paper: the
+  /// runtime "simply allocates more memory, carves it up into version
+  /// blocks, and adds them to the free-list").
+  std::size_t trap_grow_blocks = 1 << 16;
+  /// GC phase auto-trigger: start a collection when free blocks drop below
+  /// this watermark (paper Sec. III-B "Operation").
+  std::size_t gc_watermark = 1 << 12;
+  /// Fixed latency injected into every versioned operation, on top of the
+  /// modelled cache latencies. 0 in the baseline; swept 2..10 for Fig. 10.
+  Cycles injected_latency = 0;
+  /// Cost charged to the core whose allocation triggers a GC phase
+  /// transition (the collector itself runs in background hardware).
+  Cycles gc_trigger_latency = 10;
+  /// Cycles to deliver a wakeup to a core stalled on a versioned access.
+  Cycles wake_latency = 8;
+  /// Cost of the OS trap taken when the free list is exhausted (the runtime
+  /// allocates memory, carves version blocks, fixes the page table).
+  Cycles os_trap_latency = 2000;
+  /// Whether the version block list is kept sorted (paper Sec. IV-F compares
+  /// against a no-sorting configuration; sorted is the architected default).
+  bool sorted_lists = true;
+
+  // ---- Ablation / future-work switches -------------------------------
+
+  /// Compressed version blocks in L1 (paper Sec. III-A). Disabling forces
+  /// every versioned access down the full-lookup path.
+  bool enable_compression = true;
+  /// Cache-pollution avoidance: blocks passed over during a version-list
+  /// walk are not installed in L1 (paper Sec. III-A). Disabling installs
+  /// every walked block.
+  bool pollution_avoidance = true;
+  /// Future work evaluated (paper Sec. III-A: "sophisticated approaches
+  /// that modify compressed version blocks in situ"): instead of discarding
+  /// remote compressed lines on a mutation, patch them in place through the
+  /// extended coherence message.
+  bool inplace_comp_update = false;
+
+  /// Keep the last N versioned operations in an architectural trace ring
+  /// (see core/isa.hpp). 0 disables tracing.
+  std::size_t trace_capacity = 0;
+};
+
+/// Whole-machine configuration (Table II defaults).
+struct MachineConfig {
+  int num_cores = 1;
+  double ghz = 2.0;
+  /// 2-way in-order core: non-memory instructions retire at up to 2/cycle.
+  int issue_width = 2;
+
+  CacheConfig l1{32 * 1024, 8, kLineBytes, 4};
+  /// l2.size_bytes is *per core*; effective capacity = l2_per_core * cores
+  /// (Table II: "1.5MB x #cores, shared").
+  std::size_t l2_per_core_bytes = 3 * 512 * 1024;  // 1.5 MB
+  int l2_ways = 16;
+  Cycles l2_hit_latency = 35;
+
+  /// 60 ns at 2 GHz.
+  Cycles dram_latency = 120;
+  /// Cache-to-cache forward from a remote L1. The paper observes LLC and
+  /// remote-L1 transfers have comparable latencies (Sec. IV-D).
+  Cycles remote_l1_latency = 38;
+  /// Extra cost of invalidating remote sharers on an upgrade/write miss.
+  Cycles invalidate_latency = 20;
+
+  std::size_t fiber_stack_bytes = 512 * 1024;
+
+  OStructConfig ostruct{};
+
+  CacheConfig l2_config() const {
+    return CacheConfig{l2_per_core_bytes * static_cast<std::size_t>(num_cores),
+                       l2_ways, kLineBytes, l2_hit_latency};
+  }
+};
+
+}  // namespace osim

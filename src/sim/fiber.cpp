@@ -1,0 +1,84 @@
+#include "sim/fiber.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+extern "C" {
+// Defined in fiber_switch.S.
+void osim_fiber_switch(void** save_sp, void* load_sp);
+void osim_fiber_trampoline();
+}
+
+namespace osim {
+
+namespace {
+thread_local Fiber* g_current = nullptr;
+}  // namespace
+
+Fiber* Fiber::current() { return g_current; }
+
+Fiber::Fiber(Fn fn, std::size_t stack_bytes)
+    : stack_(new std::byte[stack_bytes]), fn_(std::move(fn)) {
+  // Build the fake register frame that the first osim_fiber_switch will pop:
+  // six callee-saved registers (r15,r14,r13,r12,rbx,rbp from low to high
+  // addresses) followed by the return address (the trampoline). The saved
+  // r12 slot carries `this` so the trampoline can find the fiber.
+  auto top_raw = reinterpret_cast<std::uintptr_t>(stack_.get()) + stack_bytes;
+  auto* sp = reinterpret_cast<std::uint64_t*>(top_raw & ~std::uintptr_t{15});
+  *--sp = 0;  // terminator slot (never used; keeps unwinders from walking off)
+  *--sp = reinterpret_cast<std::uint64_t>(&osim_fiber_trampoline);  // ret addr
+  *--sp = 0;                                      // rbp
+  *--sp = 0;                                      // rbx
+  *--sp = reinterpret_cast<std::uint64_t>(this);  // r12 -> Fiber*
+  *--sp = 0;                                      // r13
+  *--sp = 0;                                      // r14
+  *--sp = 0;                                      // r15
+  sp_ = sp;
+}
+
+Fiber::~Fiber() {
+  // Destroying a started-but-unfinished fiber would leak whatever its stack
+  // holds; the machine only tears down after all fibers finish or faults are
+  // collected, so this is a logic error worth trapping in debug builds.
+  assert(!started_ || finished_);
+}
+
+void Fiber::resume() {
+  assert(!finished_ && "resume() on a finished fiber");
+  assert(g_current == nullptr && "resume() must be called from the scheduler");
+  started_ = true;
+  g_current = this;
+  osim_fiber_switch(&caller_sp_, sp_);
+  g_current = nullptr;
+}
+
+void Fiber::yield() {
+  assert(g_current == this && "yield() from outside the fiber");
+  osim_fiber_switch(&sp_, caller_sp_);
+}
+
+void fiber_entry_impl(Fiber* f) {
+  f->fn_();
+  f->finished_ = true;
+  // Final switch back to the resumer; this fiber is never resumed again.
+  osim_fiber_switch(&f->sp_, f->caller_sp_);
+}
+
+}  // namespace osim
+
+extern "C" void osim_fiber_entry(osim::Fiber* f) {
+  // Exceptions must not unwind through the assembly frame at the stack base.
+  try {
+    osim::fiber_entry_impl(f);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: exception escaped fiber: %s\n", e.what());
+    std::abort();
+  } catch (...) {
+    std::fprintf(stderr, "fatal: exception escaped fiber\n");
+    std::abort();
+  }
+  std::abort();  // unreachable: fiber_entry_impl switches away
+}

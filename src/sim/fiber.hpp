@@ -1,0 +1,56 @@
+// Deterministic cooperative fibers (green threads) for the simulator.
+//
+// Each simulated core runs its program on a fiber. The machine scheduler
+// resumes the runnable fiber with the lowest local clock; the fiber yields
+// back whenever it is no longer the earliest core or when it blocks on a
+// versioned access. This gives bit-reproducible interleavings on one host
+// thread — the property the gem5-based study relies on.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace osim {
+
+class Fiber {
+ public:
+  using Fn = std::function<void()>;
+
+  /// Create a fiber that will run `fn` when first resumed. The stack is
+  /// heap-allocated; `stack_bytes` must accommodate the deepest workload
+  /// recursion (red-black tree fixups are O(log n)).
+  explicit Fiber(Fn fn, std::size_t stack_bytes = 256 * 1024);
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  ~Fiber();
+
+  /// Switch from the calling (scheduler) context into the fiber. Returns
+  /// when the fiber calls yield() or its function finishes. Must not be
+  /// called on a finished fiber or from inside any fiber.
+  void resume();
+
+  /// Switch from inside the fiber back to whoever resumed it.
+  void yield();
+
+  bool finished() const { return finished_; }
+  /// True once the fiber has been resumed at least once.
+  bool started() const { return started_; }
+
+  /// The fiber currently executing on this thread, or nullptr when the
+  /// scheduler context is running.
+  static Fiber* current();
+
+ private:
+  friend void fiber_entry_impl(Fiber*);
+
+  void* sp_ = nullptr;         // fiber's saved stack pointer
+  void* caller_sp_ = nullptr;  // resumer's saved stack pointer
+  std::unique_ptr<std::byte[]> stack_;
+  Fn fn_;
+  bool finished_ = false;
+  bool started_ = false;
+};
+
+}  // namespace osim

@@ -1,0 +1,199 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace osim {
+
+namespace {
+
+thread_local Machine* g_machine = nullptr;
+
+/// Internal unwind token used to cancel fibers after a fault or deadlock.
+struct CancelUnwind {};
+
+}  // namespace
+
+Machine::Machine(const MachineConfig& cfg)
+    : cfg_(cfg), stats_(cfg.num_cores), memsys_(cfg, stats_) {
+  cores_.resize(static_cast<std::size_t>(cfg.num_cores));
+}
+
+Machine::~Machine() {
+  // If run() threw, parked fibers were already drained by cancel_all().
+  for ([[maybe_unused]] auto& c : cores_) {
+    assert(!c.fiber || !c.fiber->started() || c.fiber->finished());
+  }
+}
+
+Machine& Machine::current() {
+  assert(g_machine != nullptr && "no machine is running on this thread");
+  return *g_machine;
+}
+
+void Machine::spawn(CoreId core, std::function<void()> body) {
+  auto& ctx = cores_.at(static_cast<std::size_t>(core));
+  // A core may be given a new program once its previous one finished (e.g.
+  // a verification pass after the measured run); its clock carries on.
+  if (ctx.fiber && !ctx.fiber->finished()) {
+    throw SimError("core already has a program");
+  }
+  ctx.fiber.reset();
+  ctx.state = CoreState::kRunnable;
+  ctx.fiber = std::make_unique<Fiber>(
+      [this, body = std::move(body)] {
+        try {
+          body();
+        } catch (const CancelUnwind&) {
+          // Machine-initiated teardown; nothing to record.
+        } catch (const std::exception& e) {
+          if (!faulted_) {
+            faulted_ = true;
+            fault_ = e.what();
+          }
+        }
+      },
+      cfg_.fiber_stack_bytes);
+}
+
+CoreId Machine::earliest_runnable() const {
+  CoreId best = -1;
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const auto& c = cores_[i];
+    if (c.state != CoreState::kRunnable) continue;
+    if (best < 0 || c.clock < cores_[static_cast<std::size_t>(best)].clock) {
+      best = static_cast<CoreId>(i);
+    }
+  }
+  return best;
+}
+
+bool Machine::i_am_earliest() const {
+  const Cycles mine = cores_[static_cast<std::size_t>(running_)].clock;
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const auto& c = cores_[i];
+    if (static_cast<CoreId>(i) == running_) continue;
+    if (c.state != CoreState::kRunnable) continue;
+    if (c.clock < mine ||
+        (c.clock == mine && static_cast<CoreId>(i) < running_)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Machine::yield_current() {
+  auto& ctx = cores_[static_cast<std::size_t>(running_)];
+  ctx.fiber->yield();
+  if (cancelling_) throw CancelUnwind{};
+}
+
+void Machine::sync_to_global_order() {
+  assert(running_ >= 0);
+  while (!i_am_earliest()) yield_current();
+}
+
+Cycles Machine::now() const {
+  assert(running_ >= 0);
+  return cores_[static_cast<std::size_t>(running_)].clock;
+}
+
+void Machine::advance(Cycles c) {
+  assert(running_ >= 0);
+  cores_[static_cast<std::size_t>(running_)].clock += c;
+}
+
+void Machine::exec(std::uint64_t n) {
+  assert(running_ >= 0);
+  running_core_stats().instructions += n;
+  const auto width = static_cast<std::uint64_t>(cfg_.issue_width);
+  advance((n + width - 1) / width);
+}
+
+void Machine::mem_access(Addr addr, AccessType type, AccessOptions opts) {
+  sync_to_global_order();
+  advance(memsys_.access(running_, addr, type, opts));
+}
+
+void Machine::block_on(WaitList& wl) {
+  assert(running_ >= 0);
+  auto& ctx = cores_[static_cast<std::size_t>(running_)];
+  ctx.state = CoreState::kBlocked;
+  ctx.block_start = ctx.clock;
+  wl.waiters_.push_back(running_);
+  yield_current();
+}
+
+void Machine::wake_all(WaitList& wl, Cycles wake_latency) {
+  assert(running_ >= 0);
+  const Cycles arrival = now() + wake_latency;
+  for (CoreId w : wl.waiters_) {
+    auto& ctx = cores_[static_cast<std::size_t>(w)];
+    assert(ctx.state == CoreState::kBlocked);
+    ctx.clock = std::max(ctx.clock, arrival);
+    stats_.core[static_cast<std::size_t>(w)].stall_cycles +=
+        ctx.clock - ctx.block_start;
+    ctx.state = CoreState::kRunnable;
+  }
+  wl.waiters_.clear();
+}
+
+void Machine::fault(const std::string& what) { throw SimError(what); }
+
+void Machine::cancel_all() {
+  cancelling_ = true;
+  for (auto& c : cores_) {
+    if (!c.fiber) continue;
+    if (!c.fiber->started()) {
+      c.state = CoreState::kDone;
+      continue;
+    }
+    while (!c.fiber->finished()) {
+      running_ = static_cast<CoreId>(&c - cores_.data());
+      c.fiber->resume();
+    }
+    c.state = CoreState::kDone;
+    running_ = -1;
+  }
+  cancelling_ = false;
+}
+
+void Machine::run() {
+  if (g_machine != nullptr) throw SimError("nested Machine::run");
+  g_machine = this;
+  struct Reset {
+    ~Reset() { g_machine = nullptr; }
+  } reset;
+
+  while (true) {
+    const CoreId c = earliest_runnable();
+    if (c < 0) {
+      bool any_blocked = false;
+      std::size_t blocked = 0;
+      for (const auto& ctx : cores_) {
+        if (ctx.state == CoreState::kBlocked) {
+          any_blocked = true;
+          ++blocked;
+        }
+      }
+      if (!any_blocked) break;  // all programs done
+      cancel_all();
+      throw SimError("deadlock: " + std::to_string(blocked) +
+                     " core(s) blocked with no possible wakeup");
+    }
+    auto& ctx = cores_[static_cast<std::size_t>(c)];
+    running_ = c;
+    ctx.fiber->resume();
+    running_ = -1;
+    if (ctx.fiber->finished()) {
+      ctx.state = CoreState::kDone;
+      elapsed_ = std::max(elapsed_, ctx.clock);
+    }
+    if (faulted_) {
+      cancel_all();
+      throw SimError(fault_);
+    }
+  }
+}
+
+}  // namespace osim

@@ -1,0 +1,95 @@
+// Multi-core memory hierarchy: private L1s, a shared inclusive L2, DRAM, and
+// an invalidation-based (MSI-style) coherence directory.
+//
+// Timing model (Table II + Sec. IV-D of the paper):
+//   L1 hit                       4 cycles
+//   L2 hit                      35 cycles
+//   DRAM                       120 cycles (60 ns at 2 GHz)
+//   remote-L1 forward           38 cycles ("comparable to LLC", Sec. IV-D)
+//   sharer invalidation        +20 cycles on upgrades / write misses
+//
+// Version-list walks use `fill_l1 = false` so traversed blocks do not evict
+// hot lines (the paper's cache-pollution avoidance: "only the block that
+// holds the requested version is inserted into the cache").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace osim {
+
+enum class AccessType { kRead, kWrite };
+
+struct AccessOptions {
+  /// Install the line into the requester's L1 on a miss. Disabled during
+  /// version-block list walks except for the final (requested) block.
+  bool fill_l1 = true;
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(const MachineConfig& cfg, MachineStats& stats);
+
+  /// Perform one access and return its latency in cycles.
+  Cycles access(CoreId core, Addr addr, AccessType type,
+                AccessOptions opts = {});
+
+  /// Invalidate `addr`'s line in every L1 except `except`. Returns the added
+  /// latency (0 if no remote copies existed). Used for compressed
+  /// version-block coherence (the paper's "discard on coherence message").
+  Cycles invalidate_others(CoreId except, Addr addr);
+
+  /// Install a line into `core`'s L1 without fetching it from below (the
+  /// O-structure hardware *builds* compressed lines locally after a walk).
+  /// Charges no latency; evictions behave as usual.
+  void install_line(CoreId core, Addr addr, bool dirty);
+
+  /// True if `addr`'s line is resident in `core`'s L1.
+  bool line_in_l1(CoreId core, Addr addr) const;
+
+  /// Observer invoked whenever a line leaves an L1 for any reason (eviction,
+  /// upgrade-invalidation, back-invalidation). The O-structure manager uses
+  /// it to drop compressed-line side state.
+  using LineDropObserver = std::function<void(CoreId, Addr line)>;
+  void set_line_drop_observer(LineDropObserver obs) {
+    drop_observer_ = std::move(obs);
+  }
+
+  /// Empty all caches and the directory (between experiment phases).
+  void flush_all();
+
+  Cache& l1(CoreId core) { return l1s_[static_cast<std::size_t>(core)]; }
+  const Cache& l1(CoreId core) const {
+    return l1s_[static_cast<std::size_t>(core)];
+  }
+  Cache& l2() { return l2_; }
+  const MachineConfig& config() const { return cfg_; }
+
+ private:
+  struct DirEntry {
+    std::uint64_t sharers = 0;  // bitmask of cores with a (shared) copy
+    CoreId owner = -1;          // core holding the line modified, or -1
+  };
+
+  void drop_from_l1(CoreId core, Addr line);
+  /// Invalidate all copies except `except`; returns true if any existed.
+  bool invalidate_copies(CoreId except, Addr line);
+  void fill_l1_line(CoreId core, Addr line, bool dirty);
+  void fill_l2_line(Addr line);
+
+  MachineConfig cfg_;
+  MachineStats& stats_;
+  std::vector<Cache> l1s_;
+  Cache l2_;
+  std::unordered_map<Addr, DirEntry> dir_;
+  LineDropObserver drop_observer_;
+};
+
+}  // namespace osim

@@ -1,0 +1,36 @@
+#include "sim/stats.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace osim {
+
+void dump(std::ostream& os, const MachineStats& stats) {
+  const CoreStats t = stats.total();
+  os << std::fixed << std::setprecision(3);
+  os << "instructions          " << t.instructions << '\n';
+  os << "loads / stores        " << t.loads << " / " << t.stores << '\n';
+  os << "L1 hit rate           " << t.l1_hit_rate() << "  (" << t.l1_hits
+     << " / " << (t.l1_hits + t.l1_misses) << ")\n";
+  os << "L2 hits / misses      " << t.l2_hits << " / " << t.l2_misses << '\n';
+  os << "remote L1 fills       " << t.remote_l1_fills << '\n';
+  os << "upgrades              " << t.upgrades << '\n';
+  os << "versioned ops         " << t.versioned_ops << '\n';
+  os << "  direct hits         " << t.direct_hits << '\n';
+  os << "  full lookups        " << t.full_lookups << "  (blocks walked "
+     << t.walk_blocks << ")\n";
+  os << "  stalls              " << t.stalls << "  (cycles " << t.stall_cycles
+     << ")\n";
+  os << "  root loads/stalls   " << t.root_loads << " / " << t.root_stalls
+     << '\n';
+  os << "tasks executed        " << t.tasks_executed << '\n';
+  os << "version blocks        alloc " << stats.blocks_allocated << ", freed "
+     << stats.blocks_freed << ", shadowed " << stats.shadowed_blocks << '\n';
+  os << "GC phases             " << stats.gc_phases << "  (OS traps "
+     << stats.os_traps << ")\n";
+  os << "compressed lines      installs " << stats.compressed_installs
+     << ", coherence discards " << stats.compressed_discards
+     << ", range overflows " << stats.compress_overflows << '\n';
+}
+
+}  // namespace osim

@@ -1,0 +1,93 @@
+// Counters collected during a simulation run. Plain fields (hot path) plus a
+// generic dump for the bench harnesses.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace osim {
+
+/// Per-core statistics.
+struct CoreStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t remote_l1_fills = 0;
+  std::uint64_t upgrades = 0;
+
+  // Versioned operation accounting (O-structure subsystem).
+  std::uint64_t versioned_ops = 0;
+  std::uint64_t direct_hits = 0;    ///< satisfied by a compressed L1 line
+  std::uint64_t full_lookups = 0;   ///< required a version-list walk
+  std::uint64_t walk_blocks = 0;    ///< version blocks touched during walks
+  std::uint64_t stalls = 0;         ///< versioned ops that had to block
+  std::uint64_t stall_cycles = 0;   ///< cycles spent blocked
+  std::uint64_t root_loads = 0;     ///< versioned accesses to a structure root
+  std::uint64_t root_stalls = 0;    ///< ...of which stalled (paper Sec. IV-D)
+
+  std::uint64_t tasks_executed = 0;
+
+  double l1_hit_rate() const {
+    const auto acc = l1_hits + l1_misses;
+    return acc == 0 ? 0.0 : static_cast<double>(l1_hits) / acc;
+  }
+  double stall_rate() const {
+    return versioned_ops == 0 ? 0.0
+                              : static_cast<double>(stalls) / versioned_ops;
+  }
+};
+
+/// Machine-wide statistics.
+struct MachineStats {
+  std::vector<CoreStats> core;
+
+  // O-structure manager / GC.
+  std::uint64_t blocks_allocated = 0;
+  std::uint64_t blocks_freed = 0;
+  std::uint64_t gc_phases = 0;
+  std::uint64_t os_traps = 0;        ///< free-list exhaustion traps
+  std::uint64_t shadowed_blocks = 0;
+  std::uint64_t compressed_installs = 0;
+  std::uint64_t compressed_discards = 0;  ///< coherence-driven discards
+  std::uint64_t compress_overflows = 0;   ///< entries outside the 14-bit range
+
+  explicit MachineStats(int cores = 0) : core(cores) {}
+
+  CoreStats total() const {
+    CoreStats t;
+    for (const auto& c : core) {
+      t.instructions += c.instructions;
+      t.loads += c.loads;
+      t.stores += c.stores;
+      t.l1_hits += c.l1_hits;
+      t.l1_misses += c.l1_misses;
+      t.l2_hits += c.l2_hits;
+      t.l2_misses += c.l2_misses;
+      t.remote_l1_fills += c.remote_l1_fills;
+      t.upgrades += c.upgrades;
+      t.versioned_ops += c.versioned_ops;
+      t.direct_hits += c.direct_hits;
+      t.full_lookups += c.full_lookups;
+      t.walk_blocks += c.walk_blocks;
+      t.stalls += c.stalls;
+      t.stall_cycles += c.stall_cycles;
+      t.root_loads += c.root_loads;
+      t.root_stalls += c.root_stalls;
+      t.tasks_executed += c.tasks_executed;
+    }
+    return t;
+  }
+};
+
+/// Human-readable dump (used by benches with --verbose).
+void dump(std::ostream& os, const MachineStats& stats);
+
+}  // namespace osim

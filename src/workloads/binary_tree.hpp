@@ -1,0 +1,24 @@
+// Unbalanced binary search tree workload (paper Secs. IV-C and IV-D).
+//
+// Three variants:
+//   * sequential unversioned (the Fig. 6 baseline),
+//   * parallel versioned: root ticket ordering + hand-over-hand locking on
+//     the traversal path + snapshot-isolated readers (Fig. 6/7, and the
+//     versioned side of Fig. 8),
+//   * parallel unversioned protected by a read-write lock (the Fig. 8
+//     baseline, which separates reads from writes instead of renaming).
+//
+// Deletion is logical (a versioned `alive` flag per node) in all variants,
+// so parallel-versioned results are comparable to the sequential baseline.
+#pragma once
+
+#include "runtime/env.hpp"
+#include "workloads/opgen.hpp"
+
+namespace osim {
+
+RunResult binary_tree_sequential(Env& env, const DsSpec& spec);
+RunResult binary_tree_versioned(Env& env, const DsSpec& spec, int cores);
+RunResult binary_tree_rwlock(Env& env, const DsSpec& spec, int cores);
+
+}  // namespace osim

@@ -1,0 +1,273 @@
+#include "workloads/hash_table.hpp"
+
+#include <algorithm>
+
+#include <memory>
+#include <vector>
+
+#include "runtime/pipeline.hpp"
+#include "workloads/runner.hpp"
+
+namespace osim {
+
+namespace {
+
+constexpr std::uint64_t kOpSetupInstr = 40;  // includes the hash computation
+constexpr std::uint64_t kStepInstr = 10;
+
+std::size_t bucket_count(const DsSpec& spec) {
+  // Load factor ~8 with the stable footprint of the generated op mix.
+  std::size_t b = 16;
+  while (b * 8 < spec.initial_size) b *= 2;
+  return b;
+}
+
+std::size_t hash_of(std::uint64_t key, std::size_t buckets) {
+  std::uint64_t h = key * 0x9e3779b97f4a7c15ull;
+  h ^= h >> 29;
+  return static_cast<std::size_t>(h) & (buckets - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Unversioned
+
+struct UNode {
+  std::uint64_t key;
+  UNode* next;
+};
+
+class UHash {
+ public:
+  UHash(Env& env, std::size_t buckets) : env_(env), heads_(buckets, nullptr) {}
+
+  void populate(const std::vector<std::uint64_t>& keys) {
+    for (std::uint64_t k : keys) {
+      UNode** where = &heads_[hash_of(k, heads_.size())];
+      while (*where != nullptr && (*where)->key < k) where = &(*where)->next;
+      if (*where != nullptr && (*where)->key == k) continue;
+      nodes_.push_back(std::make_unique<UNode>(UNode{k, *where}));
+      *where = nodes_.back().get();
+    }
+  }
+
+  bool lookup(std::uint64_t key) {
+    env_.exec(kOpSetupInstr);
+    UNode* cur = env_.ld(heads_[hash_of(key, heads_.size())]);
+    while (cur != nullptr && env_.ld(cur->key) < key) {
+      env_.exec(kStepInstr);
+      cur = env_.ld(cur->next);
+    }
+    return cur != nullptr && env_.ld(cur->key) == key;
+  }
+
+  bool insert(std::uint64_t key) {
+    env_.exec(kOpSetupInstr);
+    UNode*& head = heads_[hash_of(key, heads_.size())];
+    UNode* cur = env_.ld(head);
+    UNode* prev = nullptr;
+    while (cur != nullptr && env_.ld(cur->key) < key) {
+      env_.exec(kStepInstr);
+      prev = cur;
+      cur = env_.ld(cur->next);
+    }
+    if (cur != nullptr && env_.ld(cur->key) == key) return false;
+    nodes_.push_back(std::make_unique<UNode>(UNode{key, cur}));
+    UNode* n = nodes_.back().get();
+    env_.st(n->next, cur);
+    if (prev == nullptr) {
+      env_.st(head, n);
+    } else {
+      env_.st(prev->next, n);
+    }
+    return true;
+  }
+
+  bool erase(std::uint64_t key) {
+    env_.exec(kOpSetupInstr);
+    UNode*& head = heads_[hash_of(key, heads_.size())];
+    UNode* cur = env_.ld(head);
+    UNode* prev = nullptr;
+    while (cur != nullptr && env_.ld(cur->key) < key) {
+      env_.exec(kStepInstr);
+      prev = cur;
+      cur = env_.ld(cur->next);
+    }
+    if (cur == nullptr || env_.ld(cur->key) != key) return false;
+    UNode* after = env_.ld(cur->next);
+    if (prev == nullptr) {
+      env_.st(head, after);
+    } else {
+      env_.st(prev->next, after);
+    }
+    return true;
+  }
+
+ private:
+  Env& env_;
+  std::vector<UNode*> heads_;
+  std::vector<std::unique_ptr<UNode>> nodes_;
+};
+
+// ---------------------------------------------------------------------------
+// Versioned
+
+struct VNode {
+  VNode(Env& env, std::uint64_t k) : key(k), next(env) {}
+  const std::uint64_t key;
+  versioned<VNode*> next;
+};
+
+class VHash {
+ public:
+  VHash(Env& env, std::size_t buckets) : env_(env), ticket_(env) {
+    heads_.reserve(buckets);
+    for (std::size_t i = 0; i < buckets; ++i) heads_.emplace_back(env);
+  }
+
+  void populate(const std::vector<std::uint64_t>& keys) {
+    std::vector<std::vector<std::uint64_t>> per_bucket(heads_.size());
+    for (std::uint64_t k : keys) per_bucket[hash_of(k, heads_.size())].push_back(k);
+    for (std::size_t b = 0; b < heads_.size(); ++b) {
+      auto& ks = per_bucket[b];
+      std::sort(ks.begin(), ks.end());
+      VNode* next = nullptr;
+      for (auto it = ks.rbegin(); it != ks.rend(); ++it) {
+        VNode* n = new_node(*it);
+        n->next.store_ver(next, kSetupVersion);
+        next = n;
+      }
+      heads_[b].store_ver(next, kSetupVersion);
+    }
+    ticket_.init(0, kSetupVersion);
+  }
+
+  std::uint64_t lookup(TaskId tid, Ver prev, std::uint64_t key) {
+    env_.exec(kOpSetupInstr);
+    ticket_.enter_ro(prev);
+    (void)tid;
+    VNode* cur = heads_[hash_of(key, heads_.size())].load_latest(tid);
+    while (cur != nullptr && env_.ld(cur->key) < key) {
+      env_.exec(kStepInstr);
+      cur = cur->next.load_latest(tid);
+    }
+    return (cur != nullptr && env_.ld(cur->key) == key) ? 1 : 0;
+  }
+
+  std::uint64_t insert(TaskId tid, Ver prev, std::uint64_t key) {
+    env_.exec(kOpSetupInstr);
+    ticket_.enter_mut(tid, prev);
+    HandOverHand<VNode*> hoh(tid);
+    VNode* cur = hoh.advance(heads_[hash_of(key, heads_.size())]);
+    ticket_.leave_mut(tid, prev);  // bucket head locked: admit the next task
+    while (cur != nullptr && env_.ld(cur->key) < key) {
+      env_.exec(kStepInstr);
+      cur = hoh.advance(cur->next);
+    }
+    if (cur != nullptr && env_.ld(cur->key) == key) {
+      hoh.release_unchanged();
+      return 0;
+    }
+    VNode* n = new_node(key);
+    n->next.store_ver(cur, tid);
+    hoh.modify_and_release(n);
+    return 1;
+  }
+
+  std::uint64_t erase(TaskId tid, Ver prev, std::uint64_t key) {
+    env_.exec(kOpSetupInstr);
+    ticket_.enter_mut(tid, prev);
+    HandOverHand<VNode*> hoh(tid);
+    VNode* cur = hoh.advance(heads_[hash_of(key, heads_.size())]);
+    ticket_.leave_mut(tid, prev);
+    while (cur != nullptr && env_.ld(cur->key) < key) {
+      env_.exec(kStepInstr);
+      cur = hoh.advance(cur->next);
+    }
+    if (cur == nullptr || env_.ld(cur->key) != key) {
+      hoh.release_unchanged();
+      return 0;
+    }
+    // hoh holds the edge pointing at the victim; lock the victim's next
+    // field too, rename the edge past it, then release both.
+    Ver second = 0;
+    VNode* after = cur->next.lock_load_last(tid, tid, &second);
+    hoh.modify_and_release(after);
+    cur->next.unlock_ver(second, tid);
+    return 1;
+  }
+
+ private:
+  VNode* new_node(std::uint64_t key) {
+    nodes_.push_back(std::make_unique<VNode>(env_, key));
+    return nodes_.back().get();
+  }
+
+  Env& env_;
+  TicketRoot<std::uint64_t> ticket_;
+  std::vector<versioned<VNode*>> heads_;
+  std::vector<std::unique_ptr<VNode>> nodes_;
+};
+
+}  // namespace
+
+RunResult hash_table_sequential(Env& env, const DsSpec& spec) {
+  auto table = std::make_shared<UHash>(env, bucket_count(spec));
+  const auto ops = generate_ops(spec);
+  return run_sequential(
+      env, [table, &spec] { table->populate(initial_keys(spec)); },
+      [&env, table, ops] {
+        std::uint64_t sum = 0;
+        for (const Op& op : ops) {
+          switch (op.kind) {
+            case OpKind::kLookup:
+            case OpKind::kScan:
+              mix(sum, table->lookup(op.key) ? 1 : 0);
+              break;
+            case OpKind::kInsert:
+              mix(sum, table->insert(op.key) ? 1 : 0);
+              break;
+            case OpKind::kDelete:
+              mix(sum, table->erase(op.key) ? 1 : 0);
+              break;
+          }
+        }
+        return sum;
+      });
+}
+
+RunResult hash_table_versioned(Env& env, const DsSpec& spec, int cores) {
+  auto table = std::make_shared<VHash>(env, bucket_count(spec));
+  const auto ops = generate_ops(spec);
+  auto results = std::make_shared<std::vector<std::uint64_t>>(ops.size());
+  return run_tasked(
+      env, cores, [table, &spec] { table->populate(initial_keys(spec)); },
+      [&](TaskRuntime& rt) {
+        const auto prevs = prev_mutator_versions(ops);
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+          const Op op = ops[i];
+          const Ver prev = prevs[i];
+          rt.create_task(kFirstTaskId + i,
+                         [table, op, prev, results, i](TaskId tid) {
+                           switch (op.kind) {
+                             case OpKind::kLookup:
+                             case OpKind::kScan:
+                               (*results)[i] = table->lookup(tid, prev, op.key);
+                               break;
+                             case OpKind::kInsert:
+                               (*results)[i] = table->insert(tid, prev, op.key);
+                               break;
+                             case OpKind::kDelete:
+                               (*results)[i] = table->erase(tid, prev, op.key);
+                               break;
+                           }
+                         });
+        }
+      },
+      [results] {
+        std::uint64_t sum = 0;
+        for (std::uint64_t r : *results) mix(sum, r);
+        return sum;
+      });
+}
+
+}  // namespace osim

@@ -1,0 +1,19 @@
+// Chained hash table workload (paper Sec. IV-D).
+//
+// Buckets are sorted linked lists. In the versioned variant a single root
+// ticket orders entry into the table (the paper's root-ordering bottleneck:
+// "on write-intensive hash tables, up to 85% of versioned root loads are
+// stalled"); after hashing, mutators lock the bucket head edge before
+// releasing the ticket and proceed hand-over-hand, so tasks that hash to
+// different buckets never synchronize again.
+#pragma once
+
+#include "runtime/env.hpp"
+#include "workloads/opgen.hpp"
+
+namespace osim {
+
+RunResult hash_table_sequential(Env& env, const DsSpec& spec);
+RunResult hash_table_versioned(Env& env, const DsSpec& spec, int cores);
+
+}  // namespace osim

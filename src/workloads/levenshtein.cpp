@@ -1,0 +1,109 @@
+#include "workloads/levenshtein.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "runtime/versioned.hpp"
+#include "workloads/runner.hpp"
+
+namespace osim {
+
+namespace {
+
+constexpr std::uint64_t kCellInstr = 16;  // three-way min, compares, branches
+
+std::vector<std::uint8_t> random_string(int n, std::mt19937_64& rng) {
+  std::vector<std::uint8_t> s(static_cast<std::size_t>(n));
+  for (auto& c : s) c = static_cast<std::uint8_t>(rng() % 4);
+  return s;
+}
+
+}  // namespace
+
+RunResult levenshtein_sequential(Env& env, const LevSpec& spec) {
+  const int n = spec.n;
+  std::mt19937_64 rng(spec.seed);
+  auto s = std::make_shared<std::vector<std::uint8_t>>(random_string(n, rng));
+  auto t = std::make_shared<std::vector<std::uint8_t>>(random_string(n, rng));
+  const std::size_t w = static_cast<std::size_t>(n) + 1;
+  auto d = std::make_shared<std::vector<std::uint32_t>>(w * w);
+
+  return run_sequential(
+      env, [] {},
+      [&env, s, t, d, n, w] {
+        auto& dd = *d;
+        for (int j = 0; j <= n; ++j) dd[j] = static_cast<std::uint32_t>(j);
+        for (int i = 1; i <= n; ++i) {
+          env.st(dd[i * w], static_cast<std::uint32_t>(i));
+          // left and diag stay in registers, as in the versioned variant.
+          std::uint32_t diag = dd[(i - 1) * w];
+          std::uint32_t left = static_cast<std::uint32_t>(i);
+          for (int j = 1; j <= n; ++j) {
+            const std::uint32_t up = env.ld(dd[(i - 1) * w + j]);
+            const bool eq = env.ld((*s)[i - 1]) == env.ld((*t)[j - 1]);
+            const std::uint32_t best =
+                std::min({up + 1, left + 1, diag + (eq ? 0u : 1u)});
+            env.exec(kCellInstr);
+            env.st(dd[i * w + j], best);
+            diag = up;
+            left = best;
+          }
+        }
+        std::uint64_t sum = 0;
+        mix(sum, dd[static_cast<std::size_t>(n) * w + n]);
+        return sum;
+      });
+}
+
+RunResult levenshtein_versioned(Env& env, const LevSpec& spec, int cores) {
+  const int n = spec.n;
+  std::mt19937_64 rng(spec.seed);
+  auto s = std::make_shared<std::vector<std::uint8_t>>(random_string(n, rng));
+  auto t = std::make_shared<std::vector<std::uint8_t>>(random_string(n, rng));
+  const std::size_t w = static_cast<std::size_t>(n) + 1;
+  auto d = std::make_shared<std::vector<versioned<std::uint64_t>>>();
+  d->reserve(w * w);
+  for (std::size_t i = 0; i < w * w; ++i) d->emplace_back(env);
+
+  return run_tasked(
+      env, cores,
+      [d, n, w] {
+        // Row 0 boundary is produced during setup.
+        for (int j = 0; j <= n; ++j) {
+          (*d)[static_cast<std::size_t>(j)].store_ver(
+              static_cast<std::uint64_t>(j), 1);
+        }
+      },
+      [&](TaskRuntime& rt) {
+        // Task i computes row i left-to-right; the load of the upper cell
+        // blocks until row i-1's task has produced it (I-structure flow).
+        for (int i = 1; i <= n; ++i) {
+          rt.create_task(
+              kFirstTaskId + i - 1, [&env, s, t, d, n, w, i](TaskId) {
+                auto& dd = *d;
+                dd[i * w].store_ver(static_cast<std::uint64_t>(i), 1);
+                std::uint64_t diag = dd[(i - 1) * w].load_ver(1);
+                std::uint64_t left = static_cast<std::uint64_t>(i);
+                for (int j = 1; j <= n; ++j) {
+                  const std::uint64_t up = dd[(i - 1) * w + j].load_ver(1);
+                  const bool eq = env.ld((*s)[i - 1]) == env.ld((*t)[j - 1]);
+                  const std::uint64_t best = std::min(
+                      {up + 1, left + 1, diag + (eq ? 0u : 1u)});
+                  env.exec(kCellInstr);
+                  dd[i * w + j].store_ver(best, 1);
+                  diag = up;
+                  left = best;
+                }
+              });
+        }
+      },
+      [d, n, w] {
+        std::uint64_t sum = 0;
+        mix(sum, *(*d)[static_cast<std::size_t>(n) * w + n].peek(1));
+        return sum;
+      });
+}
+
+}  // namespace osim

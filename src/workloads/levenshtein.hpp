@@ -1,0 +1,25 @@
+// Levenshtein edit distance (paper Sec. IV-B).
+//
+// Dynamic-programming table D[i][j]; cell (i,j) depends on (i-1,j),
+// (i,j-1) and (i-1,j-1). The versioned variant assigns one task per row:
+// each cell is an I-structure (single version), and the load of the
+// upper-row cell blocks until the previous row's task has produced it, so
+// rows pipeline diagonally across cores with no barriers.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/env.hpp"
+#include "workloads/opgen.hpp"
+
+namespace osim {
+
+struct LevSpec {
+  int n = 1000;  ///< string length (paper: 1000)
+  std::uint64_t seed = 11;
+};
+
+RunResult levenshtein_sequential(Env& env, const LevSpec& spec);
+RunResult levenshtein_versioned(Env& env, const LevSpec& spec, int cores);
+
+}  // namespace osim

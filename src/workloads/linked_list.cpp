@@ -1,0 +1,337 @@
+#include "workloads/linked_list.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "runtime/pipeline.hpp"
+#include "workloads/runner.hpp"
+
+namespace osim {
+
+namespace {
+
+// Instruction charges shared by both variants (loop control, compares).
+constexpr std::uint64_t kOpSetupInstr = 30;
+constexpr std::uint64_t kStepInstr = 10;
+
+// ---------------------------------------------------------------------------
+// Unversioned (sequential baseline)
+
+struct UNode {
+  std::uint64_t key;
+  UNode* next;
+};
+
+class UList {
+ public:
+  explicit UList(Env& env) : env_(env) {}
+
+  void populate(const std::vector<std::uint64_t>& keys) {
+    std::vector<std::uint64_t> sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    UNode* prev = nullptr;
+    for (std::uint64_t k : sorted) {
+      auto* n = new_node(k, nullptr);
+      (prev == nullptr ? head_ : prev->next) = n;
+      prev = n;
+    }
+  }
+
+  bool lookup(std::uint64_t key) {
+    env_.exec(kOpSetupInstr);
+    UNode* cur = env_.ld(head_);
+    while (cur != nullptr && env_.ld(cur->key) < key) {
+      env_.exec(kStepInstr);
+      cur = env_.ld(cur->next);
+    }
+    return cur != nullptr && env_.ld(cur->key) == key;
+  }
+
+  std::uint64_t scan(std::uint64_t key, int range) {
+    env_.exec(kOpSetupInstr);
+    UNode* cur = env_.ld(head_);
+    while (cur != nullptr && env_.ld(cur->key) < key) {
+      env_.exec(kStepInstr);
+      cur = env_.ld(cur->next);
+    }
+    std::uint64_t sum = 0;
+    for (int i = 0; i < range && cur != nullptr; ++i) {
+      sum += env_.ld(cur->key);
+      env_.exec(kStepInstr);
+      cur = env_.ld(cur->next);
+    }
+    return sum;
+  }
+
+  bool insert(std::uint64_t key) {
+    env_.exec(kOpSetupInstr);
+    UNode* cur = env_.ld(head_);
+    UNode* prev = nullptr;
+    while (cur != nullptr && env_.ld(cur->key) < key) {
+      env_.exec(kStepInstr);
+      prev = cur;
+      cur = env_.ld(cur->next);
+    }
+    if (cur != nullptr && env_.ld(cur->key) == key) return false;
+    auto* n = new_node(key, cur);
+    env_.st(n->next, cur);
+    if (prev == nullptr) {
+      env_.st(head_, n);
+    } else {
+      env_.st(prev->next, n);
+    }
+    return true;
+  }
+
+  bool erase(std::uint64_t key) {
+    env_.exec(kOpSetupInstr);
+    UNode* cur = env_.ld(head_);
+    UNode* prev = nullptr;
+    while (cur != nullptr && env_.ld(cur->key) < key) {
+      env_.exec(kStepInstr);
+      prev = cur;
+      cur = env_.ld(cur->next);
+    }
+    if (cur == nullptr || env_.ld(cur->key) != key) return false;
+    UNode* after = env_.ld(cur->next);
+    if (prev == nullptr) {
+      env_.st(head_, after);
+    } else {
+      env_.st(prev->next, after);
+    }
+    return true;
+  }
+
+ private:
+  UNode* new_node(std::uint64_t key, UNode* next) {
+    nodes_.push_back(std::make_unique<UNode>(UNode{key, next}));
+    return nodes_.back().get();
+  }
+
+  Env& env_;
+  UNode* head_ = nullptr;
+  std::vector<std::unique_ptr<UNode>> nodes_;  // owns all nodes ever made
+};
+
+// ---------------------------------------------------------------------------
+// Versioned (task-parallel)
+
+struct VNode {
+  VNode(Env& env, std::uint64_t k) : key(k), next(env) {}
+  const std::uint64_t key;
+  versioned<VNode*> next;
+};
+
+class VList {
+ public:
+  explicit VList(Env& env) : env_(env), ticket_(env) {}
+
+  /// Setup-phase population (runs on core 0, unmeasured).
+  void populate(const std::vector<std::uint64_t>& keys) {
+    std::vector<std::uint64_t> sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    VNode* first = nullptr;
+    VNode* prev = nullptr;
+    for (std::uint64_t k : sorted) {
+      VNode* n = new_node(k);
+      if (prev == nullptr) {
+        first = n;
+      } else {
+        prev->next.store_ver(n, kSetupVersion);
+      }
+      prev = n;
+    }
+    if (prev != nullptr) prev->next.store_ver(nullptr, kSetupVersion);
+    ticket_.init(first, kSetupVersion);
+  }
+
+  std::uint64_t lookup(TaskId tid, Ver prev, std::uint64_t key) {
+    env_.exec(kOpSetupInstr);
+    VNode* cur = ticket_.enter_ro(prev);
+    (void)tid;
+    while (cur != nullptr && env_.ld(cur->key) < key) {
+      env_.exec(kStepInstr);
+      cur = cur->next.load_latest(tid);
+    }
+    return (cur != nullptr && env_.ld(cur->key) == key) ? 1 : 0;
+  }
+
+  std::uint64_t scan(TaskId tid, Ver prev, std::uint64_t key, int range) {
+    env_.exec(kOpSetupInstr);
+    VNode* cur = ticket_.enter_ro(prev);
+    (void)tid;
+    while (cur != nullptr && env_.ld(cur->key) < key) {
+      env_.exec(kStepInstr);
+      cur = cur->next.load_latest(tid);
+    }
+    std::uint64_t sum = 0;
+    for (int i = 0; i < range && cur != nullptr; ++i) {
+      sum += env_.ld(cur->key);
+      env_.exec(kStepInstr);
+      cur = cur->next.load_latest(tid);
+    }
+    return sum;
+  }
+
+  std::uint64_t insert(TaskId tid, Ver prev, std::uint64_t key) {
+    env_.exec(kOpSetupInstr);
+    VNode* cur = ticket_.enter_mut(tid, prev);
+    if (cur == nullptr || env_.ld(cur->key) >= key) {
+      if (cur != nullptr && env_.ld(cur->key) == key) {
+        ticket_.leave_mut(tid, prev);
+        return 0;  // duplicate
+      }
+      VNode* n = new_node(key);
+      n->next.store_ver(cur, tid);
+      ticket_.leave_mut(tid, prev, n);
+      return 1;
+    }
+    HandOverHand<VNode*> hoh(tid);
+    VNode* nxt = hoh.advance(cur->next);
+    ticket_.leave_mut(tid, prev);  // root released only after the first deep lock
+    while (nxt != nullptr && env_.ld(nxt->key) < key) {
+      env_.exec(kStepInstr);
+      VNode* after = hoh.advance(nxt->next);
+      cur = nxt;
+      nxt = after;
+    }
+    if (nxt != nullptr && env_.ld(nxt->key) == key) {
+      hoh.release_unchanged();
+      return 0;
+    }
+    VNode* n = new_node(key);
+    n->next.store_ver(nxt, tid);
+    hoh.modify_and_release(n);
+    return 1;
+  }
+
+  std::uint64_t erase(TaskId tid, Ver prev, std::uint64_t key) {
+    env_.exec(kOpSetupInstr);
+    VNode* cur = ticket_.enter_mut(tid, prev);
+    if (cur == nullptr || env_.ld(cur->key) > key) {
+      ticket_.leave_mut(tid, prev);
+      return 0;
+    }
+    if (env_.ld(cur->key) == key) {
+      // Unlink the first node: the root value is renamed to its successor.
+      HandOverHand<VNode*> hoh(tid);
+      VNode* nxt = hoh.advance(cur->next);
+      ticket_.leave_mut(tid, prev, nxt);
+      hoh.release_unchanged();
+      return 1;
+    }
+    HandOverHand<VNode*> hoh(tid);
+    VNode* nxt = hoh.advance(cur->next);
+    ticket_.leave_mut(tid, prev);
+    while (nxt != nullptr && env_.ld(nxt->key) < key) {
+      env_.exec(kStepInstr);
+      VNode* after = hoh.advance(nxt->next);
+      cur = nxt;
+      nxt = after;
+    }
+    if (nxt == nullptr || env_.ld(nxt->key) != key) {
+      hoh.release_unchanged();
+      return 0;
+    }
+    // Two locks held across the unlink: cur->next (held by hoh) and
+    // nxt->next. Renaming cur->next past the victim keeps the old version
+    // visible to older readers (snapshot isolation through a delete).
+    Ver second = 0;
+    VNode* after = nxt->next.lock_load_last(tid, tid, &second);
+    hoh.modify_and_release(after);
+    nxt->next.unlock_ver(second, tid);
+    return 1;
+  }
+
+ private:
+  VNode* new_node(std::uint64_t key) {
+    nodes_.push_back(std::make_unique<VNode>(env_, key));
+    return nodes_.back().get();
+  }
+
+  Env& env_;
+  TicketRoot<VNode*> ticket_;
+  std::vector<std::unique_ptr<VNode>> nodes_;
+};
+
+std::uint64_t apply_op(const Op& op, int scan_range, auto&& lookup,
+                       auto&& scan, auto&& insert, auto&& erase) {
+  switch (op.kind) {
+    case OpKind::kLookup:
+      return lookup(op.key);
+    case OpKind::kScan:
+      return scan(op.key, scan_range);
+    case OpKind::kInsert:
+      return insert(op.key);
+    case OpKind::kDelete:
+      return erase(op.key);
+  }
+  return 0;
+}
+
+}  // namespace
+
+RunResult linked_list_sequential(Env& env, const DsSpec& spec) {
+  auto list = std::make_shared<UList>(env);
+  const auto ops = generate_ops(spec);
+  return run_sequential(
+      env, [&env, list, &spec] { list->populate(initial_keys(spec)); },
+      [&env, list, &spec, ops] {
+        std::uint64_t sum = 0;
+        for (const Op& op : ops) {
+          mix(sum, apply_op(
+                       op, spec.scan_range,
+                       [&](std::uint64_t k) -> std::uint64_t {
+                         return list->lookup(k) ? 1 : 0;
+                       },
+                       [&](std::uint64_t k, int r) { return list->scan(k, r); },
+                       [&](std::uint64_t k) -> std::uint64_t {
+                         return list->insert(k) ? 1 : 0;
+                       },
+                       [&](std::uint64_t k) -> std::uint64_t {
+                         return list->erase(k) ? 1 : 0;
+                       }));
+        }
+        return sum;
+      });
+}
+
+RunResult linked_list_versioned(Env& env, const DsSpec& spec, int cores) {
+  auto list = std::make_shared<VList>(env);
+  const auto ops = generate_ops(spec);
+  auto results = std::make_shared<std::vector<std::uint64_t>>(ops.size());
+  return run_tasked(
+      env, cores,
+      [list, &spec] { list->populate(initial_keys(spec)); },
+      [&](TaskRuntime& rt) {
+        const auto prevs = prev_mutator_versions(ops);
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+          const Op op = ops[i];
+          const Ver prev = prevs[i];
+          rt.create_task(
+              kFirstTaskId + i,
+              [list, op, prev, &spec, results, i](TaskId tid) {
+                (*results)[i] = apply_op(
+                    op, spec.scan_range,
+                    [&](std::uint64_t k) { return list->lookup(tid, prev, k); },
+                    [&](std::uint64_t k, int r) {
+                      return list->scan(tid, prev, k, r);
+                    },
+                    [&](std::uint64_t k) {
+                      return list->insert(tid, prev, k);
+                    },
+                    [&](std::uint64_t k) {
+                      return list->erase(tid, prev, k);
+                    });
+              });
+        }
+      },
+      [results] {
+        std::uint64_t sum = 0;
+        for (std::uint64_t r : *results) mix(sum, r);
+        return sum;
+      });
+}
+
+}  // namespace osim

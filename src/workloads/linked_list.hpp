@@ -1,0 +1,23 @@
+// Sorted singly-linked list workload (paper Sec. IV-D).
+//
+// Unversioned variant: plain pointers, sequential execution.
+// Versioned variant: every next pointer is an O-structure; tasks enter the
+// list in order through a root ticket, mutators traverse hand-over-hand
+// with LOCK-LOAD-LATEST and rename pointers on update, readers traverse
+// lock-free with LOAD-LATEST and get snapshot isolation. Deletions unlink
+// physically; old readers keep seeing the unlinked node through their
+// version snapshot.
+#pragma once
+
+#include "runtime/env.hpp"
+#include "workloads/opgen.hpp"
+
+namespace osim {
+
+/// Sequential unversioned run on core 0. Returns measured cycles/checksum.
+RunResult linked_list_sequential(Env& env, const DsSpec& spec);
+
+/// Parallel versioned run with one task per operation on `cores` workers.
+RunResult linked_list_versioned(Env& env, const DsSpec& spec, int cores);
+
+}  // namespace osim

@@ -1,0 +1,119 @@
+#include "workloads/matmul.hpp"
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "runtime/versioned.hpp"
+#include "workloads/runner.hpp"
+
+namespace osim {
+
+namespace {
+
+constexpr std::uint64_t kMacInstr = 5;  // multiply-accumulate + loop control
+
+std::vector<std::uint64_t> random_matrix(int n, std::mt19937_64& rng) {
+  std::vector<std::uint64_t> m(static_cast<std::size_t>(n) * n);
+  for (auto& x : m) x = rng() % 1000;
+  return m;
+}
+
+std::uint64_t fold(const std::vector<std::uint64_t>& m) {
+  std::uint64_t sum = 0;
+  for (std::uint64_t x : m) mix(sum, x);
+  return sum;
+}
+
+}  // namespace
+
+RunResult matmul_sequential(Env& env, const MatmulSpec& spec) {
+  const int n = spec.n;
+  std::mt19937_64 rng(spec.seed);
+  auto a = std::make_shared<std::vector<std::uint64_t>>(random_matrix(n, rng));
+  auto b = std::make_shared<std::vector<std::uint64_t>>(random_matrix(n, rng));
+  auto d = std::make_shared<std::vector<std::uint64_t>>(random_matrix(n, rng));
+  auto e = std::make_shared<std::vector<std::uint64_t>>(
+      static_cast<std::size_t>(n) * n);
+  auto f = std::make_shared<std::vector<std::uint64_t>>(
+      static_cast<std::size_t>(n) * n);
+
+  return run_sequential(
+      env, [] {},
+      [&env, a, b, d, e, f, n] {
+        auto mul = [&](const std::vector<std::uint64_t>& x,
+                       const std::vector<std::uint64_t>& y,
+                       std::vector<std::uint64_t>& out) {
+          for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < n; ++j) {
+              std::uint64_t acc = 0;
+              for (int k = 0; k < n; ++k) {
+                acc += env.ld(x[i * n + k]) * env.ld(y[k * n + j]);
+                env.exec(kMacInstr);
+              }
+              env.st(out[i * n + j], acc);
+            }
+          }
+        };
+        mul(*a, *b, *e);
+        mul(*e, *d, *f);
+        return fold(*f);
+      });
+}
+
+RunResult matmul_versioned(Env& env, const MatmulSpec& spec, int cores) {
+  const int n = spec.n;
+  std::mt19937_64 rng(spec.seed);
+  auto a = std::make_shared<std::vector<std::uint64_t>>(random_matrix(n, rng));
+  auto b = std::make_shared<std::vector<std::uint64_t>>(random_matrix(n, rng));
+  auto d = std::make_shared<std::vector<std::uint64_t>>(random_matrix(n, rng));
+  // E is the versioned rendezvous between the two multiplications; F is
+  // versioned as well (produced once, folded on the host afterwards).
+  auto e = std::make_shared<std::vector<versioned<std::uint64_t>>>();
+  auto f = std::make_shared<std::vector<versioned<std::uint64_t>>>();
+  e->reserve(static_cast<std::size_t>(n) * n);
+  f->reserve(static_cast<std::size_t>(n) * n);
+  for (int i = 0; i < n * n; ++i) {
+    e->emplace_back(env);
+    f->emplace_back(env);
+  }
+
+  return run_tasked(
+      env, cores, [] {},
+      [&](TaskRuntime& rt) {
+        // Stage 1: task i produces row i of E.
+        for (int i = 0; i < n; ++i) {
+          rt.create_task(kFirstTaskId + i, [&env, a, b, e, n, i](TaskId) {
+            for (int j = 0; j < n; ++j) {
+              std::uint64_t acc = 0;
+              for (int k = 0; k < n; ++k) {
+                acc += env.ld((*a)[i * n + k]) * env.ld((*b)[k * n + j]);
+                env.exec(kMacInstr);
+              }
+              (*e)[i * n + j].store_ver(acc, 1);
+            }
+          });
+        }
+        // Stage 2: task n+i produces row i of F, consuming row i of E.
+        // LOAD-VERSION(1) blocks until the producer stored the element.
+        for (int i = 0; i < n; ++i) {
+          rt.create_task(kFirstTaskId + n + i, [&env, d, e, f, n, i](TaskId) {
+            for (int j = 0; j < n; ++j) {
+              std::uint64_t acc = 0;
+              for (int k = 0; k < n; ++k) {
+                acc += (*e)[i * n + k].load_ver(1) * env.ld((*d)[k * n + j]);
+                env.exec(kMacInstr);
+              }
+              (*f)[i * n + j].store_ver(acc, 1);
+            }
+          });
+        }
+      },
+      [f, n] {
+        std::uint64_t sum = 0;
+        for (int i = 0; i < n * n; ++i) mix(sum, *(*f)[i].peek(1));
+        return sum;
+      });
+}
+
+}  // namespace osim

@@ -1,0 +1,26 @@
+// Dense matrix-multiplication chain F = (A x B) x D (paper Sec. IV-B).
+//
+// The versioned variant uses O-structures as I-structures: every element of
+// the intermediate E = A x B is written once (STORE-VERSION 1) and consumed
+// with LOAD-VERSION 1, which blocks until the producer task has run. Row
+// tasks of the second multiplication therefore pipeline behind the row
+// tasks of the first, with no barrier — ordering comes purely from the
+// memory system.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/env.hpp"
+#include "workloads/opgen.hpp"
+
+namespace osim {
+
+struct MatmulSpec {
+  int n = 100;  ///< paper: 3 dense 100x100 matrices
+  std::uint64_t seed = 7;
+};
+
+RunResult matmul_sequential(Env& env, const MatmulSpec& spec);
+RunResult matmul_versioned(Env& env, const MatmulSpec& spec, int cores);
+
+}  // namespace osim

@@ -1,0 +1,43 @@
+#include "workloads/opgen.hpp"
+
+#include <random>
+#include <unordered_set>
+
+namespace osim {
+
+std::vector<std::uint64_t> initial_keys(const DsSpec& spec) {
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_int_distribution<std::uint64_t> dist(1, spec.key_space());
+  std::unordered_set<std::uint64_t> used;
+  std::vector<std::uint64_t> keys;
+  keys.reserve(spec.initial_size);
+  while (keys.size() < spec.initial_size) {
+    const std::uint64_t k = dist(rng);
+    if (used.insert(k).second) keys.push_back(k);
+  }
+  return keys;
+}
+
+std::vector<Op> generate_ops(const DsSpec& spec) {
+  std::mt19937_64 rng(spec.seed ^ 0x9e3779b97f4a7c15ull);
+  std::uniform_int_distribution<std::uint64_t> dist(1, spec.key_space());
+  std::vector<Op> ops;
+  ops.reserve(static_cast<std::size_t>(spec.ops));
+  const OpKind read_kind = spec.scan_range > 1 ? OpKind::kScan : OpKind::kLookup;
+  int until_write = spec.reads_per_write;
+  bool next_insert = true;
+  for (int i = 0; i < spec.ops; ++i) {
+    if (until_write > 0) {
+      ops.push_back({read_kind, dist(rng)});
+      --until_write;
+    } else {
+      ops.push_back({next_insert ? OpKind::kInsert : OpKind::kDelete,
+                     dist(rng)});
+      next_insert = !next_insert;
+      until_write = spec.reads_per_write;
+    }
+  }
+  return ops;
+}
+
+}  // namespace osim

@@ -1,0 +1,29 @@
+// Red-black tree workload (paper Sec. IV-D).
+//
+// Balanced structures are the hard case for task pipelining: rebalancing
+// touches many pointers, so the versioned variant allows a *single writer*
+// at a time (the mutator holds the root ticket for its whole operation)
+// while readers traverse concurrent snapshots and "might see a slightly
+// unbalanced tree". The writer accumulates its pointer updates in a write
+// buffer and commits each touched field once as version tid (STORE-VERSION
+// renaming), so older readers are never disturbed — even mid-rotation.
+//
+// Deletion is logical (alive flag); insertions perform full red-black
+// fixups with rotations. Node colors are writer-private metadata and are
+// not versioned (readers never look at them).
+#pragma once
+
+#include "runtime/env.hpp"
+#include "workloads/opgen.hpp"
+
+namespace osim {
+
+RunResult rb_tree_sequential(Env& env, const DsSpec& spec);
+RunResult rb_tree_versioned(Env& env, const DsSpec& spec, int cores);
+
+/// Host-side red-black invariant check of the sequential implementation
+/// (test hook): root black, no red-red edges, equal black heights, BST
+/// order. Builds a tree from `keys` and validates it.
+bool rb_invariants_hold(Env& env, const std::vector<std::uint64_t>& keys);
+
+}  // namespace osim

@@ -1,0 +1,42 @@
+#include "workloads/runner.hpp"
+
+namespace osim {
+
+std::vector<Ver> prev_mutator_versions(const std::vector<Op>& ops) {
+  std::vector<Ver> prev(ops.size());
+  Ver last = kSetupVersion;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    prev[i] = last;
+    if (ops[i].kind == OpKind::kInsert || ops[i].kind == OpKind::kDelete) {
+      last = kFirstTaskId + i;
+    }
+  }
+  return prev;
+}
+
+RunResult run_sequential(Env& env, std::function<void()> setup,
+                         std::function<std::uint64_t()> ops) {
+  RunResult result;
+  env.spawn(0, [&] {
+    setup();
+    const Cycles t0 = mach().now();
+    result.checksum = ops();
+    result.cycles = mach().now() - t0;
+  });
+  env.run();
+  return result;
+}
+
+RunResult run_tasked(Env& env, int cores, std::function<void()> setup,
+                     std::function<void(TaskRuntime&)> make_tasks,
+                     std::function<std::uint64_t()> finalize) {
+  TaskRuntime rt(env, cores);
+  rt.set_setup(std::move(setup));
+  make_tasks(rt);
+  RunResult result;
+  result.cycles = rt.run();
+  if (finalize) result.checksum = finalize();
+  return result;
+}
+
+}  // namespace osim

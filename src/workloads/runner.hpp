@@ -1,0 +1,42 @@
+// Shared measurement harness for the workloads.
+//
+// Every experiment run has an *unmeasured* setup phase (pre-populating the
+// structure, Sec. IV-A) followed by the measured operations. In parallel
+// runs, core 0 executes the setup while the other workers park on a start
+// gate; measured time is the span from setup completion to the last
+// worker's finish. Sequential runs time the op loop directly.
+#pragma once
+
+#include <functional>
+
+#include "runtime/env.hpp"
+#include "runtime/task.hpp"
+#include "workloads/opgen.hpp"
+
+namespace osim {
+
+/// Task IDs: population/setup uses version kSetupVersion; measured tasks
+/// start at kFirstTaskId, one per operation.
+inline constexpr Ver kSetupVersion = 1;
+inline constexpr TaskId kFirstTaskId = 2;
+
+/// For each op index, the root-ticket version published by the closest
+/// preceding *mutating* op (kSetupVersion when none): task i enters the
+/// structure against version prev[i]; see TicketRoot.
+std::vector<Ver> prev_mutator_versions(const std::vector<Op>& ops);
+
+/// Run `setup` then `ops` sequentially on core 0; returns the cycles spent
+/// in `ops` only.
+RunResult run_sequential(Env& env, std::function<void()> setup,
+                         std::function<std::uint64_t()> ops);
+
+/// Parallel task-based run: core 0 executes `setup`, then `cores` workers
+/// drain the tasks created by `make_tasks`. Returns measured cycles (from
+/// setup completion to last task completion). `finalize` runs on the host
+/// after completion and folds per-task results (indexed by task id, so the
+/// checksum is independent of scheduling) into the result checksum.
+RunResult run_tasked(Env& env, int cores, std::function<void()> setup,
+                     std::function<void(TaskRuntime&)> make_tasks,
+                     std::function<std::uint64_t()> finalize);
+
+}  // namespace osim

@@ -1,0 +1,180 @@
+// Unit tests for compressed version-block lines (paper bit widths).
+#include "core/compressed_line.hpp"
+
+#include <gtest/gtest.h>
+
+namespace osim {
+namespace {
+
+CompressedLine::Entry entry(Ver v, TaskId lock = 0, std::uint64_t data = 0,
+                            bool is_head = false, bool has_newer = false,
+                            Ver newer = 0) {
+  CompressedLine::Entry e;
+  e.version = v;
+  e.locked_by = lock;
+  e.data = data;
+  e.is_head = is_head;
+  e.has_newer = has_newer;
+  e.newer_version = newer;
+  return e;
+}
+
+TEST(CompressedLine, InstallAndFindExact) {
+  CompressedLine cl;
+  EXPECT_TRUE(cl.install(entry(100, 0, 0xdead)));
+  auto e = cl.find_exact(100);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->data, 0xdeadu);
+  EXPECT_FALSE(cl.find_exact(101).has_value());
+  EXPECT_EQ(cl.occupancy(), 1);
+}
+
+TEST(CompressedLine, RefreshInPlace) {
+  CompressedLine cl;
+  cl.install(entry(100, 0, 1));
+  cl.install(entry(100, 0, 2));
+  EXPECT_EQ(cl.occupancy(), 1);
+  EXPECT_EQ(cl.find_exact(100)->data, 2u);
+}
+
+TEST(CompressedLine, EightEntriesThenLruReplacement) {
+  CompressedLine cl;
+  for (Ver v = 100; v < 108; ++v) EXPECT_TRUE(cl.install(entry(v)));
+  EXPECT_EQ(cl.occupancy(), 8);
+  // Ninth install replaces the LRU entry (version 100).
+  EXPECT_TRUE(cl.install(entry(108)));
+  EXPECT_EQ(cl.occupancy(), 8);
+  EXPECT_FALSE(cl.find_exact(100).has_value());
+  EXPECT_TRUE(cl.find_exact(108).has_value());
+}
+
+TEST(CompressedLine, VersionOutside14BitOffsetRangeRejected) {
+  CompressedLine cl;
+  EXPECT_TRUE(cl.install(entry(0)));  // base = 0
+  EXPECT_TRUE(cl.install(entry(CompressedLine::kOffsetRange - 1)));
+  EXPECT_EQ(cl.range_rejections(), 0u);
+  EXPECT_FALSE(cl.install(entry(CompressedLine::kOffsetRange)));
+  EXPECT_EQ(cl.range_rejections(), 1u);
+}
+
+TEST(CompressedLine, BaseIsUpper18Bits) {
+  CompressedLine cl;
+  const Ver v = (Ver{5} << CompressedLine::kOffsetBits) + 123;
+  EXPECT_TRUE(cl.install(entry(v)));
+  // Anything in [5<<14, 6<<14) fits; below does not.
+  EXPECT_TRUE(cl.install(entry(Ver{5} << CompressedLine::kOffsetBits)));
+  EXPECT_FALSE(
+      cl.install(entry((Ver{5} << CompressedLine::kOffsetBits) - 1)));
+}
+
+TEST(CompressedLine, VersionBeyond32BitsNeverCompressible) {
+  CompressedLine cl;
+  EXPECT_FALSE(cl.install(entry(CompressedLine::kMaxVersion + 1)));
+  EXPECT_EQ(cl.range_rejections(), 1u);
+}
+
+TEST(CompressedLine, LockerOutsideRangeRejected) {
+  CompressedLine cl;
+  cl.install(entry(100));
+  // A locker whose id cannot be expressed relative to the base.
+  EXPECT_FALSE(cl.install(entry(101, CompressedLine::kOffsetRange + 50)));
+  // An in-range locker is fine.
+  EXPECT_TRUE(cl.install(entry(101, 200)));
+  EXPECT_EQ(cl.find_exact(101)->locked_by, 200u);
+}
+
+TEST(CompressedLine, RebaseAfterClear) {
+  CompressedLine cl;
+  cl.install(entry(100));
+  cl.clear();
+  // A far-away version becomes installable after re-basing.
+  EXPECT_TRUE(cl.install(entry(1 << 20)));
+}
+
+TEST(CompressedLine, FindLatestRequiresSoundness) {
+  CompressedLine cl;
+  // Version 5 cached without adjacency info: cannot answer LOAD-LATEST.
+  cl.install(entry(5));
+  EXPECT_FALSE(cl.find_latest(10).has_value());
+  // With head status it can.
+  cl.install(entry(5, 0, 0, /*is_head=*/true));
+  auto e = cl.find_latest(10);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->version, 5u);
+  // But not if the cap is below it.
+  EXPECT_FALSE(cl.find_latest(4).has_value());
+}
+
+TEST(CompressedLine, FindLatestViaAdjacency) {
+  CompressedLine cl;
+  // Version 5 whose next-newer neighbour is 9.
+  cl.install(entry(5, 0, 0, false, /*has_newer=*/true, /*newer=*/9));
+  // cap in [5, 9): sound hit.
+  EXPECT_TRUE(cl.find_latest(5).has_value());
+  EXPECT_TRUE(cl.find_latest(8).has_value());
+  // cap >= 9: version 9 (not cached) would be the answer; must miss.
+  EXPECT_FALSE(cl.find_latest(9).has_value());
+  EXPECT_FALSE(cl.find_latest(100).has_value());
+}
+
+TEST(CompressedLine, OnInsertPatchesHeadAndAdjacency) {
+  CompressedLine cl;
+  cl.install(entry(5, 0, 0, /*is_head=*/true));
+  // A new head version 9 appears.
+  cl.on_insert(9, /*at_head=*/true);
+  auto e = cl.find_exact(5);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_FALSE(e->is_head);
+  EXPECT_TRUE(e->has_newer);
+  EXPECT_EQ(e->newer_version, 9u);
+  // LOAD-LATEST(7) still sound via adjacency; (9) must now miss.
+  EXPECT_TRUE(cl.find_latest(7).has_value());
+  EXPECT_FALSE(cl.find_latest(9).has_value());
+}
+
+TEST(CompressedLine, OnInsertPatchesSpannedAdjacency) {
+  CompressedLine cl;
+  cl.install(entry(5, 0, 0, false, true, 9));
+  // Version 7 inserted between 5 and 9.
+  cl.on_insert(7, /*at_head=*/false);
+  auto e = cl.find_exact(5);
+  EXPECT_EQ(e->newer_version, 7u);
+  EXPECT_TRUE(cl.find_latest(6).has_value());
+  EXPECT_FALSE(cl.find_latest(7).has_value());  // 7 itself is not cached
+}
+
+TEST(CompressedLine, SetLockUpdatesAndEvictsOnOverflow) {
+  CompressedLine cl;
+  cl.install(entry(100));
+  EXPECT_TRUE(cl.set_lock(100, 105));
+  EXPECT_EQ(cl.find_exact(100)->locked_by, 105u);
+  EXPECT_TRUE(cl.set_lock(100, 0));  // unlock always representable
+  EXPECT_EQ(cl.find_exact(100)->locked_by, 0u);
+  // Locker out of range: entry must be evicted, not mis-encoded.
+  EXPECT_FALSE(cl.set_lock(100, CompressedLine::kOffsetRange * 3));
+  EXPECT_FALSE(cl.find_exact(100).has_value());
+  // set_lock of an uncached version is a no-op success.
+  EXPECT_TRUE(cl.set_lock(42, 7));
+}
+
+TEST(CompressedLine, EraseRemovesEntry) {
+  CompressedLine cl;
+  cl.install(entry(100));
+  cl.install(entry(101));
+  cl.erase(100);
+  EXPECT_FALSE(cl.find_exact(100).has_value());
+  EXPECT_TRUE(cl.find_exact(101).has_value());
+  EXPECT_EQ(cl.occupancy(), 1);
+}
+
+TEST(CompressedLine, StorageArithmeticMatchesPaper) {
+  // 8 entries x (32b data + 14b version + 14b lock) + 18b base + 4b offset
+  // = 502 bits <= 512 bits (one 64-byte line): the paper's 2x overhead for
+  // 8 four-byte versions.
+  constexpr int bits = CompressedLine::kEntries * (32 + 14 + 14) + 18 + 4;
+  static_assert(bits <= 512);
+  EXPECT_LE(bits, 512);
+}
+
+}  // namespace
+}  // namespace osim

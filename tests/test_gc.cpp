@@ -1,0 +1,220 @@
+// Unit tests for the shadowed/pending/free garbage collection protocol.
+#include "core/gc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fault.hpp"
+
+namespace osim {
+namespace {
+
+class GcTest : public ::testing::Test {
+ protected:
+  GcTest()
+      : gc(pool, stats, [this](BlockIndex b) {
+          reclaimed.push_back(b);
+          pool.free(b);
+          stats.blocks_freed++;
+        }) {}
+
+  BlockIndex live_block() {
+    const BlockIndex b = pool.alloc();
+    EXPECT_NE(b, kNullBlock);
+    return b;
+  }
+
+  BlockPool pool{64};
+  MachineStats stats{1};
+  std::vector<BlockIndex> reclaimed;
+  GarbageCollector gc;
+};
+
+TEST_F(GcTest, ShadowedBlockWaitsForPhase) {
+  gc.task_begin(2);
+  const BlockIndex b = live_block();
+  gc.on_shadowed(b, /*shadower=*/2);
+  EXPECT_EQ(pool[b].state, BlockState::kShadowed);
+  EXPECT_EQ(gc.shadowed_size(), 1u);
+  EXPECT_TRUE(reclaimed.empty());
+  gc.task_end(2);
+}
+
+TEST_F(GcTest, PhaseReclaimsOnceOldReadersFinish) {
+  // Task 2 stores a version that shadows task 1's; task 1 (a potential
+  // reader of the shadowed version) is still unfinished.
+  gc.task_begin(1);
+  gc.task_begin(2);
+  const BlockIndex b = live_block();
+  gc.on_shadowed(b, /*shadower=*/2);
+  EXPECT_TRUE(gc.start_phase());
+  EXPECT_TRUE(gc.phase_active());
+  EXPECT_EQ(pool[b].state, BlockState::kPending);
+  // Task 2 ending does not help: task 1 can still read the old version.
+  gc.task_end(2);
+  EXPECT_TRUE(gc.phase_active());
+  EXPECT_TRUE(reclaimed.empty());
+  // Task 1 ends: no unfinished task older than the fence remains.
+  gc.task_end(1);
+  EXPECT_FALSE(gc.phase_active());
+  EXPECT_EQ(reclaimed, (std::vector<BlockIndex>{b}));
+  EXPECT_EQ(stats.gc_phases, 1u);
+}
+
+TEST_F(GcTest, FenceIsYoungestShadowerInBatch) {
+  gc.task_begin(1);
+  gc.task_begin(5);
+  gc.task_begin(9);
+  const BlockIndex a = live_block();
+  const BlockIndex b = live_block();
+  gc.on_shadowed(a, 5);
+  gc.on_shadowed(b, 9);
+  gc.start_phase();  // fence = 9
+  gc.task_end(1);
+  gc.task_end(5);
+  // Task 9 is not *older* than the fence (9): reclamation may proceed.
+  EXPECT_FALSE(gc.phase_active());
+  EXPECT_EQ(reclaimed.size(), 2u);
+  gc.task_end(9);
+}
+
+TEST_F(GcTest, CreatedButUnbegunTaskHoldsBackReclamation) {
+  // The static scheduler creates tasks long before they begin; a created
+  // task older than the fence must keep pending blocks alive.
+  gc.task_created(3);
+  gc.task_begin(7);
+  const BlockIndex b = live_block();
+  gc.on_shadowed(b, 7);
+  gc.start_phase();  // fence = 7
+  gc.task_end(7);
+  EXPECT_TRUE(gc.phase_active());  // task 3 could still read the old version
+  EXPECT_TRUE(reclaimed.empty());
+  gc.task_begin(3);
+  gc.task_end(3);
+  EXPECT_FALSE(gc.phase_active());
+  EXPECT_EQ(reclaimed.size(), 1u);
+}
+
+TEST_F(GcTest, QuiescentPhaseReclaimsImmediately) {
+  gc.task_begin(1);
+  const BlockIndex b = live_block();
+  gc.on_shadowed(b, 1);
+  gc.task_end(1);
+  EXPECT_TRUE(gc.start_phase());
+  EXPECT_FALSE(gc.phase_active());
+  EXPECT_EQ(reclaimed.size(), 1u);
+}
+
+TEST_F(GcTest, NewlyShadowedDuringPhaseGoesToNextPhase) {
+  gc.task_begin(1);
+  gc.task_begin(2);
+  const BlockIndex a = live_block();
+  gc.on_shadowed(a, 2);
+  gc.start_phase();
+  // Shadow another block mid-phase: lands on the shadowed list, untouched
+  // by this phase's finalization.
+  const BlockIndex b = live_block();
+  gc.on_shadowed(b, 2);
+  gc.task_end(1);
+  EXPECT_EQ(reclaimed, (std::vector<BlockIndex>{a}));
+  EXPECT_EQ(gc.shadowed_size(), 1u);
+  gc.task_end(2);
+}
+
+TEST_F(GcTest, StartPhaseNoopWithoutShadowedWork) {
+  EXPECT_FALSE(gc.start_phase());
+  EXPECT_EQ(stats.gc_phases, 0u);
+}
+
+TEST_F(GcTest, StartPhaseNoopWhilePhaseActive) {
+  gc.task_begin(1);
+  gc.task_begin(2);
+  gc.on_shadowed(live_block(), 2);
+  EXPECT_TRUE(gc.start_phase());
+  gc.on_shadowed(live_block(), 2);
+  EXPECT_FALSE(gc.start_phase());  // one phase at a time
+  gc.task_end(1);
+  gc.task_end(2);
+}
+
+TEST_F(GcTest, Rule3CreationOlderThanUnfinishedFaults) {
+  gc.task_begin(10);
+  try {
+    gc.task_created(5);
+    FAIL() << "expected OFault";
+  } catch (const OFault& f) {
+    EXPECT_EQ(f.kind(), FaultKind::kTaskOrderViolation);
+  }
+  gc.task_end(10);
+}
+
+TEST_F(GcTest, Rule3CreationBelowFloorFaults) {
+  gc.task_begin(10);
+  gc.on_shadowed(live_block(), 10);
+  gc.start_phase();  // fence = 10
+  gc.task_end(10);   // finalize: floor = 9
+  EXPECT_EQ(gc.floor(), 9u);
+  EXPECT_EQ(reclaimed.size(), 1u);
+  EXPECT_THROW(gc.task_begin(9), OFault);
+  gc.task_begin(10);  // re-running the fence id itself is fine
+  gc.task_end(10);
+}
+
+TEST_F(GcTest, TaskEndWithoutBeginFaults) {
+  EXPECT_THROW(gc.task_end(1), OFault);
+}
+
+TEST_F(GcTest, OutOfOrderSpawningPermitted) {
+  // Rule 3 only bounds below: spawning younger tasks out of order is fine.
+  gc.task_begin(5);
+  gc.task_begin(9);
+  gc.task_begin(7);
+  gc.task_end(7);
+  gc.task_end(5);
+  gc.task_end(9);
+  EXPECT_EQ(gc.unfinished_tasks(), 0u);
+}
+
+TEST_F(GcTest, StaleGenerationSkipped) {
+  gc.task_begin(1);
+  gc.task_begin(2);
+  const BlockIndex b = live_block();
+  gc.on_shadowed(b, 2);
+  // The O-structure was released wholesale: the block was freed (and maybe
+  // reallocated) outside the GC. Finalization must not double-free it.
+  pool.free(b);
+  const std::size_t free_before = pool.free_count();
+  gc.start_phase();
+  gc.task_end(1);
+  gc.task_end(2);
+  EXPECT_TRUE(reclaimed.empty());
+  EXPECT_EQ(pool.free_count(), free_before);
+}
+
+TEST_F(GcTest, ManyBlocksReclaimedInOnePhase) {
+  gc.task_begin(1);
+  gc.task_begin(2);
+  for (int i = 0; i < 20; ++i) gc.on_shadowed(live_block(), 2);
+  gc.start_phase();
+  gc.task_end(2);
+  gc.task_end(1);
+  EXPECT_EQ(reclaimed.size(), 20u);
+  EXPECT_EQ(stats.blocks_freed, 20u);
+}
+
+TEST_F(GcTest, RepeatedPhasesRaiseFloorMonotonically) {
+  TaskId prev_floor = 0;
+  for (TaskId t = 1; t <= 10; ++t) {
+    gc.task_begin(t);
+    gc.on_shadowed(live_block(), t);
+    gc.start_phase();
+    gc.task_end(t);
+    EXPECT_GE(gc.floor(), prev_floor);
+    prev_floor = gc.floor();
+  }
+  EXPECT_EQ(reclaimed.size(), 10u);
+}
+
+}  // namespace
+}  // namespace osim

@@ -1,0 +1,265 @@
+// Tests for the dataflow wrappers (istructure / mstructure) and the
+// software O-structure runtime.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/structures.hpp"
+#include "runtime/sw_ostructures.hpp"
+
+namespace osim {
+namespace {
+
+MachineConfig cfg(int cores) {
+  MachineConfig c;
+  c.num_cores = cores;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// I-structures
+
+TEST(IStructure, PutThenGet) {
+  Env env(cfg(1));
+  env.run_sequential([&] {
+    istructure<int> cell(env);
+    EXPECT_FALSE(cell.full());
+    cell.put(42);
+    EXPECT_TRUE(cell.full());
+    EXPECT_EQ(cell.get(), 42);
+    EXPECT_EQ(cell.get(), 42);  // reads never consume
+  });
+}
+
+TEST(IStructure, GetBlocksUntilPut) {
+  Env env(cfg(2));
+  istructure<int> cell(env);
+  Cycles got_at = 0;
+  int got = 0;
+  env.spawn(0, [&] {
+    got = cell.get();
+    got_at = mach().now();
+  });
+  env.spawn(1, [&] {
+    mach().advance(4000);
+    cell.put(9);
+  });
+  env.run();
+  EXPECT_EQ(got, 9);
+  EXPECT_GT(got_at, 4000u);
+}
+
+TEST(IStructure, DoublePutFaults) {
+  Env env(cfg(1));
+  env.spawn(0, [&] {
+    istructure<int> cell(env);
+    cell.put(1);
+    cell.put(2);
+  });
+  EXPECT_THROW(env.run(), SimError);
+}
+
+TEST(IStructure, ManyConsumersOneProducer) {
+  Env env(cfg(8));
+  istructure<long> cell(env);
+  int sum = 0;
+  for (CoreId c = 0; c < 7; ++c) {
+    env.spawn(c, [&] { sum += static_cast<int>(cell.get()); });
+  }
+  env.spawn(7, [&] {
+    mach().advance(1000);
+    cell.put(3);
+  });
+  env.run();
+  EXPECT_EQ(sum, 21);
+}
+
+// ---------------------------------------------------------------------------
+// M-structures
+
+TEST(MStructure, TakePutRoundTrip) {
+  Env env(cfg(1));
+  env.run_sequential([&] {
+    mstructure<int> cell(env);
+    cell.init(5);
+    EXPECT_EQ(cell.take(/*taker=*/1), 5);
+    cell.put(1, 6);
+    EXPECT_EQ(cell.take(2), 6);
+    cell.put(2, 7);
+    // Full version history is retained (beyond classic M-structures).
+    EXPECT_EQ(cell.history(1), 5);
+    EXPECT_EQ(cell.history(2), 6);
+    EXPECT_EQ(cell.history(3), 7);
+  });
+}
+
+TEST(MStructure, TakersExcludeEachOther) {
+  // Two cores increment through an M-structure: atomicity means no lost
+  // updates, regardless of interleaving.
+  Env env(cfg(2));
+  mstructure<long> counter(env);
+  env.spawn(0, [&] {
+    counter.init(0);
+    for (int i = 0; i < 50; ++i) {
+      const long v = counter.take(100);
+      mach().exec(10);
+      counter.put(100, v + 1);
+    }
+  });
+  env.spawn(1, [&] {
+    for (int i = 0; i < 50; ++i) {
+      const long v = counter.take(200);
+      mach().exec(10);
+      counter.put(200, v + 1);
+    }
+  });
+  env.run();
+  long final_value = -1;
+  env.spawn(0, [&] { final_value = counter.take(300); });
+  env.run();
+  EXPECT_EQ(final_value, 100);
+}
+
+TEST(MStructure, TakeBlocksUntilInit) {
+  Env env(cfg(2));
+  mstructure<int> cell(env);
+  Cycles taken_at = 0;
+  env.spawn(0, [&] {
+    cell.take(1);
+    taken_at = mach().now();
+  });
+  env.spawn(1, [&] {
+    mach().advance(2500);
+    cell.init(1);
+  });
+  env.run();
+  EXPECT_GT(taken_at, 2500u);
+}
+
+// ---------------------------------------------------------------------------
+// Software O-structures: identical semantics, higher cost.
+
+TEST(SwOStructure, SemanticsMatchHardware) {
+  Env env(cfg(1));
+  env.run_sequential([&] {
+    SwOStructure sw(env);
+    sw.store_version(2, 22);
+    sw.store_version(5, 55);
+    sw.store_version(3, 33);  // out of order
+    EXPECT_EQ(sw.load_version(2), 22u);
+    EXPECT_EQ(sw.load_version(3), 33u);
+    Ver got = 0;
+    EXPECT_EQ(sw.load_latest(4, &got), 33u);
+    EXPECT_EQ(got, 3u);
+    EXPECT_EQ(sw.load_latest(100), 55u);
+    EXPECT_EQ(sw.version_count(), 3);
+  });
+}
+
+TEST(SwOStructure, LockExcludesAndRenames) {
+  Env env(cfg(1));
+  env.run_sequential([&] {
+    SwOStructure sw(env);
+    sw.store_version(1, 10);
+    EXPECT_EQ(sw.lock_load_version(1, 7), 10u);
+    sw.unlock_version(1, 7, Ver{2});
+    EXPECT_EQ(sw.load_version(2), 10u);
+  });
+}
+
+TEST(SwOStructure, DoubleStoreFaults) {
+  Env env(cfg(1));
+  env.spawn(0, [&] {
+    SwOStructure sw(env);
+    sw.store_version(1, 1);
+    sw.store_version(1, 2);
+  });
+  EXPECT_THROW(env.run(), SimError);
+}
+
+TEST(SwOStructure, UnlockByNonOwnerFaults) {
+  Env env(cfg(1));
+  env.spawn(0, [&] {
+    SwOStructure sw(env);
+    sw.store_version(1, 1);
+    sw.lock_load_version(1, 5);
+    sw.unlock_version(1, 6);
+  });
+  EXPECT_THROW(env.run(), SimError);
+}
+
+TEST(SwOStructure, BlockingProducerConsumer) {
+  Env env(cfg(2));
+  SwOStructure sw(env);
+  std::uint64_t got = 0;
+  Cycles got_at = 0;
+  env.spawn(0, [&] {
+    got = sw.load_version(1);
+    got_at = mach().now();
+  });
+  env.spawn(1, [&] {
+    mach().advance(3000);
+    sw.store_version(1, 77);
+  });
+  env.run();
+  EXPECT_EQ(got, 77u);
+  EXPECT_GT(got_at, 3000u);
+}
+
+TEST(SwOStructure, LockContentionBlocksSecondLocker) {
+  Env env(cfg(2));
+  SwOStructure sw(env);
+  Cycles second = 0;
+  env.spawn(0, [&] {
+    sw.store_version(1, 5);
+    sw.lock_load_version(1, 100);
+    mach().advance(5000);
+    sw.unlock_version(1, 100);
+  });
+  env.spawn(1, [&] {
+    mach().advance(500);
+    sw.lock_load_version(1, 200);
+    second = mach().now();
+    sw.unlock_version(1, 200);
+  });
+  env.run();
+  EXPECT_GT(second, 5000u);
+}
+
+TEST(SwOStructure, CostsMoreThanHardware) {
+  // The paper's motivation for architectural support: the same op sequence
+  // costs far more in software. Compare single-core store+load streams.
+  const int kOps = 200;
+  Cycles hw = 0, sw_cycles = 0;
+  {
+    Env env(cfg(1));
+    env.spawn(0, [&] {
+      versioned<std::uint64_t> v(env);
+      const Cycles t0 = mach().now();
+      for (Ver i = 1; i <= kOps; ++i) {
+        v.store_ver(i, i);
+        v.load_ver(i);
+      }
+      hw = mach().now() - t0;
+    });
+    env.run();
+  }
+  {
+    Env env(cfg(1));
+    env.spawn(0, [&] {
+      SwOStructure s(env);
+      const Cycles t0 = mach().now();
+      for (Ver i = 1; i <= kOps; ++i) {
+        s.store_version(i, i);
+        s.load_version(i);
+      }
+      sw_cycles = mach().now() - t0;
+    });
+    env.run();
+  }
+  EXPECT_GT(sw_cycles, 2 * hw) << "software should cost several times more";
+}
+
+}  // namespace
+}  // namespace osim
