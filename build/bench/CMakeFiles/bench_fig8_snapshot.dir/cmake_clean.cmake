@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_snapshot.dir/bench_fig8_snapshot.cpp.o"
+  "CMakeFiles/bench_fig8_snapshot.dir/bench_fig8_snapshot.cpp.o.d"
+  "bench_fig8_snapshot"
+  "bench_fig8_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

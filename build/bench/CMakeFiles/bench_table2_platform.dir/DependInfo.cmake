@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_platform.cpp" "bench/CMakeFiles/bench_table2_platform.dir/bench_table2_platform.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_platform.dir/bench_table2_platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/osim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/osim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/osim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levenshtein_wavefront.dir/levenshtein_wavefront.cpp.o"
+  "CMakeFiles/levenshtein_wavefront.dir/levenshtein_wavefront.cpp.o.d"
+  "levenshtein_wavefront"
+  "levenshtein_wavefront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levenshtein_wavefront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linked_list_pipeline.dir/linked_list_pipeline.cpp.o"
+  "CMakeFiles/linked_list_pipeline.dir/linked_list_pipeline.cpp.o.d"
+  "linked_list_pipeline"
+  "linked_list_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linked_list_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_dataflow.dir/matmul_dataflow.cpp.o"
+  "CMakeFiles/matmul_dataflow.dir/matmul_dataflow.cpp.o.d"
+  "matmul_dataflow"
+  "matmul_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

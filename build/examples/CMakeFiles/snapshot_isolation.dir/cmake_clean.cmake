@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_isolation.dir/snapshot_isolation.cpp.o"
+  "CMakeFiles/snapshot_isolation.dir/snapshot_isolation.cpp.o.d"
+  "snapshot_isolation"
+  "snapshot_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compressed_line.cpp" "src/core/CMakeFiles/osim_core.dir/compressed_line.cpp.o" "gcc" "src/core/CMakeFiles/osim_core.dir/compressed_line.cpp.o.d"
+  "/root/repo/src/core/gc.cpp" "src/core/CMakeFiles/osim_core.dir/gc.cpp.o" "gcc" "src/core/CMakeFiles/osim_core.dir/gc.cpp.o.d"
+  "/root/repo/src/core/ostructure_manager.cpp" "src/core/CMakeFiles/osim_core.dir/ostructure_manager.cpp.o" "gcc" "src/core/CMakeFiles/osim_core.dir/ostructure_manager.cpp.o.d"
+  "/root/repo/src/core/version_list.cpp" "src/core/CMakeFiles/osim_core.dir/version_list.cpp.o" "gcc" "src/core/CMakeFiles/osim_core.dir/version_list.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/osim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osim_core.dir/compressed_line.cpp.o"
+  "CMakeFiles/osim_core.dir/compressed_line.cpp.o.d"
+  "CMakeFiles/osim_core.dir/gc.cpp.o"
+  "CMakeFiles/osim_core.dir/gc.cpp.o.d"
+  "CMakeFiles/osim_core.dir/ostructure_manager.cpp.o"
+  "CMakeFiles/osim_core.dir/ostructure_manager.cpp.o.d"
+  "CMakeFiles/osim_core.dir/version_list.cpp.o"
+  "CMakeFiles/osim_core.dir/version_list.cpp.o.d"
+  "libosim_core.a"
+  "libosim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/rwlock.cpp" "src/runtime/CMakeFiles/osim_runtime.dir/rwlock.cpp.o" "gcc" "src/runtime/CMakeFiles/osim_runtime.dir/rwlock.cpp.o.d"
+  "/root/repo/src/runtime/sw_ostructures.cpp" "src/runtime/CMakeFiles/osim_runtime.dir/sw_ostructures.cpp.o" "gcc" "src/runtime/CMakeFiles/osim_runtime.dir/sw_ostructures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/osim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osim_runtime.dir/rwlock.cpp.o"
+  "CMakeFiles/osim_runtime.dir/rwlock.cpp.o.d"
+  "CMakeFiles/osim_runtime.dir/sw_ostructures.cpp.o"
+  "CMakeFiles/osim_runtime.dir/sw_ostructures.cpp.o.d"
+  "libosim_runtime.a"
+  "libosim_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osim_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osim_sim.dir/cache.cpp.o"
+  "CMakeFiles/osim_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/osim_sim.dir/fiber.cpp.o"
+  "CMakeFiles/osim_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/osim_sim.dir/fiber_switch.S.o"
+  "CMakeFiles/osim_sim.dir/machine.cpp.o"
+  "CMakeFiles/osim_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/osim_sim.dir/memory_system.cpp.o"
+  "CMakeFiles/osim_sim.dir/memory_system.cpp.o.d"
+  "CMakeFiles/osim_sim.dir/stats.cpp.o"
+  "CMakeFiles/osim_sim.dir/stats.cpp.o.d"
+  "libosim_sim.a"
+  "libosim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/osim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

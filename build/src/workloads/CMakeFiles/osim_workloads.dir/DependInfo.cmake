@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/binary_tree.cpp" "src/workloads/CMakeFiles/osim_workloads.dir/binary_tree.cpp.o" "gcc" "src/workloads/CMakeFiles/osim_workloads.dir/binary_tree.cpp.o.d"
+  "/root/repo/src/workloads/hash_table.cpp" "src/workloads/CMakeFiles/osim_workloads.dir/hash_table.cpp.o" "gcc" "src/workloads/CMakeFiles/osim_workloads.dir/hash_table.cpp.o.d"
+  "/root/repo/src/workloads/levenshtein.cpp" "src/workloads/CMakeFiles/osim_workloads.dir/levenshtein.cpp.o" "gcc" "src/workloads/CMakeFiles/osim_workloads.dir/levenshtein.cpp.o.d"
+  "/root/repo/src/workloads/linked_list.cpp" "src/workloads/CMakeFiles/osim_workloads.dir/linked_list.cpp.o" "gcc" "src/workloads/CMakeFiles/osim_workloads.dir/linked_list.cpp.o.d"
+  "/root/repo/src/workloads/matmul.cpp" "src/workloads/CMakeFiles/osim_workloads.dir/matmul.cpp.o" "gcc" "src/workloads/CMakeFiles/osim_workloads.dir/matmul.cpp.o.d"
+  "/root/repo/src/workloads/opgen.cpp" "src/workloads/CMakeFiles/osim_workloads.dir/opgen.cpp.o" "gcc" "src/workloads/CMakeFiles/osim_workloads.dir/opgen.cpp.o.d"
+  "/root/repo/src/workloads/rb_tree.cpp" "src/workloads/CMakeFiles/osim_workloads.dir/rb_tree.cpp.o" "gcc" "src/workloads/CMakeFiles/osim_workloads.dir/rb_tree.cpp.o.d"
+  "/root/repo/src/workloads/runner.cpp" "src/workloads/CMakeFiles/osim_workloads.dir/runner.cpp.o" "gcc" "src/workloads/CMakeFiles/osim_workloads.dir/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/osim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/osim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osim_workloads.dir/binary_tree.cpp.o"
+  "CMakeFiles/osim_workloads.dir/binary_tree.cpp.o.d"
+  "CMakeFiles/osim_workloads.dir/hash_table.cpp.o"
+  "CMakeFiles/osim_workloads.dir/hash_table.cpp.o.d"
+  "CMakeFiles/osim_workloads.dir/levenshtein.cpp.o"
+  "CMakeFiles/osim_workloads.dir/levenshtein.cpp.o.d"
+  "CMakeFiles/osim_workloads.dir/linked_list.cpp.o"
+  "CMakeFiles/osim_workloads.dir/linked_list.cpp.o.d"
+  "CMakeFiles/osim_workloads.dir/matmul.cpp.o"
+  "CMakeFiles/osim_workloads.dir/matmul.cpp.o.d"
+  "CMakeFiles/osim_workloads.dir/opgen.cpp.o"
+  "CMakeFiles/osim_workloads.dir/opgen.cpp.o.d"
+  "CMakeFiles/osim_workloads.dir/rb_tree.cpp.o"
+  "CMakeFiles/osim_workloads.dir/rb_tree.cpp.o.d"
+  "CMakeFiles/osim_workloads.dir/runner.cpp.o"
+  "CMakeFiles/osim_workloads.dir/runner.cpp.o.d"
+  "libosim_workloads.a"
+  "libosim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

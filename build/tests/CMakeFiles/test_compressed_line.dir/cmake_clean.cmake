@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compressed_line.dir/test_compressed_line.cpp.o"
+  "CMakeFiles/test_compressed_line.dir/test_compressed_line.cpp.o.d"
+  "test_compressed_line"
+  "test_compressed_line.pdb"
+  "test_compressed_line[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compressed_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_variants.dir/test_config_variants.cpp.o"
+  "CMakeFiles/test_config_variants.dir/test_config_variants.cpp.o.d"
+  "test_config_variants"
+  "test_config_variants.pdb"
+  "test_config_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

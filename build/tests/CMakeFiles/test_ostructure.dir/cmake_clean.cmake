@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ostructure.dir/test_ostructure.cpp.o"
+  "CMakeFiles/test_ostructure.dir/test_ostructure.cpp.o.d"
+  "test_ostructure"
+  "test_ostructure.pdb"
+  "test_ostructure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ostructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_version_list.dir/test_version_list.cpp.o"
+  "CMakeFiles/test_version_list.dir/test_version_list.cpp.o.d"
+  "test_version_list"
+  "test_version_list.pdb"
+  "test_version_list[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_version_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

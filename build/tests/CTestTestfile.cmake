@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_fiber[1]_include.cmake")
+include("/root/repo/build/tests/test_version_list[1]_include.cmake")
+include("/root/repo/build/tests/test_compressed_line[1]_include.cmake")
+include("/root/repo/build/tests/test_gc[1]_include.cmake")
+include("/root/repo/build/tests/test_ostructure[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_memory_system[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_structures[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_config_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_faults[1]_include.cmake")
