@@ -16,16 +16,21 @@
 // for a single-core and a 32-core versioned run of each workload.
 #include <cstdio>
 #include <functional>
+#include <iterator>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "driver.hpp"
 #include "workloads/binary_tree.hpp"
 #include "workloads/linked_list.hpp"
 
 namespace osim {
 namespace {
 
+using bench::CellResult;
+using bench::Driver;
 using bench::fmt;
-using bench::Scale;
 
 struct Variant {
   const char* name;
@@ -39,18 +44,36 @@ const Variant kVariants[] = {
     {"inplace-comp", [](OStructConfig& c) { c.inplace_comp_update = true; }},
 };
 
-void sweep(const std::string& label, int cores,
-           const std::function<Cycles(const MachineConfig&)>& run) {
-  std::vector<Cycles> cycles;
+/// One table line: a cell per variant for one (workload, cores) pair.
+struct Line {
+  std::string label;
+  std::vector<std::size_t> cells;
+};
+
+Line add_sweep(Driver& driver, const std::string& label, int cores,
+               std::function<RunResult(const MachineConfig&)> run) {
+  Line ln{label, {}};
   for (const Variant& v : kVariants) {
     MachineConfig c;
     c.num_cores = cores;
     v.apply(c.ostruct);
-    cycles.push_back(run(c));
+    ln.cells.push_back(driver.add(label + "/" + v.name, [run, c] {
+      const RunResult r = run(c);
+      return CellResult{r.cycles, r.checksum, 0.0};
+    }));
   }
-  std::vector<std::string> cells{label};
-  for (std::size_t i = 0; i < std::size(kVariants); ++i) {
-    cells.push_back(fmt(static_cast<double>(cycles[0]) / cycles[i], 3));
+  return ln;
+}
+
+void print_line(Driver& driver, const Line& ln) {
+  const Cycles base = driver.result(ln.cells[0]).cycles;
+  const std::uint64_t sum = driver.result(ln.cells[0]).checksum;
+  std::vector<std::string> cells{ln.label};
+  for (std::size_t h : ln.cells) {
+    const CellResult& r = driver.result(h);
+    cells.push_back(fmt(static_cast<double>(base) / r.cycles, 3));
+    driver.check(ln.label + ": checksum invariant across variants",
+                 r.checksum == sum);
   }
   bench::row(cells, 13);
 }
@@ -61,7 +84,37 @@ void sweep(const std::string& label, int cores,
 int main(int argc, char** argv) {
   using namespace osim;
   using namespace osim::bench;
-  const Scale scale = Scale::parse(argc, argv);
+  const Options opt = Options::parse(argc, argv);
+  const Scale scale = opt.scale;
+  Driver driver("ablation", opt);
+
+  std::vector<Line> lines;
+  {
+    DsSpec spec;
+    spec.initial_size = 10000;
+    spec.reads_per_write = 4;
+    spec.ops = scale.ops(160);
+    auto run = [spec](const MachineConfig& c) {
+      Env env(c);
+      return linked_list_versioned(env, spec, c.num_cores);
+    };
+    lines.push_back(add_sweep(driver, "linked_list 1T", 1, run));
+    lines.push_back(add_sweep(driver, "linked_list 32T", 32, run));
+  }
+  {
+    DsSpec spec;
+    spec.initial_size = 10000;
+    spec.reads_per_write = 4;
+    spec.ops = scale.ops(1200);
+    auto run = [spec](const MachineConfig& c) {
+      Env env(c);
+      return binary_tree_versioned(env, spec, c.num_cores);
+    };
+    lines.push_back(add_sweep(driver, "binary_tree 1T", 1, run));
+    lines.push_back(add_sweep(driver, "binary_tree 32T", 32, run));
+  }
+
+  driver.run_all();
 
   std::printf(
       "Ablation: performance relative to the baseline configuration\n"
@@ -69,40 +122,12 @@ int main(int argc, char** argv) {
   rule(5, 13);
   row({"run", "baseline", "no-compress", "no-pollute", "inplace-comp"}, 13);
   rule(5, 13);
-
-  {
-    DsSpec spec;
-    spec.initial_size = 10000;
-    spec.reads_per_write = 4;
-    spec.ops = scale.ops(160);
-    sweep("linked_list 1T", 1, [&](const MachineConfig& c) {
-      Env env(c);
-      return linked_list_versioned(env, spec, c.num_cores).cycles;
-    });
-    sweep("linked_list 32T", 32, [&](const MachineConfig& c) {
-      Env env(c);
-      return linked_list_versioned(env, spec, c.num_cores).cycles;
-    });
-  }
-  {
-    DsSpec spec;
-    spec.initial_size = 10000;
-    spec.reads_per_write = 4;
-    spec.ops = scale.ops(1200);
-    sweep("binary_tree 1T", 1, [&](const MachineConfig& c) {
-      Env env(c);
-      return binary_tree_versioned(env, spec, c.num_cores).cycles;
-    });
-    sweep("binary_tree 32T", 32, [&](const MachineConfig& c) {
-      Env env(c);
-      return binary_tree_versioned(env, spec, c.num_cores).cycles;
-    });
-  }
+  for (const Line& ln : lines) print_line(driver, ln);
   rule(5, 13);
   std::printf(
       "\nExpected: no-compress hurts single-core runs most (direct access\n"
       "is the paper's fast path); no-pollute hurts long-walk workloads;\n"
       "inplace-comp helps multicore runs by preserving remote direct "
       "access.\n");
-  return 0;
+  return driver.finish();
 }

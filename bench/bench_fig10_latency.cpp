@@ -8,8 +8,11 @@
 #include <cstdio>
 #include <functional>
 #include <iterator>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "driver.hpp"
 #include "workloads/binary_tree.hpp"
 #include "workloads/hash_table.hpp"
 #include "workloads/levenshtein.hpp"
@@ -20,8 +23,9 @@
 namespace osim {
 namespace {
 
+using bench::CellResult;
+using bench::Driver;
 using bench::fmt;
-using bench::Scale;
 
 const Cycles kInject[] = {0, 2, 4, 6, 8, 10};
 
@@ -32,29 +36,53 @@ MachineConfig config_with_inject(int cores, Cycles extra) {
   return c;
 }
 
-void sweep(const std::string& label,
-           const std::function<Cycles(Cycles)>& fn) {
-  std::vector<Cycles> cycles;
-  for (Cycles extra : kInject) cycles.push_back(fn(extra));
-  const double base = static_cast<double>(cycles[0]);
-  std::vector<std::string> cells{label};
-  for (std::size_t i = 1; i < std::size(kInject); ++i) {
-    // Negative speedup (slowdown) vs the no-injection run, as in Fig. 10.
-    cells.push_back(fmt(base / static_cast<double>(cycles[i]) - 1.0, 3));
+/// One table line: a cell per injected latency for one (workload, cores).
+struct Line {
+  std::string label;
+  std::vector<std::size_t> cells;
+};
+
+Line add_sweep(Driver& driver, const std::string& label,
+               std::function<RunResult(Cycles)> fn) {
+  Line ln{label, {}};
+  for (Cycles extra : kInject) {
+    ln.cells.push_back(
+        driver.add(label + "/+" + std::to_string(extra) + "cyc",
+                   [fn, extra] {
+                     const RunResult r = fn(extra);
+                     return CellResult{r.cycles, r.checksum, 0.0};
+                   }));
   }
-  bench::row(cells, 13);
+  return ln;
 }
 
 template <typename ParFn>
-void sweep_par(const char* name, ParFn par) {
-  sweep(std::string(name) + " 1T", [&](Cycles extra) {
-    Env env(config_with_inject(1, extra));
-    return par(env, 1);
-  });
-  sweep(std::string(name) + " 32T", [&](Cycles extra) {
-    Env env(config_with_inject(32, extra));
-    return par(env, 32);
-  });
+void add_par(Driver& driver, std::vector<Line>& lines, const char* name,
+             ParFn par) {
+  lines.push_back(
+      add_sweep(driver, std::string(name) + " 1T", [par](Cycles extra) {
+        Env env(config_with_inject(1, extra));
+        return par(env, 1);
+      }));
+  lines.push_back(
+      add_sweep(driver, std::string(name) + " 32T", [par](Cycles extra) {
+        Env env(config_with_inject(32, extra));
+        return par(env, 32);
+      }));
+}
+
+void print_line(Driver& driver, const Line& ln) {
+  const double base = static_cast<double>(driver.result(ln.cells[0]).cycles);
+  const std::uint64_t sum = driver.result(ln.cells[0]).checksum;
+  std::vector<std::string> cells{ln.label};
+  for (std::size_t i = 1; i < std::size(kInject); ++i) {
+    const CellResult& r = driver.result(ln.cells[i]);
+    // Negative speedup (slowdown) vs the no-injection run, as in Fig. 10.
+    cells.push_back(fmt(base / static_cast<double>(r.cycles) - 1.0, 3));
+    driver.check(ln.label + ": checksum invariant across injected latency",
+                 r.checksum == sum);
+  }
+  bench::row(cells, 13);
 }
 
 }  // namespace
@@ -63,14 +91,9 @@ void sweep_par(const char* name, ParFn par) {
 int main(int argc, char** argv) {
   using namespace osim;
   using namespace osim::bench;
-  const Scale scale = Scale::parse(argc, argv);
-
-  std::printf(
-      "Figure 10: relative speedup (negative = slowdown) when injecting\n"
-      "2..10 extra cycles into every versioned operation\n\n");
-  rule(6, 13);
-  row({"run", "+2cyc", "+4cyc", "+6cyc", "+8cyc", "+10cyc"}, 13);
-  rule(6, 13);
+  const Options opt = Options::parse(argc, argv);
+  const Scale scale = opt.scale;
+  Driver driver("fig10_latency", opt);
 
   struct DsCase {
     const char* name;
@@ -83,32 +106,44 @@ int main(int argc, char** argv) {
       {"hash_table", hash_table_versioned, 1200},
       {"rb_tree", rb_tree_versioned, 800},
   };
+  std::vector<Line> lines;
   for (const DsCase& c : cases) {
     DsSpec spec;
     spec.initial_size = 10000;
     spec.reads_per_write = 4;
     spec.ops = scale.ops(c.base_ops);
-    sweep_par(c.name, [&](Env& env, int cores) {
-      return c.par(env, spec, cores).cycles;
+    auto par = c.par;
+    add_par(driver, lines, c.name, [par, spec](Env& env, int cores) {
+      return par(env, spec, cores);
     });
   }
   {
     LevSpec spec;
     spec.n = scale.dim(600);
-    sweep_par("levenshtein", [&](Env& env, int cores) {
-      return levenshtein_versioned(env, spec, cores).cycles;
+    add_par(driver, lines, "levenshtein", [spec](Env& env, int cores) {
+      return levenshtein_versioned(env, spec, cores);
     });
   }
   {
     MatmulSpec spec;
     spec.n = scale.dim(72);
-    sweep_par("matrix_mul", [&](Env& env, int cores) {
-      return matmul_versioned(env, spec, cores).cycles;
+    add_par(driver, lines, "matrix_mul", [spec](Env& env, int cores) {
+      return matmul_versioned(env, spec, cores);
     });
   }
+
+  driver.run_all();
+
+  std::printf(
+      "Figure 10: relative speedup (negative = slowdown) when injecting\n"
+      "2..10 extra cycles into every versioned operation\n\n");
+  rule(6, 13);
+  row({"run", "+2cyc", "+4cyc", "+6cyc", "+8cyc", "+10cyc"}, 13);
+  rule(6, 13);
+  for (const Line& ln : lines) print_line(driver, ln);
   rule(6, 13);
   std::printf(
       "\nPaper reference (Fig. 10): at most ~16%% slowdown at +10 cycles,\n"
       "milder at small injections; sensitivity shrinks with parallelism.\n");
-  return 0;
+  return driver.finish();
 }

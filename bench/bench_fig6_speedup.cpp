@@ -10,8 +10,11 @@
 // pointer-chasing structures reach meaningful but sub-linear speedups; the
 // red-black tree is the weakest (single writer throttles the root).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "driver.hpp"
 #include "workloads/binary_tree.hpp"
 #include "workloads/hash_table.hpp"
 #include "workloads/levenshtein.hpp"
@@ -22,9 +25,10 @@
 namespace osim {
 namespace {
 
+using bench::CellResult;
+using bench::Driver;
 using bench::fmt;
 using bench::make_config;
-using bench::Scale;
 
 constexpr int kCores = 32;
 
@@ -37,25 +41,26 @@ struct Ds {
   int base_ops;  // scaled by --quick/--full
 };
 
-void run_ds(const Ds& ds, const Scale& scale) {
-  for (std::size_t size : {std::size_t{1000}, std::size_t{10000}}) {
-    for (int rpw : {4, 1}) {
-      DsSpec spec;
-      spec.initial_size = size;
-      spec.ops = scale.ops(ds.base_ops);
-      spec.reads_per_write = rpw;
-      Env seq_env(make_config(1));
-      const RunResult s = ds.seq(seq_env, spec);
-      Env par_env(make_config(kCores));
-      const RunResult p = ds.par(par_env, spec, kCores);
-      const bool ok = s.checksum == p.checksum;
-      bench::row({ds.name, size == 1000 ? "small" : "large",
-                  rpw == 4 ? "4R-1W" : "1R-1W", fmt_cycles(s.cycles),
-                  fmt_cycles(p.cycles),
-                  fmt(static_cast<double>(s.cycles) / p.cycles),
-                  ok ? "match" : "MISMATCH"});
-    }
-  }
+// One table line: a sequential cell and a parallel cell plus its labels.
+struct Line {
+  std::string name;
+  std::string size;
+  std::string mix;
+  std::size_t seq;
+  std::size_t par;
+};
+
+void print_line(Driver& driver, const Line& ln) {
+  const CellResult& s = driver.result(ln.seq);
+  const CellResult& p = driver.result(ln.par);
+  const bool ok = s.checksum == p.checksum;
+  driver.check(ln.name + "/" + ln.size + "/" + ln.mix +
+                   ": versioned output matches sequential",
+               ok);
+  bench::row({ln.name, ln.size, ln.mix, fmt_cycles(s.cycles),
+              fmt_cycles(p.cycles),
+              fmt(static_cast<double>(s.cycles) / p.cycles),
+              ok ? "match" : "MISMATCH"});
 }
 
 }  // namespace
@@ -64,7 +69,87 @@ void run_ds(const Ds& ds, const Scale& scale) {
 int main(int argc, char** argv) {
   using namespace osim;
   using namespace osim::bench;
-  const Scale scale = Scale::parse(argc, argv);
+  const Options opt = Options::parse(argc, argv);
+  const Scale scale = opt.scale;
+  Driver driver("fig6_speedup", opt);
+
+  const Ds structures[] = {
+      {"linked_list", linked_list_sequential, linked_list_versioned, 480},
+      {"binary_tree", binary_tree_sequential, binary_tree_versioned, 2000},
+      {"hash_table", hash_table_sequential, hash_table_versioned, 2000},
+      {"rb_tree", rb_tree_sequential, rb_tree_versioned, 1200},
+  };
+
+  std::vector<Line> lines;
+  for (const Ds& ds : structures) {
+    for (std::size_t size : {std::size_t{1000}, std::size_t{10000}}) {
+      for (int rpw : {4, 1}) {
+        DsSpec spec;
+        spec.initial_size = size;
+        spec.ops = scale.ops(ds.base_ops);
+        spec.reads_per_write = rpw;
+        Line ln;
+        ln.name = ds.name;
+        ln.size = size == 1000 ? "small" : "large";
+        ln.mix = rpw == 4 ? "4R-1W" : "1R-1W";
+        const std::string key =
+            ln.name + "/" + ln.size + "/" + ln.mix;
+        auto seq = ds.seq;
+        ln.seq = driver.add(key + "/seq", [seq, spec] {
+          Env env(make_config(1));
+          const RunResult r = seq(env, spec);
+          return CellResult{r.cycles, r.checksum, 0.0};
+        });
+        auto par = ds.par;
+        ln.par = driver.add(key + "/par", [par, spec] {
+          Env env(make_config(kCores));
+          const RunResult r = par(env, spec, kCores);
+          return CellResult{r.cycles, r.checksum, 0.0};
+        });
+        lines.push_back(ln);
+      }
+    }
+  }
+  {
+    MatmulSpec spec;
+    spec.n = scale.dim(100);
+    Line ln;
+    ln.name = "matrix_mul";
+    ln.size = "n=" + std::to_string(spec.n);
+    ln.mix = "-";
+    ln.seq = driver.add("matrix_mul/seq", [spec] {
+      Env env(make_config(1));
+      const RunResult r = matmul_sequential(env, spec);
+      return CellResult{r.cycles, r.checksum, 0.0};
+    });
+    ln.par = driver.add("matrix_mul/par", [spec] {
+      Env env(make_config(kCores));
+      const RunResult r = matmul_versioned(env, spec, kCores);
+      return CellResult{r.cycles, r.checksum, 0.0};
+    });
+    lines.push_back(ln);
+  }
+  {
+    LevSpec spec;
+    spec.n = scale.dim(1000);
+    Line ln;
+    ln.name = "levenshtein";
+    ln.size = "n=" + std::to_string(spec.n);
+    ln.mix = "-";
+    ln.seq = driver.add("levenshtein/seq", [spec] {
+      Env env(make_config(1));
+      const RunResult r = levenshtein_sequential(env, spec);
+      return CellResult{r.cycles, r.checksum, 0.0};
+    });
+    ln.par = driver.add("levenshtein/par", [spec] {
+      Env env(make_config(kCores));
+      const RunResult r = levenshtein_versioned(env, spec, kCores);
+      return CellResult{r.cycles, r.checksum, 0.0};
+    });
+    lines.push_back(ln);
+  }
+
+  driver.run_all();
 
   std::printf(
       "Figure 6: speedup of parallel versioned (32 cores) over sequential "
@@ -73,42 +158,10 @@ int main(int argc, char** argv) {
   row({"benchmark", "size", "mix", "seq cycles", "par cycles", "speedup",
        "output"});
   rule(7);
-
-  const Ds structures[] = {
-      {"linked_list", linked_list_sequential, linked_list_versioned, 480},
-      {"binary_tree", binary_tree_sequential, binary_tree_versioned, 2000},
-      {"hash_table", hash_table_sequential, hash_table_versioned, 2000},
-      {"rb_tree", rb_tree_sequential, rb_tree_versioned, 1200},
-  };
-  for (const Ds& ds : structures) run_ds(ds, scale);
-
-  {
-    MatmulSpec spec;
-    spec.n = scale.dim(100);
-    Env seq_env(make_config(1));
-    const RunResult s = matmul_sequential(seq_env, spec);
-    Env par_env(make_config(kCores));
-    const RunResult p = matmul_versioned(par_env, spec, kCores);
-    row({"matrix_mul", "n=" + std::to_string(spec.n), "-",
-         std::to_string(s.cycles), std::to_string(p.cycles),
-         fmt(static_cast<double>(s.cycles) / p.cycles),
-         s.checksum == p.checksum ? "match" : "MISMATCH"});
-  }
-  {
-    LevSpec spec;
-    spec.n = scale.dim(1000);
-    Env seq_env(make_config(1));
-    const RunResult s = levenshtein_sequential(seq_env, spec);
-    Env par_env(make_config(kCores));
-    const RunResult p = levenshtein_versioned(par_env, spec, kCores);
-    row({"levenshtein", "n=" + std::to_string(spec.n), "-",
-         std::to_string(s.cycles), std::to_string(p.cycles),
-         fmt(static_cast<double>(s.cycles) / p.cycles),
-         s.checksum == p.checksum ? "match" : "MISMATCH"});
-  }
+  for (const Line& ln : lines) print_line(driver, ln);
   rule(7);
   std::printf(
       "\nPaper reference (Fig. 6): regular codes ~11-25x; linked list up to "
       "~19x;\ntree/hash mid-range; red-black tree lowest (~1-3x).\n");
-  return 0;
+  return driver.finish();
 }

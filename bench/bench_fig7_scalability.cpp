@@ -6,8 +6,11 @@
 // ~25x at 32 cores); linked list reaches ~19x; binary tree and hash table
 // land mid-range; the red-black tree flattens early (single writer).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "driver.hpp"
 #include "workloads/binary_tree.hpp"
 #include "workloads/hash_table.hpp"
 #include "workloads/levenshtein.hpp"
@@ -18,22 +21,43 @@
 namespace osim {
 namespace {
 
+using bench::CellResult;
+using bench::Driver;
 using bench::fmt;
 using bench::make_config;
-using bench::Scale;
 
 const int kCoreSweep[] = {1, 2, 4, 8, 16, 32};
 
 using ParFn = RunResult (*)(Env&, const DsSpec&, int);
 
-void sweep_ds(const char* name, ParFn par, const DsSpec& spec) {
-  std::vector<std::string> cells{name};
-  Cycles base = 0;
+// Handles for one workload's row across the core sweep.
+struct Row {
+  const char* name;
+  std::vector<std::size_t> cells;
+};
+
+Row add_ds(Driver& driver, const char* name, ParFn par, const DsSpec& spec) {
+  Row r{name, {}};
   for (int cores : kCoreSweep) {
-    Env env(make_config(cores));
-    const Cycles c = par(env, spec, cores).cycles;
-    if (cores == 1) base = c;
-    cells.push_back(fmt(static_cast<double>(base) / c));
+    r.cells.push_back(driver.add(
+        std::string(name) + "/cores=" + std::to_string(cores),
+        [par, spec, cores] {
+          Env env(make_config(cores));
+          const RunResult res = par(env, spec, cores);
+          return CellResult{res.cycles, res.checksum, 0.0};
+        }));
+  }
+  return r;
+}
+
+void print_row(Driver& driver, const Row& r) {
+  std::vector<std::string> cells{r.name};
+  const Cycles base = driver.result(r.cells[0]).cycles;
+  const std::uint64_t sum = driver.result(r.cells[0]).checksum;
+  for (std::size_t h : r.cells) {
+    cells.push_back(fmt(static_cast<double>(base) / driver.result(h).cycles));
+    driver.check(std::string(r.name) + ": checksum invariant across cores",
+                 driver.result(h).checksum == sum);
   }
   bench::row(cells, 11);
 }
@@ -44,7 +68,63 @@ void sweep_ds(const char* name, ParFn par, const DsSpec& spec) {
 int main(int argc, char** argv) {
   using namespace osim;
   using namespace osim::bench;
-  const Scale scale = Scale::parse(argc, argv);
+  const Options opt = Options::parse(argc, argv);
+  const Scale scale = opt.scale;
+  Driver driver("fig7_scalability", opt);
+
+  std::vector<Row> rows;
+  {
+    DsSpec spec;
+    spec.initial_size = 10000;
+    spec.reads_per_write = 4;
+    spec.ops = scale.ops(480);
+    rows.push_back(add_ds(driver, "linked_list", linked_list_versioned, spec));
+  }
+  {
+    DsSpec spec;
+    spec.initial_size = 10000;
+    spec.reads_per_write = 4;
+    spec.ops = scale.ops(2000);
+    rows.push_back(add_ds(driver, "binary_tree", binary_tree_versioned, spec));
+    rows.push_back(add_ds(driver, "hash_table", hash_table_versioned, spec));
+  }
+  {
+    DsSpec spec;
+    spec.initial_size = 10000;
+    spec.reads_per_write = 4;
+    spec.ops = scale.ops(1200);
+    rows.push_back(add_ds(driver, "rb_tree", rb_tree_versioned, spec));
+  }
+  Row lev{"levenshtein", {}};
+  {
+    LevSpec spec;
+    spec.n = scale.dim(1000);
+    for (int cores : kCoreSweep) {
+      lev.cells.push_back(driver.add(
+          "levenshtein/cores=" + std::to_string(cores), [spec, cores] {
+            Env env(make_config(cores));
+            const RunResult res = levenshtein_versioned(env, spec, cores);
+            return CellResult{res.cycles, res.checksum, 0.0};
+          }));
+    }
+    rows.push_back(lev);
+  }
+  Row mm{"matrix_mul", {}};
+  {
+    MatmulSpec spec;
+    spec.n = scale.dim(100);
+    for (int cores : kCoreSweep) {
+      mm.cells.push_back(driver.add(
+          "matrix_mul/cores=" + std::to_string(cores), [spec, cores] {
+            Env env(make_config(cores));
+            const RunResult res = matmul_versioned(env, spec, cores);
+            return CellResult{res.cycles, res.checksum, 0.0};
+          }));
+    }
+    rows.push_back(mm);
+  }
+
+  driver.run_all();
 
   std::printf(
       "Figure 7: scalability — speedup over sequential (1-core) versioned;\n"
@@ -52,58 +132,10 @@ int main(int argc, char** argv) {
   rule(7, 11);
   row({"benchmark", "1", "2", "4", "8", "16", "32"}, 11);
   rule(7, 11);
-
-  {
-    DsSpec spec;
-    spec.initial_size = 10000;
-    spec.reads_per_write = 4;
-    spec.ops = scale.ops(480);
-    sweep_ds("linked_list", linked_list_versioned, spec);
-  }
-  {
-    DsSpec spec;
-    spec.initial_size = 10000;
-    spec.reads_per_write = 4;
-    spec.ops = scale.ops(2000);
-    sweep_ds("binary_tree", binary_tree_versioned, spec);
-    sweep_ds("hash_table", hash_table_versioned, spec);
-  }
-  {
-    DsSpec spec;
-    spec.initial_size = 10000;
-    spec.reads_per_write = 4;
-    spec.ops = scale.ops(1200);
-    sweep_ds("rb_tree", rb_tree_versioned, spec);
-  }
-  {
-    LevSpec spec;
-    spec.n = scale.dim(1000);
-    std::vector<std::string> cells{"levenshtein"};
-    Cycles base = 0;
-    for (int cores : kCoreSweep) {
-      Env env(make_config(cores));
-      const Cycles c = levenshtein_versioned(env, spec, cores).cycles;
-      if (cores == 1) base = c;
-      cells.push_back(fmt(static_cast<double>(base) / c));
-    }
-    row(cells, 11);
-  }
-  {
-    MatmulSpec spec;
-    spec.n = scale.dim(100);
-    std::vector<std::string> cells{"matrix_mul"};
-    Cycles base = 0;
-    for (int cores : kCoreSweep) {
-      Env env(make_config(cores));
-      const Cycles c = matmul_versioned(env, spec, cores).cycles;
-      if (cores == 1) base = c;
-      cells.push_back(fmt(static_cast<double>(base) / c));
-    }
-    row(cells, 11);
-  }
+  for (const Row& r : rows) print_row(driver, r);
   rule(7, 11);
   std::printf(
       "\nPaper reference (Fig. 7): matmul/Levenshtein near-linear to ~25x;\n"
       "linked list ~19x; tree/hash mid; red-black tree flattens lowest.\n");
-  return 0;
+  return driver.finish();
 }

@@ -10,18 +10,28 @@
 // scans overlap inserts (average versioned self-speedup 12.2 vs 7.9 for the
 // rwlock tree; versioned wins by ~16% on average at scale).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "driver.hpp"
 #include "workloads/binary_tree.hpp"
 
 namespace osim {
 namespace {
 
+using bench::CellResult;
+using bench::Driver;
 using bench::fmt;
 using bench::make_config;
-using bench::Scale;
 
 const int kCoreSweep[] = {1, 4, 8, 16, 32};
+
+struct Range {
+  int range;
+  std::vector<std::size_t> ver;  // one handle per core count
+  std::vector<std::size_t> rw;
+};
 
 }  // namespace
 }  // namespace osim
@@ -29,7 +39,38 @@ const int kCoreSweep[] = {1, 4, 8, 16, 32};
 int main(int argc, char** argv) {
   using namespace osim;
   using namespace osim::bench;
-  const Scale scale = Scale::parse(argc, argv);
+  const Options opt = Options::parse(argc, argv);
+  const Scale scale = opt.scale;
+  Driver driver("fig8_snapshot", opt);
+
+  std::vector<Range> ranges;
+  for (int range : {1, 8, 64}) {
+    DsSpec spec;
+    spec.initial_size = 10000;
+    spec.reads_per_write = 3;
+    spec.scan_range = range;
+    spec.ops = scale.ops(1500);
+
+    Range r;
+    r.range = range;
+    for (int cores : kCoreSweep) {
+      const std::string key =
+          "range=" + std::to_string(range) + "/cores=" + std::to_string(cores);
+      r.ver.push_back(driver.add(key + "/versioned", [spec, cores] {
+        Env env(make_config(cores));
+        const RunResult res = binary_tree_versioned(env, spec, cores);
+        return CellResult{res.cycles, res.checksum, 0.0};
+      }));
+      r.rw.push_back(driver.add(key + "/rwlock", [spec, cores] {
+        Env env(make_config(cores));
+        const RunResult res = binary_tree_rwlock(env, spec, cores);
+        return CellResult{res.cycles, res.checksum, 0.0};
+      }));
+    }
+    ranges.push_back(std::move(r));
+  }
+
+  driver.run_all();
 
   std::printf(
       "Figure 8: performance ratio, versioned tree / rwlock tree\n"
@@ -42,34 +83,19 @@ int main(int argc, char** argv) {
 
   double ver_self = 0.0, rw_self = 0.0;
   int self_count = 0;
-
-  for (int range : {1, 8, 64}) {
-    DsSpec spec;
-    spec.initial_size = 10000;
-    spec.reads_per_write = 3;
-    spec.scan_range = range;
-    spec.ops = scale.ops(1500);
-
-    std::vector<std::string> cells{"range " + std::to_string(range)};
-    Cycles ver1 = 0, rw1 = 0, ver32 = 0, rw32 = 0;
-    for (int cores : kCoreSweep) {
-      Env ver_env(make_config(cores));
-      const Cycles ver = binary_tree_versioned(ver_env, spec, cores).cycles;
-      Env rw_env(make_config(cores));
-      const Cycles rw = binary_tree_rwlock(rw_env, spec, cores).cycles;
-      if (cores == 1) {
-        ver1 = ver;
-        rw1 = rw;
-      }
-      if (cores == 32) {
-        ver32 = ver;
-        rw32 = rw;
-      }
+  for (const Range& r : ranges) {
+    std::vector<std::string> cells{"range " + std::to_string(r.range)};
+    for (std::size_t i = 0; i < r.ver.size(); ++i) {
+      const Cycles ver = driver.result(r.ver[i]).cycles;
+      const Cycles rw = driver.result(r.rw[i]).cycles;
       cells.push_back(fmt(static_cast<double>(rw) / ver));
     }
     row(cells, 12);
-    ver_self += static_cast<double>(ver1) / ver32;
-    rw_self += static_cast<double>(rw1) / rw32;
+    // Self-speedup from the 1-core entry (index 0) to the 32-core entry.
+    ver_self += static_cast<double>(driver.result(r.ver.front()).cycles) /
+                driver.result(r.ver.back()).cycles;
+    rw_self += static_cast<double>(driver.result(r.rw.front()).cycles) /
+               driver.result(r.rw.back()).cycles;
     ++self_count;
   }
   rule(6, 12);
@@ -81,5 +107,5 @@ int main(int argc, char** argv) {
       "Paper reference (Fig. 8): versioned below 1.0 on one core, above 1.0\n"
       "at scale (+16%% average); self-speedups 12.2 (versioned) vs 7.9 "
       "(rwlock).\n");
-  return 0;
+  return driver.finish();
 }

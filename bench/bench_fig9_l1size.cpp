@@ -9,8 +9,11 @@
 #include <cstdio>
 #include <functional>
 #include <iterator>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "driver.hpp"
 #include "workloads/binary_tree.hpp"
 #include "workloads/hash_table.hpp"
 #include "workloads/levenshtein.hpp"
@@ -21,8 +24,9 @@
 namespace osim {
 namespace {
 
+using bench::CellResult;
+using bench::Driver;
 using bench::fmt;
-using bench::Scale;
 
 const std::size_t kL1Kb[] = {8, 16, 32, 64, 128};
 
@@ -33,33 +37,57 @@ MachineConfig config_with_l1(int cores, std::size_t l1_kb) {
   return c;
 }
 
-/// Run `fn` at every L1 size and print speedups relative to 32 KB.
-void sweep(const std::string& label,
-           const std::function<Cycles(std::size_t)>& fn) {
-  std::vector<Cycles> cycles;
-  for (std::size_t kb : kL1Kb) cycles.push_back(fn(kb));
-  const double base = static_cast<double>(cycles[2]);  // 32 KB entry
-  std::vector<std::string> cells{label};
-  for (std::size_t i = 0; i < std::size(kL1Kb); ++i) {
-    cells.push_back(fmt(base / static_cast<double>(cycles[i])));
+/// One table line: a cell per L1 size for one (workload, run-kind) pair.
+struct Line {
+  std::string label;
+  std::vector<std::size_t> cells;
+};
+
+/// Register `fn` at every L1 size; results print relative to 32 KB.
+Line add_sweep(Driver& driver, const std::string& label,
+               std::function<RunResult(std::size_t)> fn) {
+  Line ln{label, {}};
+  for (std::size_t kb : kL1Kb) {
+    ln.cells.push_back(
+        driver.add(label + "/l1=" + std::to_string(kb) + "KB", [fn, kb] {
+          const RunResult r = fn(kb);
+          return CellResult{r.cycles, r.checksum, 0.0};
+        }));
   }
-  bench::row(cells, 13);
+  return ln;
 }
 
 template <typename SeqFn, typename ParFn, typename Spec>
-void sweep_ds(const char* name, SeqFn seq, ParFn par, const Spec& spec) {
-  sweep(std::string(name) + " U", [&](std::size_t kb) {
-    Env env(config_with_l1(1, kb));
-    return seq(env, spec).cycles;
-  });
-  sweep(std::string(name) + " 1T", [&](std::size_t kb) {
-    Env env(config_with_l1(1, kb));
-    return par(env, spec, 1).cycles;
-  });
-  sweep(std::string(name) + " 32T", [&](std::size_t kb) {
-    Env env(config_with_l1(32, kb));
-    return par(env, spec, 32).cycles;
-  });
+void add_ds(Driver& driver, std::vector<Line>& lines, const char* name,
+            SeqFn seq, ParFn par, const Spec& spec) {
+  lines.push_back(add_sweep(driver, std::string(name) + " U",
+                            [seq, spec](std::size_t kb) {
+                              Env env(config_with_l1(1, kb));
+                              return seq(env, spec);
+                            }));
+  lines.push_back(add_sweep(driver, std::string(name) + " 1T",
+                            [par, spec](std::size_t kb) {
+                              Env env(config_with_l1(1, kb));
+                              return par(env, spec, 1);
+                            }));
+  lines.push_back(add_sweep(driver, std::string(name) + " 32T",
+                            [par, spec](std::size_t kb) {
+                              Env env(config_with_l1(32, kb));
+                              return par(env, spec, 32);
+                            }));
+}
+
+void print_line(Driver& driver, const Line& ln) {
+  const double base =
+      static_cast<double>(driver.result(ln.cells[2]).cycles);  // 32 KB entry
+  const std::uint64_t sum = driver.result(ln.cells[2]).checksum;
+  std::vector<std::string> cells{ln.label};
+  for (std::size_t h : ln.cells) {
+    cells.push_back(fmt(base / static_cast<double>(driver.result(h).cycles)));
+    driver.check(ln.label + ": checksum invariant across L1 sizes",
+                 driver.result(h).checksum == sum);
+  }
+  bench::row(cells, 13);
 }
 
 }  // namespace
@@ -68,15 +96,9 @@ void sweep_ds(const char* name, SeqFn seq, ParFn par, const Spec& spec) {
 int main(int argc, char** argv) {
   using namespace osim;
   using namespace osim::bench;
-  const Scale scale = Scale::parse(argc, argv);
-
-  std::printf(
-      "Figure 9: performance vs L1 size, relative to the 32KB baseline\n"
-      "(U = unversioned sequential, 1T = versioned 1 core, 32T = versioned "
-      "32 cores;\nlarge, read-intensive runs)\n\n");
-  rule(6, 13);
-  row({"run", "8KB", "16KB", "32KB", "64KB", "128KB"}, 13);
-  rule(6, 13);
+  const Options opt = Options::parse(argc, argv);
+  const Scale scale = opt.scale;
+  Driver driver("fig9_l1size", opt);
 
   struct DsCase {
     const char* name;
@@ -90,19 +112,19 @@ int main(int argc, char** argv) {
       {"hash_table", hash_table_sequential, hash_table_versioned, 1200},
       {"rb_tree", rb_tree_sequential, rb_tree_versioned, 800},
   };
+  std::vector<Line> lines;
   for (const DsCase& c : cases) {
     DsSpec spec;
     spec.initial_size = 10000;
     spec.reads_per_write = 4;
     spec.ops = scale.ops(c.base_ops);
-    sweep_ds(c.name, c.seq, c.par, spec);
+    add_ds(driver, lines, c.name, c.seq, c.par, spec);
   }
-
   {
     LevSpec spec;
     spec.n = scale.dim(600);
-    sweep_ds(
-        "levenshtein",
+    add_ds(
+        driver, lines, "levenshtein",
         [](Env& e, const LevSpec& s) { return levenshtein_sequential(e, s); },
         [](Env& e, const LevSpec& s, int cores) {
           return levenshtein_versioned(e, s, cores);
@@ -112,17 +134,28 @@ int main(int argc, char** argv) {
   {
     MatmulSpec spec;
     spec.n = scale.dim(72);
-    sweep_ds(
-        "matrix_mul",
+    add_ds(
+        driver, lines, "matrix_mul",
         [](Env& e, const MatmulSpec& s) { return matmul_sequential(e, s); },
         [](Env& e, const MatmulSpec& s, int cores) {
           return matmul_versioned(e, s, cores);
         },
         spec);
   }
+
+  driver.run_all();
+
+  std::printf(
+      "Figure 9: performance vs L1 size, relative to the 32KB baseline\n"
+      "(U = unversioned sequential, 1T = versioned 1 core, 32T = versioned "
+      "32 cores;\nlarge, read-intensive runs)\n\n");
+  rule(6, 13);
+  row({"run", "8KB", "16KB", "32KB", "64KB", "128KB"}, 13);
+  rule(6, 13);
+  for (const Line& ln : lines) print_line(driver, ln);
   rule(6, 13);
   std::printf(
       "\nPaper reference (Fig. 9): growing L1 beyond 32KB gains at most "
       "~1.23x\nand usually much less; 32T runs are the least sensitive.\n");
-  return 0;
+  return driver.finish();
 }

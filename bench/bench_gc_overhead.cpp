@@ -10,30 +10,25 @@
 // ~0.1% slower than nosort (versions are created in order, so sorting does
 // almost no work — but it is what enables the GC).
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
+#include "driver.hpp"
 #include "workloads/linked_list.hpp"
 
 namespace osim {
 namespace {
 
+using bench::CellResult;
+using bench::Driver;
 using bench::fmt;
-using bench::Scale;
+using bench::make_config;
 
 struct GcRun {
-  Cycles cycles;
-  std::uint64_t phases;
-  std::uint64_t traps;
-  std::uint64_t freed;
-  std::uint64_t checksum;
+  std::uint64_t phases = 0;
+  std::uint64_t traps = 0;
+  std::uint64_t freed = 0;
 };
-
-GcRun run_with(const MachineConfig& config, const DsSpec& spec) {
-  Env env(config);
-  const RunResult r = linked_list_versioned(env, spec, /*cores=*/1);
-  return {r.cycles, env.stats().gc_phases, env.stats().os_traps,
-          env.stats().blocks_freed, r.checksum};
-}
 
 }  // namespace
 }  // namespace osim
@@ -41,7 +36,9 @@ GcRun run_with(const MachineConfig& config, const DsSpec& spec) {
 int main(int argc, char** argv) {
   using namespace osim;
   using namespace osim::bench;
-  const Scale scale = Scale::parse(argc, argv);
+  const Options opt = Options::parse(argc, argv);
+  const Scale scale = opt.scale;
+  Driver driver("gc_overhead", opt);
 
   DsSpec spec;
   spec.initial_size = 10;
@@ -60,9 +57,28 @@ int main(int argc, char** argv) {
   MachineConfig nosort = ample;
   nosort.ostruct.sorted_lists = false;
 
-  const GcRun t = run_with(tight, spec);
-  const GcRun a = run_with(ample, spec);
-  const GcRun n = run_with(nosort, spec);
+  // GC counters don't fit CellResult; each cell writes its own slot.
+  GcRun gc[3];
+  const MachineConfig configs[3] = {tight, ample, nosort};
+  const char* names[3] = {"tight", "ample", "no-sorting"};
+  std::size_t handles[3];
+  for (int i = 0; i < 3; ++i) {
+    const MachineConfig config = configs[i];
+    GcRun* out = &gc[i];
+    handles[i] = driver.add(names[i], [config, spec, out] {
+      Env env(config);
+      const RunResult r = linked_list_versioned(env, spec, /*cores=*/1);
+      *out = {env.stats().gc_phases, env.stats().os_traps,
+              env.stats().blocks_freed};
+      return CellResult{r.cycles, r.checksum, 0.0};
+    });
+  }
+
+  driver.run_all();
+
+  const CellResult& t = driver.result(handles[0]);
+  const CellResult& a = driver.result(handles[1]);
+  const CellResult& n = driver.result(handles[2]);
 
   std::printf(
       "Sec. IV-F: GC overhead — sequential, %d ops, 10-element sorted "
@@ -73,24 +89,26 @@ int main(int argc, char** argv) {
        "vs ample"},
       13);
   rule(6, 13);
-  row({"tight", std::to_string(t.cycles), std::to_string(t.phases),
-       std::to_string(t.traps), std::to_string(t.freed),
-       fmt(100.0 * (static_cast<double>(t.cycles) / a.cycles - 1.0), 3) + "%"},
-      13);
-  row({"ample", std::to_string(a.cycles), std::to_string(a.phases),
-       std::to_string(a.traps), std::to_string(a.freed), "0.000%"},
-      13);
-  row({"no-sorting", std::to_string(n.cycles), std::to_string(n.phases),
-       std::to_string(n.traps), std::to_string(n.freed),
-       fmt(100.0 * (static_cast<double>(n.cycles) / a.cycles - 1.0), 3) + "%"},
-      13);
+  const CellResult* results[3] = {&t, &a, &n};
+  for (int i = 0; i < 3; ++i) {
+    const CellResult& r = *results[i];
+    row({names[i], std::to_string(r.cycles), std::to_string(gc[i].phases),
+         std::to_string(gc[i].traps), std::to_string(gc[i].freed),
+         i == 1 ? "0.000%"
+                : fmt(100.0 * (static_cast<double>(r.cycles) / a.cycles - 1.0),
+                      3) +
+                      "%"},
+        13);
+  }
   rule(6, 13);
 
+  driver.check("tight output matches ample", t.checksum == a.checksum);
+  driver.check("ample output matches no-sorting", a.checksum == n.checksum);
   std::printf("\noutputs: tight %s ample, ample %s no-sorting\n",
               t.checksum == a.checksum ? "==" : "!=",
               a.checksum == n.checksum ? "==" : "!=");
   std::printf(
       "\nPaper reference (Sec. IV-F): 135 GC phases; tight ~0.1%% slower "
       "than\nample; ample ~0.1%% slower than no-sorting.\n");
-  return 0;
+  return driver.finish();
 }

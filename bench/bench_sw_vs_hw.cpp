@@ -9,17 +9,21 @@
 // and the software runtime (SwOStructure), single-core and multicore.
 #include <cstdio>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "driver.hpp"
 #include "runtime/sw_ostructures.hpp"
 #include "runtime/versioned.hpp"
 
 namespace osim {
 namespace {
 
+using bench::CellResult;
+using bench::Driver;
 using bench::fmt;
 using bench::make_config;
-using bench::Scale;
 
 constexpr int kSlots = 64;
 
@@ -77,10 +81,11 @@ Cycles run_hw(int cores, int ops_per_core) {
 
 Cycles run_sw(int cores, int ops_per_core) {
   Env env(make_config(cores));
-  std::vector<std::vector<std::unique_ptr<SwOStructure>>> slots(cores);
+  // Lock words and record lists are timed: the structures live in the arena.
+  std::vector<std::vector<SwOStructure*>> slots(cores);
   for (int c = 0; c < cores; ++c) {
     for (int s = 0; s < kSlots; ++s) {
-      slots[c].push_back(std::make_unique<SwOStructure>(env));
+      slots[c].push_back(env.make<SwOStructure>(env));
     }
   }
   for (CoreId c = 0; c < cores; ++c) {
@@ -106,8 +111,25 @@ Cycles run_sw(int cores, int ops_per_core) {
 int main(int argc, char** argv) {
   using namespace osim;
   using namespace osim::bench;
-  const Scale scale = Scale::parse(argc, argv);
-  const int ops = scale.ops(2000);
+  const Options opt = Options::parse(argc, argv);
+  const int ops = opt.scale.ops(2000);
+  Driver driver("sw_vs_hw", opt);
+
+  const int kCoreCounts[] = {1, 8, 32};
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;  // (hw, sw) handles
+  for (int cores : kCoreCounts) {
+    const std::size_t hw =
+        driver.add("hw/cores=" + std::to_string(cores), [cores, ops] {
+          return CellResult{run_hw(cores, ops), 0, 0.0};
+        });
+    const std::size_t sw =
+        driver.add("sw/cores=" + std::to_string(cores), [cores, ops] {
+          return CellResult{run_sw(cores, ops), 0, 0.0};
+        });
+    pairs.emplace_back(hw, sw);
+  }
+
+  driver.run_all();
 
   std::printf(
       "Hardware vs software O-structures (paper Sec. II-C)\n"
@@ -116,17 +138,20 @@ int main(int argc, char** argv) {
   rule(4, 16);
   row({"cores", "hardware cycles", "software cycles", "sw/hw ratio"}, 16);
   rule(4, 16);
-  for (int cores : {1, 8, 32}) {
-    const Cycles hw = run_hw(cores, ops);
-    const Cycles sw = run_sw(cores, ops);
-    row({std::to_string(cores), std::to_string(hw), std::to_string(sw),
-         fmt(static_cast<double>(sw) / hw)},
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const Cycles hw = driver.result(pairs[i].first).cycles;
+    const Cycles sw = driver.result(pairs[i].second).cycles;
+    row({std::to_string(kCoreCounts[i]), std::to_string(hw),
+         std::to_string(sw), fmt(static_cast<double>(sw) / hw)},
         16);
+    driver.check("software runtime no faster than hardware at " +
+                     std::to_string(kCoreCounts[i]) + " cores",
+                 sw >= hw);
   }
   rule(4, 16);
   std::printf(
       "\nThe software runtime pays lock acquisition, pointer-chasing loads\n"
       "and call overhead per operation — the overhead that made the paper\n"
       "abandon its software prototype for architectural support.\n");
-  return 0;
+  return driver.finish();
 }

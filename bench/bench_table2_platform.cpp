@@ -2,34 +2,133 @@
 // and validates, with micro-probes on a live machine, that the hierarchy
 // actually delivers the configured latencies.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "driver.hpp"
 #include "runtime/env.hpp"
 
 namespace osim {
 namespace {
 
-/// Measure the latency of one action by timestamp difference on core 0.
-template <typename Fn>
-Cycles probe(Env& env, Fn&& fn) {
-  Cycles out = 0;
+using bench::CellResult;
+using bench::Driver;
+using bench::make_config;
+
+CellResult l1_hit_probe() {
+  Env env(make_config(1));
+  const Addr a = 0x10000;
+  Cycles hit = 0;
   env.spawn(0, [&] {
+    mach().mem_access(a, AccessType::kRead);  // cold fill
     const Cycles t0 = mach().now();
-    fn();
-    out = mach().now() - t0;
+    mach().mem_access(a, AccessType::kRead);
+    hit = mach().now() - t0;
   });
   env.run();
-  return out;
+  return {hit, 0, 0.0};
+}
+
+CellResult cold_probe() {
+  Env env(make_config(1));
+  Cycles cold = 0;
+  env.spawn(0, [&] {
+    const Cycles t0 = mach().now();
+    mach().mem_access(0x20000, AccessType::kRead);
+    cold = mach().now() - t0;
+  });
+  env.run();
+  return {cold, 0, 0.0};
+}
+
+CellResult l2_hit_probe() {
+  // Fill past L1 capacity, then re-touch: L2 hit.
+  Env env(make_config(1));
+  Cycles l2 = 0;
+  env.spawn(0, [&] {
+    const std::size_t lines = 2 * env.config().l1.size_bytes / kLineBytes;
+    for (std::size_t i = 0; i < lines; ++i) {
+      mach().mem_access(0x40000 + i * kLineBytes, AccessType::kRead);
+    }
+    const Cycles t0 = mach().now();
+    mach().mem_access(0x40000, AccessType::kRead);
+    l2 = mach().now() - t0;
+  });
+  env.run();
+  return {l2, 0, 0.0};
+}
+
+CellResult remote_probe() {
+  // Remote dirty line: write on core 1, read on core 0.
+  Env env(make_config(2));
+  Cycles remote = 0;
+  WaitList gate;
+  bool ready = false;
+  env.spawn(1, [&] {
+    mach().mem_access(0x80000, AccessType::kWrite);
+    ready = true;
+    mach().wake_all(gate, 0);
+  });
+  env.spawn(0, [&] {
+    if (!ready) mach().block_on(gate);
+    const Cycles t0 = mach().now();
+    mach().mem_access(0x80000, AccessType::kRead);
+    remote = mach().now() - t0;
+  });
+  env.run();
+  return {remote, 0, 0.0};
+}
+
+CellResult direct_probe() {
+  // Versioned direct access: L1-resident compressed line.
+  Env env(make_config(1));
+  Cycles direct = 0;
+  env.spawn(0, [&] {
+    const OAddr a = env.osm().alloc();
+    env.osm().store_version(a, 1, 42);
+    env.osm().load_version(a, 1);  // install + warm
+    const Cycles t0 = mach().now();
+    env.osm().load_version(a, 1);
+    direct = mach().now() - t0;
+  });
+  env.run();
+  return {direct, 0, 0.0};
 }
 
 }  // namespace
 }  // namespace osim
 
-int main() {
+int main(int argc, char** argv) {
   using namespace osim;
   using namespace osim::bench;
+  const Options opt = Options::parse(argc, argv);
+  Driver driver("table2_platform", opt);
 
-  MachineConfig c = make_config(32);
+  const MachineConfig c = make_config(32);
+
+  struct Probe {
+    const char* name;
+    CellResult (*fn)();
+    Cycles expected;
+  };
+  const Probe probes[] = {
+      {"L1 hit", l1_hit_probe, c.l1.hit_latency},
+      {"cold (L2 miss + DRAM)", cold_probe,
+       c.l1.hit_latency + c.l2_hit_latency + c.dram_latency},
+      {"L2 hit", l2_hit_probe, c.l1.hit_latency + c.l2_hit_latency},
+      {"remote L1 forward", remote_probe,
+       c.l1.hit_latency + c.remote_l1_latency},
+      {"versioned direct hit", direct_probe, c.l1.hit_latency},
+  };
+  std::vector<std::size_t> handles;
+  for (const Probe& p : probes) {
+    auto fn = p.fn;
+    handles.push_back(driver.add(p.name, [fn] { return fn(); }));
+  }
+
+  driver.run_all();
+
   std::printf("Table II: the experimental platform (modelled)\n\n");
   std::printf("  Processor   %d-wide in-order, %.0f GHz, %d cores\n",
               c.issue_width, c.ghz, c.num_cores);
@@ -50,90 +149,14 @@ int main() {
   rule(3, 22);
   row({"probe", "measured cycles", "expected"}, 22);
   rule(3, 22);
-
-  {
-    Env env(make_config(1));
-    const Addr a = 0x10000;
-    Cycles hit = 0;
-    env.spawn(0, [&] {
-      mach().mem_access(a, AccessType::kRead);  // cold fill
-      const Cycles t0 = mach().now();
-      mach().mem_access(a, AccessType::kRead);
-      hit = mach().now() - t0;
-    });
-    env.run();
-    row({"L1 hit", std::to_string(hit),
-         std::to_string(env.config().l1.hit_latency)},
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const Cycles measured = driver.result(handles[i]).cycles;
+    row({probes[i].name, std::to_string(measured),
+         std::to_string(probes[i].expected)},
         22);
-  }
-  {
-    Env env(make_config(1));
-    Cycles cold = probe(env, [] { mach().mem_access(0x20000, AccessType::kRead); });
-    const MachineConfig& cc = env.config();
-    row({"cold (L2 miss + DRAM)", std::to_string(cold),
-         std::to_string(cc.l1.hit_latency + cc.l2_hit_latency +
-                        cc.dram_latency)},
-        22);
-  }
-  {
-    // Fill past L1 capacity, then re-touch: L2 hit.
-    Env env(make_config(1));
-    Cycles l2 = 0;
-    env.spawn(0, [&] {
-      const std::size_t lines = 2 * env.config().l1.size_bytes / kLineBytes;
-      for (std::size_t i = 0; i < lines; ++i) {
-        mach().mem_access(0x40000 + i * kLineBytes, AccessType::kRead);
-      }
-      const Cycles t0 = mach().now();
-      mach().mem_access(0x40000, AccessType::kRead);
-      l2 = mach().now() - t0;
-    });
-    env.run();
-    row({"L2 hit", std::to_string(l2),
-         std::to_string(env.config().l1.hit_latency +
-                        env.config().l2_hit_latency)},
-        22);
-  }
-  {
-    // Remote dirty line: write on core 1, read on core 0.
-    Env env(make_config(2));
-    Cycles remote = 0;
-    WaitList gate;
-    bool ready = false;
-    env.spawn(1, [&] {
-      mach().mem_access(0x80000, AccessType::kWrite);
-      ready = true;
-      mach().wake_all(gate, 0);
-    });
-    env.spawn(0, [&] {
-      if (!ready) mach().block_on(gate);
-      const Cycles t0 = mach().now();
-      mach().mem_access(0x80000, AccessType::kRead);
-      remote = mach().now() - t0;
-    });
-    env.run();
-    row({"remote L1 forward", std::to_string(remote),
-         std::to_string(env.config().l1.hit_latency +
-                        env.config().remote_l1_latency)},
-        22);
-  }
-  {
-    // Versioned direct access: L1-resident compressed line.
-    Env env(make_config(1));
-    Cycles direct = 0;
-    env.spawn(0, [&] {
-      const OAddr a = env.osm().alloc();
-      env.osm().store_version(a, 1, 42);
-      env.osm().load_version(a, 1);  // install + warm
-      const Cycles t0 = mach().now();
-      env.osm().load_version(a, 1);
-      direct = mach().now() - t0;
-    });
-    env.run();
-    row({"versioned direct hit", std::to_string(direct),
-         std::to_string(env.config().l1.hit_latency)},
-        22);
+    driver.check(std::string(probes[i].name) + " latency as configured",
+                 measured == probes[i].expected);
   }
   rule(3, 22);
-  return 0;
+  return driver.finish();
 }

@@ -1,8 +1,10 @@
-// Shared utilities for the per-figure bench harnesses: command-line scale
-// control, machine-config construction, and aligned table printing.
+// Shared utilities for the per-figure bench harnesses: command-line
+// handling (scale, host threads, JSON output), machine-config construction,
+// and aligned table printing.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -14,18 +16,9 @@ namespace osim::bench {
 
 /// Workload scale: --quick for smoke runs, --full for paper-sized runs,
 /// default is a medium scale that keeps every binary in the minutes range
-/// on one host core while preserving the result shapes.
+/// while preserving the result shapes.
 struct Scale {
   double factor = 1.0;
-
-  static Scale parse(int argc, char** argv) {
-    Scale s;
-    for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--quick") == 0) s.factor = 0.25;
-      if (std::strcmp(argv[i], "--full") == 0) s.factor = 4.0;
-    }
-    return s;
-  }
 
   int ops(int base) const {
     const int v = static_cast<int>(base * factor);
@@ -34,6 +27,68 @@ struct Scale {
   int dim(int base) const {
     const int v = static_cast<int>(base * (factor >= 1.0 ? 1.0 : 0.5));
     return v < 8 ? 8 : v;
+  }
+};
+
+/// Parsed command line shared by every figure bench. Unknown flags are an
+/// error: they print usage and exit non-zero instead of being silently
+/// ignored.
+struct Options {
+  Scale scale;
+  /// Host threads for the experiment driver; 0 = one per host core.
+  int threads = 0;
+  /// Write/merge machine-readable results into this JSON file ("" = off).
+  std::string json_path;
+
+  [[noreturn]] static void usage(const char* argv0, int exit_code) {
+    std::fprintf(
+        stderr,
+        "usage: %s [--quick | --full] [--threads N] [--json PATH]\n"
+        "  --quick      smoke-test scale (0.25x ops)\n"
+        "  --full       paper-sized runs (4x ops)\n"
+        "  --threads N  run experiment cells on N host threads\n"
+        "               (default: one per host core; results are\n"
+        "               bit-identical for every N)\n"
+        "  --json PATH  write results into PATH, merging with any bench\n"
+        "               results already recorded there\n",
+        argv0);
+    std::exit(exit_code);
+  }
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--quick") == 0) {
+        o.scale.factor = 0.25;
+      } else if (std::strcmp(a, "--full") == 0) {
+        o.scale.factor = 4.0;
+      } else if (std::strcmp(a, "--threads") == 0) {
+        if (++i >= argc) {
+          std::fprintf(stderr, "%s: --threads needs a value\n", argv[0]);
+          usage(argv[0], 2);
+        }
+        char* end = nullptr;
+        o.threads = static_cast<int>(std::strtol(argv[i], &end, 10));
+        if (end == argv[i] || *end != '\0' || o.threads < 0) {
+          std::fprintf(stderr, "%s: bad --threads value '%s'\n", argv[0],
+                       argv[i]);
+          usage(argv[0], 2);
+        }
+      } else if (std::strcmp(a, "--json") == 0) {
+        if (++i >= argc) {
+          std::fprintf(stderr, "%s: --json needs a path\n", argv[0]);
+          usage(argv[0], 2);
+        }
+        o.json_path = argv[i];
+      } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+        usage(argv[0], 0);
+      } else {
+        std::fprintf(stderr, "%s: unrecognized argument '%s'\n", argv[0], a);
+        usage(argv[0], 2);
+      }
+    }
+    return o;
   }
 };
 

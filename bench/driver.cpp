@@ -1,0 +1,127 @@
+#include "driver.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "json.hpp"
+#include "sim/host_pool.hpp"
+
+namespace osim::bench {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Driver::Driver(std::string bench_name, Options options)
+    : name_(std::move(bench_name)), opt_(std::move(options)) {}
+
+std::size_t Driver::add(std::string name, CellFn fn) {
+  cells_.push_back(Cell{std::move(name), std::move(fn), {}, false});
+  return cells_.size() - 1;
+}
+
+void Driver::run_all() {
+  std::vector<std::function<void()>> jobs;
+  for (Cell& cell : cells_) {
+    if (cell.done) continue;
+    jobs.push_back([&cell] {
+      const auto t0 = std::chrono::steady_clock::now();
+      cell.result = cell.fn();
+      cell.result.wall_seconds = seconds_since(t0);
+      cell.done = true;
+    });
+  }
+  if (jobs.empty()) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  HostPool pool(opt_.threads);
+  pool.run(std::move(jobs));
+  total_wall_ += seconds_since(t0);
+}
+
+const CellResult& Driver::result(std::size_t handle) const {
+  const Cell& cell = cells_.at(handle);
+  if (!cell.done) {
+    throw std::logic_error("cell '" + cell.name + "' read before run_all()");
+  }
+  return cell.result;
+}
+
+void Driver::check(const std::string& what, bool ok) {
+  checks_.push_back(Check{what, ok});
+}
+
+int Driver::finish() {
+  std::size_t passed = 0;
+  for (const Check& c : checks_) {
+    if (c.ok) {
+      ++passed;
+    } else {
+      std::fprintf(stderr, "%s: CHECK FAILED: %s\n", name_.c_str(),
+                   c.what.c_str());
+    }
+  }
+  const bool all_ok = passed == checks_.size();
+  std::printf(
+      "\n[%s] %zu cells, %.2fs wall on %d host thread(s); checks: %zu/%zu "
+      "passed\n",
+      name_.c_str(), cells_.size(), total_wall_,
+      HostPool(opt_.threads).thread_count(), passed, checks_.size());
+
+  if (!opt_.json_path.empty()) {
+    Json root = Json::object();
+    // Merge: keep other benches' entries, replace our own.
+    {
+      std::ifstream in(opt_.json_path);
+      if (in) {
+        std::stringstream buf;
+        buf << in.rdbuf();
+        try {
+          Json existing = Json::parse(buf.str());
+          if (existing.is_object()) root = std::move(existing);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "%s: ignoring unreadable %s (%s)\n",
+                       name_.c_str(), opt_.json_path.c_str(), e.what());
+        }
+      }
+    }
+    Json& mine = root[name_];
+    mine = Json::object();
+    mine["scale"] = Json::number(opt_.scale.factor);
+    mine["threads"] = Json::number(
+        static_cast<std::uint64_t>(HostPool(opt_.threads).thread_count()));
+    mine["wall_seconds"] = Json::number(total_wall_);
+    mine["checks_passed"] = Json::boolean(all_ok);
+    Json cells = Json::array();
+    for (const Cell& c : cells_) {
+      Json jc = Json::object();
+      jc["name"] = Json::string(c.name);
+      jc["cycles"] = Json::number(static_cast<std::uint64_t>(c.result.cycles));
+      jc["checksum"] = Json::number(c.result.checksum);
+      jc["wall_seconds"] = Json::number(c.result.wall_seconds);
+      cells.push_back(std::move(jc));
+    }
+    mine["cells"] = std::move(cells);
+
+    std::ofstream out(opt_.json_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write %s\n", name_.c_str(),
+                   opt_.json_path.c_str());
+      return 1;
+    }
+    out << root.dump();
+    std::printf("[%s] results written to %s\n", name_.c_str(),
+                opt_.json_path.c_str());
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace osim::bench

@@ -1,0 +1,87 @@
+// Shared experiment driver for the figure benches.
+//
+// Every bench used to run its (workload x config x mix) grid serially
+// inside its printing code. The driver splits that into phases:
+//
+//   1. register every experiment cell up front (Driver::add),
+//   2. run them all — fanned out across host threads (sim/host_pool.hpp);
+//      each cell builds, runs, and tears down its own Env/Machine, so the
+//      simulated cycles, stats, and checksums are bit-identical for any
+//      --threads value,
+//   3. read results back in registration order and print the tables,
+//   4. finish(): verify recorded invariants (checksum matches), print the
+//      wall-clock summary, and write/merge the machine-readable JSON.
+//
+// The JSON file maps bench name -> { scale, threads, wall_seconds, cells,
+// checks }; running several benches with the same --json path accumulates
+// all of them into one BENCH_results.json.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/types.hpp"
+
+namespace osim::bench {
+
+struct CellResult {
+  Cycles cycles = 0;
+  std::uint64_t checksum = 0;
+  double wall_seconds = 0.0;  ///< host time for this cell (driver-filled)
+};
+
+/// One experiment cell: runs on some host thread, owns its whole simulation.
+using CellFn = std::function<CellResult()>;
+
+class Driver {
+ public:
+  Driver(std::string bench_name, Options options);
+
+  /// Register a cell; `name` keys it in tables and JSON (e.g.
+  /// "linked_list/cores=8"). Returns a handle for result().
+  std::size_t add(std::string name, CellFn fn);
+
+  /// Run every registered cell to completion. Safe to call repeatedly; only
+  /// cells added since the last run are executed (so a bench may register,
+  /// run, and read results in stages if a later grid depends on earlier
+  /// results).
+  void run_all();
+
+  /// Result of cell `handle`; valid after run_all().
+  const CellResult& result(std::size_t handle) const;
+
+  /// Record a named invariant. Failures are printed by finish() and make it
+  /// return (and the process exit) non-zero — this is what lets a CI smoke
+  /// run fail on checksum mismatches.
+  void check(const std::string& what, bool ok);
+
+  /// Wall-clock seconds spent inside run_all() so far.
+  double total_wall_seconds() const { return total_wall_; }
+
+  /// Print the wall-clock summary, write the JSON file if requested, and
+  /// return the process exit code (0 iff every check passed).
+  int finish();
+
+ private:
+  struct Cell {
+    std::string name;
+    CellFn fn;
+    CellResult result;
+    bool done = false;
+  };
+  struct Check {
+    std::string what;
+    bool ok;
+  };
+
+  std::string name_;
+  Options opt_;
+  std::vector<Cell> cells_;
+  std::vector<Check> checks_;
+  double total_wall_ = 0.0;
+};
+
+}  // namespace osim::bench

@@ -1,0 +1,275 @@
+// Minimal JSON reader/writer for the bench result files.
+//
+// Scope: exactly what BENCH_results.json needs — objects with stable key
+// order, arrays, strings, numbers, and booleans. Numbers are kept as their
+// source text, so 64-bit checksums round-trip through a read-modify-write
+// merge without floating-point loss. Not a general-purpose JSON library.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace osim::bench {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  static Json boolean(bool b) {
+    Json j;
+    j.kind_ = Kind::kBool;
+    j.bool_ = b;
+    return j;
+  }
+  static Json number(std::uint64_t v) { return raw_number(std::to_string(v)); }
+  static Json number(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", v);
+    return raw_number(buf);
+  }
+  static Json string(std::string s) {
+    Json j;
+    j.kind_ = Kind::kString;
+    j.str_ = std::move(s);
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  void push_back(Json v) { items_.emplace_back("", std::move(v)); }
+
+  /// Object field access; inserts (preserving insertion order) if absent.
+  Json& operator[](const std::string& key) {
+    for (auto& [k, v] : items_) {
+      if (k == key) return v;
+    }
+    items_.emplace_back(key, Json{});
+    return items_.back().second;
+  }
+
+  void write(std::string& out, int indent = 0) const {
+    switch (kind_) {
+      case Kind::kNull:
+        out += "null";
+        break;
+      case Kind::kBool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::kNumber:
+        out += str_;
+        break;
+      case Kind::kString:
+        write_string(out, str_);
+        break;
+      case Kind::kArray:
+      case Kind::kObject: {
+        const char open = kind_ == Kind::kArray ? '[' : '{';
+        const char close = kind_ == Kind::kArray ? ']' : '}';
+        if (items_.empty()) {
+          out += open;
+          out += close;
+          break;
+        }
+        out += open;
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+          out += i == 0 ? "\n" : ",\n";
+          out.append(static_cast<std::size_t>(indent) + 2, ' ');
+          if (kind_ == Kind::kObject) {
+            write_string(out, items_[i].first);
+            out += ": ";
+          }
+          items_[i].second.write(out, indent + 2);
+        }
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent), ' ');
+        out += close;
+        break;
+      }
+    }
+  }
+
+  std::string dump() const {
+    std::string out;
+    write(out);
+    out += '\n';
+    return out;
+  }
+
+  /// Parse `text`. Throws std::runtime_error on malformed input.
+  static Json parse(const std::string& text) {
+    std::size_t pos = 0;
+    Json j = parse_value(text, pos);
+    skip_ws(text, pos);
+    if (pos != text.size()) throw std::runtime_error("trailing JSON content");
+    return j;
+  }
+
+ private:
+  static Json raw_number(std::string digits) {
+    Json j;
+    j.kind_ = Kind::kNumber;
+    j.str_ = std::move(digits);
+    return j;
+  }
+
+  static void write_string(std::string& out, const std::string& s) {
+    out += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          out += c;
+      }
+    }
+    out += '"';
+  }
+
+  static void skip_ws(const std::string& t, std::size_t& p) {
+    while (p < t.size() && std::isspace(static_cast<unsigned char>(t[p]))) ++p;
+  }
+
+  [[noreturn]] static void fail(const char* what) {
+    throw std::runtime_error(std::string("bad JSON: ") + what);
+  }
+
+  static char expect(const std::string& t, std::size_t& p, char c) {
+    skip_ws(t, p);
+    if (p >= t.size() || t[p] != c) fail("unexpected character");
+    return t[p++];
+  }
+
+  static std::string parse_string(const std::string& t, std::size_t& p) {
+    expect(t, p, '"');
+    std::string s;
+    while (p < t.size() && t[p] != '"') {
+      char c = t[p++];
+      if (c == '\\') {
+        if (p >= t.size()) fail("unterminated escape");
+        const char e = t[p++];
+        switch (e) {
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          case '"':
+          case '\\':
+          case '/':
+            c = e;
+            break;
+          default:
+            fail("unsupported escape");
+        }
+      }
+      s += c;
+    }
+    if (p >= t.size()) fail("unterminated string");
+    ++p;  // closing quote
+    return s;
+  }
+
+  static Json parse_value(const std::string& t, std::size_t& p) {
+    skip_ws(t, p);
+    if (p >= t.size()) fail("empty input");
+    const char c = t[p];
+    if (c == '{') {
+      ++p;
+      Json j = object();
+      skip_ws(t, p);
+      if (p < t.size() && t[p] == '}') {
+        ++p;
+        return j;
+      }
+      for (;;) {
+        std::string key = parse_string(t, p);
+        expect(t, p, ':');
+        j.items_.emplace_back(std::move(key), parse_value(t, p));
+        skip_ws(t, p);
+        if (p < t.size() && t[p] == ',') {
+          ++p;
+          skip_ws(t, p);
+          continue;
+        }
+        expect(t, p, '}');
+        return j;
+      }
+    }
+    if (c == '[') {
+      ++p;
+      Json j = array();
+      skip_ws(t, p);
+      if (p < t.size() && t[p] == ']') {
+        ++p;
+        return j;
+      }
+      for (;;) {
+        j.push_back(parse_value(t, p));
+        skip_ws(t, p);
+        if (p < t.size() && t[p] == ',') {
+          ++p;
+          continue;
+        }
+        expect(t, p, ']');
+        return j;
+      }
+    }
+    if (c == '"') return string(parse_string(t, p));
+    if (t.compare(p, 4, "true") == 0) {
+      p += 4;
+      return boolean(true);
+    }
+    if (t.compare(p, 5, "false") == 0) {
+      p += 5;
+      return boolean(false);
+    }
+    if (t.compare(p, 4, "null") == 0) {
+      p += 4;
+      return Json{};
+    }
+    // Number: take the maximal run of number characters verbatim.
+    const std::size_t start = p;
+    while (p < t.size() &&
+           (std::isdigit(static_cast<unsigned char>(t[p])) || t[p] == '-' ||
+            t[p] == '+' || t[p] == '.' || t[p] == 'e' || t[p] == 'E')) {
+      ++p;
+    }
+    if (p == start) fail("unexpected token");
+    return raw_number(t.substr(start, p - start));
+  }
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string str_;  // string payload or number text
+  std::vector<std::pair<std::string, Json>> items_;
+};
+
+}  // namespace osim::bench

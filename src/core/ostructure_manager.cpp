@@ -29,7 +29,7 @@ OStructureManager::OStructureManager(Machine& m)
 
 OAddr OStructureManager::alloc(std::size_t slots) {
   if (slots == 0) throw OFault(FaultKind::kInvalidAddress, "zero-slot alloc");
-  auto& freed = slot_free_[slots];
+  auto& freed = slot_free_[static_cast<std::uint64_t>(slots)];
   std::uint64_t base;
   if (!freed.empty()) {
     base = freed.back();
@@ -69,7 +69,7 @@ void OStructureManager::release(OAddr base, std::size_t slots) {
       m_.wake_all(sm.waiters, cfg_.wake_latency);
     }
   }
-  slot_free_[slots].push_back(first);
+  slot_free_[static_cast<std::uint64_t>(slots)].push_back(first);
 }
 
 std::uint64_t OStructureManager::slot_of(OAddr a) const {
@@ -128,9 +128,7 @@ void OStructureManager::stall(const OpFlags& f, std::uint64_t slot,
 
 CompressedLine* OStructureManager::comp_line(CoreId core, std::uint64_t slot) {
   if (!m_.memsys().line_in_l1(core, compressed_addr(slot))) return nullptr;
-  auto& map = comp_[static_cast<std::size_t>(core)];
-  auto it = map.find(slot);
-  return it == map.end() ? nullptr : &it->second;
+  return comp_[static_cast<std::size_t>(core)].find(slot);
 }
 
 void OStructureManager::comp_install(std::uint64_t slot,
@@ -277,8 +275,7 @@ void OStructureManager::reclaim(BlockIndex b) {
   sm.nversions--;
   list_unlink(pool_, &sm.root, b);
   for (auto& per_core : comp_) {
-    auto it = per_core.find(vb.slot);
-    if (it != per_core.end()) it->second.erase(vb.version);
+    if (CompressedLine* cl = per_core.find(vb.slot)) cl->erase(vb.version);
   }
   pool_.free(b);
   m_.stats().blocks_freed++;

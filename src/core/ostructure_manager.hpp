@@ -24,7 +24,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/compressed_line.hpp"
@@ -33,6 +32,7 @@
 #include "core/version_block.hpp"
 #include "core/version_list.hpp"
 #include "sim/address_map.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/machine.hpp"
 
 namespace osim {
@@ -197,9 +197,12 @@ class OStructureManager {
   GarbageCollector gc_;
   std::vector<SlotMeta> slots_;
   /// Per-core side storage for compressed lines (timing metadata; presence
-  /// in L1 is tracked by the real tag array via compressed_addr()).
-  std::vector<std::unordered_map<std::uint64_t, CompressedLine>> comp_;
-  std::unordered_map<std::size_t, std::vector<std::uint64_t>> slot_free_;
+  /// in L1 is tracked by the real tag array via compressed_addr()). Probed
+  /// on every versioned lookup and on every L1 line drop, so it uses the
+  /// flat open-addressed map rather than std::unordered_map.
+  std::vector<FlatMap<std::uint64_t, CompressedLine>> comp_;
+  /// Released slot runs, keyed by run length, for reuse by alloc().
+  FlatMap<std::uint64_t, std::vector<std::uint64_t>> slot_free_;
   OpTrace trace_;
 };
 

@@ -10,9 +10,11 @@
 #include <cstdint>
 #include <functional>
 #include <type_traits>
-#include <unordered_map>
+#include <utility>
 
 #include "core/ostructure_manager.hpp"
+#include "runtime/arena.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/machine.hpp"
 
 namespace osim {
@@ -53,15 +55,35 @@ class Env {
   /// Deterministic image of a host address: each distinct host cache line
   /// is assigned a synthetic line in first-touch order, so cache indexing
   /// (and therefore timing) is independent of the host allocator's layout.
+  /// Runs on every conventional access, hence the flat map.
   Addr translate(Addr host) {
     const Addr line = line_of(host);
-    auto [it, fresh] = line_map_.try_emplace(line, next_line_);
-    if (fresh) ++next_line_;
-    return kConventionalBase + it->second * kLineBytes + (host - line);
+    auto [mapped, fresh] = line_map_.try_emplace(line);
+    if (fresh) mapped = next_line_++;
+    return kConventionalBase + mapped * kLineBytes + (host - line);
   }
 
   /// Charge `n` non-memory instructions.
   void exec(std::uint64_t n) { m_.exec(n); }
+
+  /// Arena for simulator-visible host objects (nodes, matrices, lock
+  /// words). Anything whose address reaches ld()/st() must come from here:
+  /// arena offsets depend only on the deterministic allocation sequence, so
+  /// simulated timing is reproducible no matter how the host heap is laid
+  /// out (or which host thread runs the cell). See runtime/arena.hpp.
+  Arena& arena() { return arena_; }
+
+  /// Construct a T in the arena; lives until this Env is destroyed.
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    return arena_.create<T>(std::forward<Args>(args)...);
+  }
+
+  /// Value-initialized array of n Ts in the arena.
+  template <typename T>
+  T* make_array(std::size_t n) {
+    return arena_.array_of<T>(n);
+  }
 
   /// Install a program on a core (forwarding to the machine).
   void spawn(CoreId core, std::function<void()> body) {
@@ -83,8 +105,10 @@ class Env {
  private:
   Machine m_;
   OStructureManager osm_;
-  std::unordered_map<Addr, Addr> line_map_;
+  FlatMap<Addr, Addr> line_map_;
   Addr next_line_ = 0;
+  Arena arena_;  // last member: destroyed first, so arena-owned objects may
+                 // still reach the machine from their destructors
 };
 
 }  // namespace osim

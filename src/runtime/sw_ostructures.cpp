@@ -51,8 +51,7 @@ SwOStructure::Record* SwOStructure::find_latest(Ver cap) {
 
 SwOStructure::Record* SwOStructure::insert(Ver v, std::uint64_t data) {
   env_.exec(kAllocInstr);
-  records_.push_back(std::make_unique<Record>());
-  Record* n = records_.back().get();
+  Record* n = env_.arena().create<Record>();
   env_.st(n->version, v);
   env_.st(n->data, data);
   Record* prev = nullptr;

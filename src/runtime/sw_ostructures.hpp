@@ -19,9 +19,7 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
-#include <vector>
 
 #include "runtime/env.hpp"
 
@@ -77,7 +75,6 @@ class SwOStructure {
   WaitList version_q_;  ///< waiters for versions/unlocks (futex-style)
   Record* head_ = nullptr;
   int count_ = 0;
-  std::vector<std::unique_ptr<Record>> records_;
 };
 
 }  // namespace osim

@@ -12,13 +12,8 @@ Cache::Cache(const CacheConfig& cfg) : cfg_(cfg), sets_(cfg.num_sets()) {
   if (cfg_.line_bytes != kLineBytes) {
     throw std::invalid_argument("only 64-byte lines are modelled");
   }
+  if ((sets_ & (sets_ - 1)) == 0) set_mask_ = sets_ - 1;
   ways_.resize(sets_ * static_cast<std::size_t>(cfg_.ways));
-}
-
-std::size_t Cache::set_index(Addr line) const {
-  // Modulo indexing: set counts need not be powers of two (the 1.5 MB-per-
-  // core L2 of Table II has 1536 sets).
-  return static_cast<std::size_t>((line / kLineBytes) % sets_);
 }
 
 Cache::Way* Cache::find(Addr line) {

@@ -56,12 +56,19 @@ class Cache {
     std::uint64_t lru = 0;  // larger = more recently used
   };
 
-  std::size_t set_index(Addr line) const;
+  std::size_t set_index(Addr line) const {
+    // Power-of-two set counts (the common case: every Table II L1) index
+    // with a mask; others (e.g. the 1536-set L2) fall back to modulo.
+    const std::uint64_t n = line / kLineBytes;
+    return static_cast<std::size_t>(set_mask_ != 0 ? (n & set_mask_)
+                                                   : n % sets_);
+  }
   Way* find(Addr line);
   const Way* find(Addr line) const;
 
   CacheConfig cfg_;
   std::size_t sets_;
+  std::uint64_t set_mask_ = 0;  // sets_ - 1 when sets_ is a power of two
   std::vector<Way> ways_;  // sets_ * cfg_.ways, row-major by set
   std::uint64_t tick_ = 0;
 };

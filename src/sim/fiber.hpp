@@ -5,6 +5,12 @@
 // back whenever it is no longer the earliest core or when it blocks on a
 // versioned access. This gives bit-reproducible interleavings on one host
 // thread — the property the gem5-based study relies on.
+//
+// Host-thread safety: the "current fiber" pointer is thread-local and a
+// fiber must be resumed only on the host thread that is running its
+// machine's run() call. Distinct machines (each with their own fibers) may
+// therefore run concurrently on distinct host threads — see
+// sim/host_pool.hpp — with no shared mutable state between them.
 #pragma once
 
 #include <cstddef>
@@ -38,8 +44,9 @@ class Fiber {
   /// True once the fiber has been resumed at least once.
   bool started() const { return started_; }
 
-  /// The fiber currently executing on this thread, or nullptr when the
-  /// scheduler context is running.
+  /// The fiber currently executing on the calling host thread, or nullptr
+  /// when that thread's scheduler context is running. Thread-local: fibers
+  /// on other host threads are invisible here.
   static Fiber* current();
 
  private:

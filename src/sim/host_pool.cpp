@@ -1,0 +1,57 @@
+#include "sim/host_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace osim {
+
+int HostPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+HostPool::HostPool(int threads)
+    : threads_(threads > 0 ? threads : hardware_threads()) {}
+
+void HostPool::run(std::vector<std::function<void()>> jobs) {
+  if (jobs.empty()) return;
+
+  std::atomic<std::size_t> cursor{0};
+  std::mutex fail_mu;
+  std::exception_ptr first_error;
+  std::size_t first_error_index = jobs.size();
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      try {
+        jobs[i]();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(fail_mu);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  // The caller is one of the workers, so threads_ == 1 runs every job
+  // inline on this thread — the exact serial execution path.
+  const std::size_t extra =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_) - 1,
+                            jobs.size() - 1);
+  std::vector<std::thread> helpers;
+  helpers.reserve(extra);
+  for (std::size_t t = 0; t < extra; ++t) helpers.emplace_back(worker);
+  worker();
+  for (auto& h : helpers) h.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace osim

@@ -1,0 +1,45 @@
+// Host-side thread pool for running independent simulations in parallel.
+//
+// Every simulated Machine is self-contained and deterministic: the current
+// machine and the current fiber are thread-local (sim/machine.cpp,
+// sim/fiber.cpp), a fiber only ever runs on the host thread that owns its
+// machine's run() call, and no simulator state is shared between machines.
+// An experiment grid — one Machine per (workload, config, mix) cell — can
+// therefore fan out across host threads and still produce bit-identical
+// simulated cycles, stats, and checksums in any thread count.
+//
+// The pool is deliberately minimal: submit a batch of closures, workers pull
+// them off an atomic cursor in submission order, the caller participates as
+// the last worker. Exceptions are captured and the first (by job index) is
+// rethrown after the batch drains, so a faulting cell fails the run the same
+// way it would serially.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace osim {
+
+class HostPool {
+ public:
+  /// `threads` <= 0 selects one thread per host core.
+  explicit HostPool(int threads = 0);
+
+  int thread_count() const { return threads_; }
+
+  /// Run every job to completion, using up to thread_count() host threads
+  /// (the calling thread counts as one). Jobs must not touch shared mutable
+  /// state; each typically builds, runs, and tears down one Machine. If any
+  /// job throws, the batch still drains and the exception thrown by the
+  /// lowest-indexed failing job is rethrown.
+  void run(std::vector<std::function<void()>> jobs);
+
+  /// Host hardware concurrency (>= 1).
+  static int hardware_threads();
+
+ private:
+  int threads_;
+};
+
+}  // namespace osim

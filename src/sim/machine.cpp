@@ -40,6 +40,7 @@ void Machine::spawn(CoreId core, std::function<void()> body) {
   }
   ctx.fiber.reset();
   ctx.state = CoreState::kRunnable;
+  invalidate_order_cache();
   ctx.fiber = std::make_unique<Fiber>(
       [this, body = std::move(body)] {
         try {
@@ -69,17 +70,23 @@ CoreId Machine::earliest_runnable() const {
 }
 
 bool Machine::i_am_earliest() const {
-  const Cycles mine = cores_[static_cast<std::size_t>(running_)].clock;
-  for (std::size_t i = 0; i < cores_.size(); ++i) {
-    const auto& c = cores_[i];
-    if (static_cast<CoreId>(i) == running_) continue;
-    if (c.state != CoreState::kRunnable) continue;
-    if (c.clock < mine ||
-        (c.clock == mine && static_cast<CoreId>(i) < running_)) {
-      return false;
+  if (!order_cache_valid_) {
+    other_min_id_ = -1;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      const auto& c = cores_[i];
+      if (static_cast<CoreId>(i) == running_) continue;
+      if (c.state != CoreState::kRunnable) continue;
+      if (other_min_id_ < 0 || c.clock < other_min_clock_) {
+        other_min_clock_ = c.clock;
+        other_min_id_ = static_cast<CoreId>(i);
+      }
     }
+    order_cache_valid_ = true;
   }
-  return true;
+  if (other_min_id_ < 0) return true;
+  const Cycles mine = cores_[static_cast<std::size_t>(running_)].clock;
+  return other_min_clock_ > mine ||
+         (other_min_clock_ == mine && other_min_id_ > running_);
 }
 
 void Machine::yield_current() {
@@ -135,6 +142,7 @@ void Machine::wake_all(WaitList& wl, Cycles wake_latency) {
         ctx.clock - ctx.block_start;
     ctx.state = CoreState::kRunnable;
   }
+  if (!wl.waiters_.empty()) invalidate_order_cache();
   wl.waiters_.clear();
 }
 
@@ -150,6 +158,7 @@ void Machine::cancel_all() {
     }
     while (!c.fiber->finished()) {
       running_ = static_cast<CoreId>(&c - cores_.data());
+      invalidate_order_cache();
       c.fiber->resume();
     }
     c.state = CoreState::kDone;
@@ -183,6 +192,7 @@ void Machine::run() {
     }
     auto& ctx = cores_[static_cast<std::size_t>(c)];
     running_ = c;
+    invalidate_order_cache();
     ctx.fiber->resume();
     running_ = -1;
     if (ctx.fiber->finished()) {

@@ -10,6 +10,12 @@
 // Blocking (stalled versioned ops, lock waits) is event-driven: a core parks
 // itself on a WaitList and is re-timestamped when woken. If every core is
 // blocked the machine reports deadlock rather than spinning.
+//
+// Host-thread safety: one Machine runs on exactly one host thread at a time
+// (run() is not reentrant), and the machine a running fiber resolves via
+// Machine::current() is tracked per host thread. A Machine holds no global
+// mutable state, so independent machines can run concurrently on separate
+// host threads (sim/host_pool.hpp) and still produce bit-identical results.
 #pragma once
 
 #include <cstdint>
@@ -67,7 +73,8 @@ class Machine {
 
   // ---- Core-side API (call only from inside a spawned fiber) ----
 
-  /// The machine the running fiber belongs to.
+  /// The machine the running fiber belongs to. Thread-local: each host
+  /// thread sees only the machine whose run() it is executing.
   static Machine& current();
   /// The id of the currently executing core.
   CoreId current_core() const { return running_; }
@@ -120,9 +127,15 @@ class Machine {
   };
 
   /// Earliest runnable core, or -1. Linear scan: num_cores <= 64 and the
-  /// scan only happens at yield points.
+  /// scan only happens at scheduling points.
   CoreId earliest_runnable() const;
+  /// Whether the running core precedes every other runnable core in
+  /// (clock, id) order. Called before every memory event, so the minimum
+  /// over the *other* runnable cores is cached: while one core runs, only
+  /// its own clock moves, and the cache is invalidated at the points that
+  /// change other cores (resume, spawn, wake_all).
   bool i_am_earliest() const;
+  void invalidate_order_cache() { order_cache_valid_ = false; }
   void yield_current();
   /// Unwind every unfinished fiber (after a fault or deadlock) so stacks are
   /// cleanly destroyed before run() rethrows.
@@ -133,6 +146,11 @@ class Machine {
   MemorySystem memsys_;
   std::vector<CoreCtx> cores_;
   CoreId running_ = -1;
+  /// Cached (clock, id) minimum over runnable cores other than running_.
+  /// Valid only while running_ executes; see i_am_earliest().
+  mutable bool order_cache_valid_ = false;
+  mutable Cycles other_min_clock_ = 0;
+  mutable CoreId other_min_id_ = -1;
   Cycles elapsed_ = 0;
   std::string fault_;
   bool faulted_ = false;

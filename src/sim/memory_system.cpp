@@ -17,22 +17,21 @@ MemorySystem::MemorySystem(const MachineConfig& cfg, MachineStats& stats)
 
 void MemorySystem::drop_from_l1(CoreId core, Addr line) {
   if (l1s_[static_cast<std::size_t>(core)].invalidate(line)) {
-    auto it = dir_.find(line);
-    if (it != dir_.end()) {
-      it->second.sharers &= ~bit(core);
-      if (it->second.owner == core) it->second.owner = -1;
-      if (it->second.sharers == 0 && it->second.owner == -1) dir_.erase(it);
+    if (DirEntry* de = dir_.find(line)) {
+      de->sharers &= ~bit(core);
+      if (de->owner == core) de->owner = -1;
+      if (de->sharers == 0 && de->owner == -1) dir_.erase(line);
     }
     if (drop_observer_) drop_observer_(core, line);
   }
 }
 
 bool MemorySystem::invalidate_copies(CoreId except, Addr line) {
-  auto it = dir_.find(line);
-  if (it == dir_.end()) return false;
+  const DirEntry* de = dir_.find(line);
+  if (de == nullptr) return false;
   bool any = false;
-  std::uint64_t sharers = it->second.sharers;
-  const CoreId owner = it->second.owner;
+  const std::uint64_t sharers = de->sharers;
+  const CoreId owner = de->owner;
   for (int c = 0; c < cfg_.num_cores; ++c) {
     if (c == except) continue;
     if ((sharers & bit(c)) != 0 || owner == c) {
@@ -54,18 +53,16 @@ void MemorySystem::fill_l2_line(Addr line) {
 
 void MemorySystem::fill_l1_line(CoreId core, Addr line, bool dirty) {
   Cache& l1 = l1s_[static_cast<std::size_t>(core)];
-  if (l1.contains(line)) {
-    l1.access(line, dirty);
-    return;
-  }
+  // access() doubles as "touch if present": it refreshes recency and the
+  // dirty bit exactly as the old contains()+access() pair did, in one probe.
+  if (l1.access(line, dirty)) return;
   Cache::Eviction ev = l1.fill(line, dirty);
   if (ev.valid) {
     // Writebacks land in the (inclusive) L2; bandwidth is not modelled.
-    auto it = dir_.find(ev.line);
-    if (it != dir_.end()) {
-      it->second.sharers &= ~bit(core);
-      if (it->second.owner == core) it->second.owner = -1;
-      if (it->second.sharers == 0 && it->second.owner == -1) dir_.erase(it);
+    if (DirEntry* de = dir_.find(ev.line)) {
+      de->sharers &= ~bit(core);
+      if (de->owner == core) de->owner = -1;
+      if (de->sharers == 0 && de->owner == -1) dir_.erase(ev.line);
     }
     if (drop_observer_) drop_observer_(core, ev.line);
   }

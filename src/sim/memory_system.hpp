@@ -15,11 +15,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/cache.hpp"
 #include "sim/config.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -88,7 +88,9 @@ class MemorySystem {
   MachineStats& stats_;
   std::vector<Cache> l1s_;
   Cache l2_;
-  std::unordered_map<Addr, DirEntry> dir_;
+  /// Coherence directory, probed on every access: a flat open-addressed
+  /// map keyed by line address (see sim/flat_map.hpp).
+  FlatMap<Addr, DirEntry> dir_;
   LineDropObserver drop_observer_;
 };
 

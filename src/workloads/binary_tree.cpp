@@ -113,14 +113,13 @@ class UTree {
   }
 
   UNode* new_node(std::uint64_t key) {
-    nodes_.push_back(std::make_unique<UNode>());
-    nodes_.back()->key = key;
-    return nodes_.back().get();
+    UNode* n = env_.make<UNode>();
+    n->key = key;
+    return n;
   }
 
   Env& env_;
   UNode* root_ = nullptr;
-  std::vector<std::unique_ptr<UNode>> nodes_;
 };
 
 // ---------------------------------------------------------------------------
@@ -267,8 +266,7 @@ class VTree {
   }
 
   VNode* new_node(std::uint64_t key, Ver ver) {
-    nodes_.push_back(std::make_unique<VNode>(env_, key));
-    VNode* n = nodes_.back().get();
+    VNode* n = env_.make<VNode>(env_, key);
     if (ver != kSetupVersion) {
       // Setup-version nodes get their fields published later in one pass.
       n->left.store_ver(nullptr, ver);
@@ -282,7 +280,6 @@ class VTree {
 
   Env& env_;
   TicketRoot<VNode*> ticket_;
-  std::vector<std::unique_ptr<VNode>> nodes_;
   // Host-side shape used only during populate().
   std::unordered_map<VNode*, VNode*> host_left_;
   std::unordered_map<VNode*, VNode*> host_right_;
@@ -291,7 +288,7 @@ class VTree {
 }  // namespace
 
 RunResult binary_tree_sequential(Env& env, const DsSpec& spec) {
-  auto tree = std::make_shared<UTree>(env);
+  UTree* tree = env.make<UTree>(env);
   const auto ops = generate_ops(spec);
   return run_sequential(
       env, [tree, &spec] { tree->populate(initial_keys(spec)); },
@@ -318,7 +315,7 @@ RunResult binary_tree_sequential(Env& env, const DsSpec& spec) {
 }
 
 RunResult binary_tree_versioned(Env& env, const DsSpec& spec, int cores) {
-  auto tree = std::make_shared<VTree>(env);
+  VTree* tree = env.make<VTree>(env);
   const auto ops = generate_ops(spec);
   auto results = std::make_shared<std::vector<std::uint64_t>>(ops.size());
   return run_tasked(
@@ -357,8 +354,8 @@ RunResult binary_tree_versioned(Env& env, const DsSpec& spec, int cores) {
 }
 
 RunResult binary_tree_rwlock(Env& env, const DsSpec& spec, int cores) {
-  auto tree = std::make_shared<UTree>(env);
-  auto lock = std::make_shared<SimRWLock>(env);
+  UTree* tree = env.make<UTree>(env);
+  SimRWLock* lock = env.make<SimRWLock>(env);
   const auto ops = generate_ops(spec);
   auto results = std::make_shared<std::vector<std::uint64_t>>(ops.size());
   return run_tasked(

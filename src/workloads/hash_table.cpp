@@ -38,21 +38,21 @@ struct UNode {
 
 class UHash {
  public:
-  UHash(Env& env, std::size_t buckets) : env_(env), heads_(buckets, nullptr) {}
+  UHash(Env& env, std::size_t buckets)
+      : env_(env), heads_(env.make_array<UNode*>(buckets)), buckets_(buckets) {}
 
   void populate(const std::vector<std::uint64_t>& keys) {
     for (std::uint64_t k : keys) {
-      UNode** where = &heads_[hash_of(k, heads_.size())];
+      UNode** where = &heads_[hash_of(k, buckets_)];
       while (*where != nullptr && (*where)->key < k) where = &(*where)->next;
       if (*where != nullptr && (*where)->key == k) continue;
-      nodes_.push_back(std::make_unique<UNode>(UNode{k, *where}));
-      *where = nodes_.back().get();
+      *where = env_.make<UNode>(UNode{k, *where});
     }
   }
 
   bool lookup(std::uint64_t key) {
     env_.exec(kOpSetupInstr);
-    UNode* cur = env_.ld(heads_[hash_of(key, heads_.size())]);
+    UNode* cur = env_.ld(heads_[hash_of(key, buckets_)]);
     while (cur != nullptr && env_.ld(cur->key) < key) {
       env_.exec(kStepInstr);
       cur = env_.ld(cur->next);
@@ -62,7 +62,7 @@ class UHash {
 
   bool insert(std::uint64_t key) {
     env_.exec(kOpSetupInstr);
-    UNode*& head = heads_[hash_of(key, heads_.size())];
+    UNode*& head = heads_[hash_of(key, buckets_)];
     UNode* cur = env_.ld(head);
     UNode* prev = nullptr;
     while (cur != nullptr && env_.ld(cur->key) < key) {
@@ -71,8 +71,7 @@ class UHash {
       cur = env_.ld(cur->next);
     }
     if (cur != nullptr && env_.ld(cur->key) == key) return false;
-    nodes_.push_back(std::make_unique<UNode>(UNode{key, cur}));
-    UNode* n = nodes_.back().get();
+    UNode* n = env_.make<UNode>(UNode{key, cur});
     env_.st(n->next, cur);
     if (prev == nullptr) {
       env_.st(head, n);
@@ -84,7 +83,7 @@ class UHash {
 
   bool erase(std::uint64_t key) {
     env_.exec(kOpSetupInstr);
-    UNode*& head = heads_[hash_of(key, heads_.size())];
+    UNode*& head = heads_[hash_of(key, buckets_)];
     UNode* cur = env_.ld(head);
     UNode* prev = nullptr;
     while (cur != nullptr && env_.ld(cur->key) < key) {
@@ -104,8 +103,8 @@ class UHash {
 
  private:
   Env& env_;
-  std::vector<UNode*> heads_;
-  std::vector<std::unique_ptr<UNode>> nodes_;
+  UNode** heads_;  // arena array: timed accesses index into it
+  std::size_t buckets_;
 };
 
 // ---------------------------------------------------------------------------
@@ -197,21 +196,17 @@ class VHash {
   }
 
  private:
-  VNode* new_node(std::uint64_t key) {
-    nodes_.push_back(std::make_unique<VNode>(env_, key));
-    return nodes_.back().get();
-  }
+  VNode* new_node(std::uint64_t key) { return env_.make<VNode>(env_, key); }
 
   Env& env_;
   TicketRoot<std::uint64_t> ticket_;
   std::vector<versioned<VNode*>> heads_;
-  std::vector<std::unique_ptr<VNode>> nodes_;
 };
 
 }  // namespace
 
 RunResult hash_table_sequential(Env& env, const DsSpec& spec) {
-  auto table = std::make_shared<UHash>(env, bucket_count(spec));
+  UHash* table = env.make<UHash>(env, bucket_count(spec));
   const auto ops = generate_ops(spec);
   return run_sequential(
       env, [table, &spec] { table->populate(initial_keys(spec)); },
@@ -236,7 +231,7 @@ RunResult hash_table_sequential(Env& env, const DsSpec& spec) {
 }
 
 RunResult hash_table_versioned(Env& env, const DsSpec& spec, int cores) {
-  auto table = std::make_shared<VHash>(env, bucket_count(spec));
+  VHash* table = env.make<VHash>(env, bucket_count(spec));
   const auto ops = generate_ops(spec);
   auto results = std::make_shared<std::vector<std::uint64_t>>(ops.size());
   return run_tasked(

@@ -14,9 +14,9 @@ namespace {
 
 constexpr std::uint64_t kCellInstr = 16;  // three-way min, compares, branches
 
-std::vector<std::uint8_t> random_string(int n, std::mt19937_64& rng) {
-  std::vector<std::uint8_t> s(static_cast<std::size_t>(n));
-  for (auto& c : s) c = static_cast<std::uint8_t>(rng() % 4);
+std::uint8_t* random_string(Env& env, int n, std::mt19937_64& rng) {
+  std::uint8_t* s = env.make_array<std::uint8_t>(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) s[i] = static_cast<std::uint8_t>(rng() % 4);
   return s;
 }
 
@@ -25,15 +25,15 @@ std::vector<std::uint8_t> random_string(int n, std::mt19937_64& rng) {
 RunResult levenshtein_sequential(Env& env, const LevSpec& spec) {
   const int n = spec.n;
   std::mt19937_64 rng(spec.seed);
-  auto s = std::make_shared<std::vector<std::uint8_t>>(random_string(n, rng));
-  auto t = std::make_shared<std::vector<std::uint8_t>>(random_string(n, rng));
+  std::uint8_t* s = random_string(env, n, rng);
+  std::uint8_t* t = random_string(env, n, rng);
   const std::size_t w = static_cast<std::size_t>(n) + 1;
-  auto d = std::make_shared<std::vector<std::uint32_t>>(w * w);
+  std::uint32_t* d = env.make_array<std::uint32_t>(w * w);
 
   return run_sequential(
       env, [] {},
       [&env, s, t, d, n, w] {
-        auto& dd = *d;
+        std::uint32_t* dd = d;
         for (int j = 0; j <= n; ++j) dd[j] = static_cast<std::uint32_t>(j);
         for (int i = 1; i <= n; ++i) {
           env.st(dd[i * w], static_cast<std::uint32_t>(i));
@@ -42,7 +42,7 @@ RunResult levenshtein_sequential(Env& env, const LevSpec& spec) {
           std::uint32_t left = static_cast<std::uint32_t>(i);
           for (int j = 1; j <= n; ++j) {
             const std::uint32_t up = env.ld(dd[(i - 1) * w + j]);
-            const bool eq = env.ld((*s)[i - 1]) == env.ld((*t)[j - 1]);
+            const bool eq = env.ld(s[i - 1]) == env.ld(t[j - 1]);
             const std::uint32_t best =
                 std::min({up + 1, left + 1, diag + (eq ? 0u : 1u)});
             env.exec(kCellInstr);
@@ -60,8 +60,8 @@ RunResult levenshtein_sequential(Env& env, const LevSpec& spec) {
 RunResult levenshtein_versioned(Env& env, const LevSpec& spec, int cores) {
   const int n = spec.n;
   std::mt19937_64 rng(spec.seed);
-  auto s = std::make_shared<std::vector<std::uint8_t>>(random_string(n, rng));
-  auto t = std::make_shared<std::vector<std::uint8_t>>(random_string(n, rng));
+  std::uint8_t* s = random_string(env, n, rng);
+  std::uint8_t* t = random_string(env, n, rng);
   const std::size_t w = static_cast<std::size_t>(n) + 1;
   auto d = std::make_shared<std::vector<versioned<std::uint64_t>>>();
   d->reserve(w * w);
@@ -88,7 +88,7 @@ RunResult levenshtein_versioned(Env& env, const LevSpec& spec, int cores) {
                 std::uint64_t left = static_cast<std::uint64_t>(i);
                 for (int j = 1; j <= n; ++j) {
                   const std::uint64_t up = dd[(i - 1) * w + j].load_ver(1);
-                  const bool eq = env.ld((*s)[i - 1]) == env.ld((*t)[j - 1]);
+                  const bool eq = env.ld(s[i - 1]) == env.ld(t[j - 1]);
                   const std::uint64_t best = std::min(
                       {up + 1, left + 1, diag + (eq ? 0u : 1u)});
                   env.exec(kCellInstr);

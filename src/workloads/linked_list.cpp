@@ -105,13 +105,11 @@ class UList {
 
  private:
   UNode* new_node(std::uint64_t key, UNode* next) {
-    nodes_.push_back(std::make_unique<UNode>(UNode{key, next}));
-    return nodes_.back().get();
+    return env_.make<UNode>(UNode{key, next});
   }
 
   Env& env_;
   UNode* head_ = nullptr;
-  std::vector<std::unique_ptr<UNode>> nodes_;  // owns all nodes ever made
 };
 
 // ---------------------------------------------------------------------------
@@ -245,14 +243,10 @@ class VList {
   }
 
  private:
-  VNode* new_node(std::uint64_t key) {
-    nodes_.push_back(std::make_unique<VNode>(env_, key));
-    return nodes_.back().get();
-  }
+  VNode* new_node(std::uint64_t key) { return env_.make<VNode>(env_, key); }
 
   Env& env_;
   TicketRoot<VNode*> ticket_;
-  std::vector<std::unique_ptr<VNode>> nodes_;
 };
 
 std::uint64_t apply_op(const Op& op, int scan_range, auto&& lookup,
@@ -273,7 +267,7 @@ std::uint64_t apply_op(const Op& op, int scan_range, auto&& lookup,
 }  // namespace
 
 RunResult linked_list_sequential(Env& env, const DsSpec& spec) {
-  auto list = std::make_shared<UList>(env);
+  UList* list = env.make<UList>(env);
   const auto ops = generate_ops(spec);
   return run_sequential(
       env, [&env, list, &spec] { list->populate(initial_keys(spec)); },
@@ -298,7 +292,7 @@ RunResult linked_list_sequential(Env& env, const DsSpec& spec) {
 }
 
 RunResult linked_list_versioned(Env& env, const DsSpec& spec, int cores) {
-  auto list = std::make_shared<VList>(env);
+  VList* list = env.make<VList>(env);
   const auto ops = generate_ops(spec);
   auto results = std::make_shared<std::vector<std::uint64_t>>(ops.size());
   return run_tasked(

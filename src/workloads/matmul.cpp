@@ -13,15 +13,16 @@ namespace {
 
 constexpr std::uint64_t kMacInstr = 5;  // multiply-accumulate + loop control
 
-std::vector<std::uint64_t> random_matrix(int n, std::mt19937_64& rng) {
-  std::vector<std::uint64_t> m(static_cast<std::size_t>(n) * n);
-  for (auto& x : m) x = rng() % 1000;
+std::uint64_t* random_matrix(Env& env, int n, std::mt19937_64& rng) {
+  const std::size_t cells = static_cast<std::size_t>(n) * n;
+  std::uint64_t* m = env.make_array<std::uint64_t>(cells);
+  for (std::size_t i = 0; i < cells; ++i) m[i] = rng() % 1000;
   return m;
 }
 
-std::uint64_t fold(const std::vector<std::uint64_t>& m) {
+std::uint64_t fold(const std::uint64_t* m, std::size_t cells) {
   std::uint64_t sum = 0;
-  for (std::uint64_t x : m) mix(sum, x);
+  for (std::size_t i = 0; i < cells; ++i) mix(sum, m[i]);
   return sum;
 }
 
@@ -29,21 +30,19 @@ std::uint64_t fold(const std::vector<std::uint64_t>& m) {
 
 RunResult matmul_sequential(Env& env, const MatmulSpec& spec) {
   const int n = spec.n;
+  const std::size_t cells = static_cast<std::size_t>(n) * n;
   std::mt19937_64 rng(spec.seed);
-  auto a = std::make_shared<std::vector<std::uint64_t>>(random_matrix(n, rng));
-  auto b = std::make_shared<std::vector<std::uint64_t>>(random_matrix(n, rng));
-  auto d = std::make_shared<std::vector<std::uint64_t>>(random_matrix(n, rng));
-  auto e = std::make_shared<std::vector<std::uint64_t>>(
-      static_cast<std::size_t>(n) * n);
-  auto f = std::make_shared<std::vector<std::uint64_t>>(
-      static_cast<std::size_t>(n) * n);
+  std::uint64_t* a = random_matrix(env, n, rng);
+  std::uint64_t* b = random_matrix(env, n, rng);
+  std::uint64_t* d = random_matrix(env, n, rng);
+  std::uint64_t* e = env.make_array<std::uint64_t>(cells);
+  std::uint64_t* f = env.make_array<std::uint64_t>(cells);
 
   return run_sequential(
       env, [] {},
-      [&env, a, b, d, e, f, n] {
-        auto mul = [&](const std::vector<std::uint64_t>& x,
-                       const std::vector<std::uint64_t>& y,
-                       std::vector<std::uint64_t>& out) {
+      [&env, a, b, d, e, f, n, cells] {
+        auto mul = [&](const std::uint64_t* x, const std::uint64_t* y,
+                       std::uint64_t* out) {
           for (int i = 0; i < n; ++i) {
             for (int j = 0; j < n; ++j) {
               std::uint64_t acc = 0;
@@ -55,18 +54,18 @@ RunResult matmul_sequential(Env& env, const MatmulSpec& spec) {
             }
           }
         };
-        mul(*a, *b, *e);
-        mul(*e, *d, *f);
-        return fold(*f);
+        mul(a, b, e);
+        mul(e, d, f);
+        return fold(f, cells);
       });
 }
 
 RunResult matmul_versioned(Env& env, const MatmulSpec& spec, int cores) {
   const int n = spec.n;
   std::mt19937_64 rng(spec.seed);
-  auto a = std::make_shared<std::vector<std::uint64_t>>(random_matrix(n, rng));
-  auto b = std::make_shared<std::vector<std::uint64_t>>(random_matrix(n, rng));
-  auto d = std::make_shared<std::vector<std::uint64_t>>(random_matrix(n, rng));
+  std::uint64_t* a = random_matrix(env, n, rng);
+  std::uint64_t* b = random_matrix(env, n, rng);
+  std::uint64_t* d = random_matrix(env, n, rng);
   // E is the versioned rendezvous between the two multiplications; F is
   // versioned as well (produced once, folded on the host afterwards).
   auto e = std::make_shared<std::vector<versioned<std::uint64_t>>>();
@@ -87,7 +86,7 @@ RunResult matmul_versioned(Env& env, const MatmulSpec& spec, int cores) {
             for (int j = 0; j < n; ++j) {
               std::uint64_t acc = 0;
               for (int k = 0; k < n; ++k) {
-                acc += env.ld((*a)[i * n + k]) * env.ld((*b)[k * n + j]);
+                acc += env.ld(a[i * n + k]) * env.ld(b[k * n + j]);
                 env.exec(kMacInstr);
               }
               (*e)[i * n + j].store_ver(acc, 1);
@@ -101,7 +100,7 @@ RunResult matmul_versioned(Env& env, const MatmulSpec& spec, int cores) {
             for (int j = 0; j < n; ++j) {
               std::uint64_t acc = 0;
               for (int k = 0; k < n; ++k) {
-                acc += (*e)[i * n + k].load_ver(1) * env.ld((*d)[k * n + j]);
+                acc += (*e)[i * n + k].load_ver(1) * env.ld(d[k * n + j]);
                 env.exec(kMacInstr);
               }
               (*f)[i * n + j].store_ver(acc, 1);

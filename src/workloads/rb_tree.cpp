@@ -196,9 +196,9 @@ class UPolicy {
   bool alive(Node* n) { return env_.ld(n->alive); }
   void set_alive(Node* n, bool a) { env_.st(n->alive, a); }
   Node* make_node(std::uint64_t key) {
-    nodes_.push_back(std::make_unique<URNode>());
-    nodes_.back()->key = key;
-    return nodes_.back().get();
+    URNode* n = env_.make<URNode>();
+    n->key = key;
+    return n;
   }
   void step() { env_.exec(kStepInstr); }
 
@@ -207,7 +207,6 @@ class UPolicy {
  private:
   Env& env_;
   Node* root_ = nullptr;
-  std::vector<std::unique_ptr<URNode>> nodes_;
 };
 
 std::uint64_t scan_unversioned(Env& env, UPolicy& p, URNode* n,
@@ -246,9 +245,8 @@ class WriterPolicy {
  public:
   using Node = VRNode;
 
-  WriterPolicy(Env& env, TaskId tid, VRNode* root,
-               std::vector<std::unique_ptr<VRNode>>& nodes)
-      : env_(env), tid_(tid), root_(root), nodes_(nodes) {}
+  WriterPolicy(Env& env, TaskId tid, VRNode* root)
+      : env_(env), tid_(tid), root_(root) {}
 
   Node* root() { return root_; }
   void set_root(Node* n) {
@@ -265,8 +263,7 @@ class WriterPolicy {
   bool alive(Node* n) { return read_alive(n->alive) != 0; }
   void set_alive(Node* n, bool a) { write_alive(n->alive, a ? 1 : 0); }
   Node* make_node(std::uint64_t key) {
-    nodes_.push_back(std::make_unique<VRNode>(env_, key));
-    VRNode* n = nodes_.back().get();
+    VRNode* n = env_.make<VRNode>(env_, key);
     // New-node fields go through the buffer too, so each versioned field is
     // stored exactly once at commit even if a rotation touches it again.
     write_ptr(n->left, nullptr);
@@ -328,7 +325,6 @@ class WriterPolicy {
   Env& env_;
   TaskId tid_;
   VRNode* root_;
-  std::vector<std::unique_ptr<VRNode>>& nodes_;
   // Insertion-ordered buffers (tiny: a handful of fields per operation);
   // deterministic commit order regardless of heap layout.
   std::vector<std::pair<versioned<VRNode*>*, VRNode*>> ptr_buf_;
@@ -387,7 +383,7 @@ class VRbTree {
                           bool insert) {
     env_.exec(kOpSetupInstr);
     VRNode* root = ticket_.enter_mut(tid, prev);
-    WriterPolicy p(env_, tid, root, nodes_);
+    WriterPolicy p(env_, tid, root);
     RbCore<WriterPolicy> core(p);
     const std::uint64_t changed = insert ? core.insert(key) : core.erase(key);
     p.commit();
@@ -423,8 +419,7 @@ class VRbTree {
   /// field exactly once at the setup version.
   VRNode* mirror(BuildNode* b) {
     if (b == nullptr) return nullptr;
-    nodes_.push_back(std::make_unique<VRNode>(env_, b->key));
-    VRNode* n = nodes_.back().get();
+    VRNode* n = env_.make<VRNode>(env_, b->key);
     n->red = b->red;
     n->left.store_ver(mirror(b->left), kSetupVersion);
     n->right.store_ver(mirror(b->right), kSetupVersion);
@@ -452,13 +447,12 @@ class VRbTree {
 
   Env& env_;
   TicketRoot<VRNode*> ticket_;
-  std::vector<std::unique_ptr<VRNode>> nodes_;
 };
 
 }  // namespace
 
 RunResult rb_tree_sequential(Env& env, const DsSpec& spec) {
-  auto p = std::make_shared<UPolicy>(env);
+  UPolicy* p = env.make<UPolicy>(env);
   const auto ops = generate_ops(spec);
   return run_sequential(
       env,
@@ -494,7 +488,7 @@ RunResult rb_tree_sequential(Env& env, const DsSpec& spec) {
 }
 
 RunResult rb_tree_versioned(Env& env, const DsSpec& spec, int cores) {
-  auto tree = std::make_shared<VRbTree>(env);
+  VRbTree* tree = env.make<VRbTree>(env);
   const auto ops = generate_ops(spec);
   auto results = std::make_shared<std::vector<std::uint64_t>>(ops.size());
   return run_tasked(
@@ -533,7 +527,7 @@ RunResult rb_tree_versioned(Env& env, const DsSpec& spec, int cores) {
 }
 
 bool rb_invariants_hold(Env& env, const std::vector<std::uint64_t>& keys) {
-  UPolicy p(env);
+  UPolicy& p = *env.make<UPolicy>(env);
   bool ok = true;
   env.spawn(0, [&] {
     RbCore<UPolicy> core(p);
