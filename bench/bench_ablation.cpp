@@ -51,16 +51,14 @@ struct Line {
 };
 
 Line add_sweep(Driver& driver, const std::string& label, int cores,
-               std::function<RunResult(const MachineConfig&)> run) {
+               std::function<CellResult(const MachineConfig&)> run) {
   Line ln{label, {}};
   for (const Variant& v : kVariants) {
     MachineConfig c;
     c.num_cores = cores;
     v.apply(c.ostruct);
-    ln.cells.push_back(driver.add(label + "/" + v.name, [run, c] {
-      const RunResult r = run(c);
-      return CellResult{r.cycles, r.checksum, 0.0};
-    }));
+    ln.cells.push_back(
+        driver.add(label + "/" + v.name, [run, c] { return run(c); }));
   }
   return ln;
 }
@@ -95,8 +93,9 @@ int main(int argc, char** argv) {
     spec.reads_per_write = 4;
     spec.ops = scale.ops(160);
     auto run = [spec](const MachineConfig& c) {
-      Env env(c);
-      return linked_list_versioned(env, spec, c.num_cores);
+      Env env(bench::with_cell_trace(c));
+      const RunResult r = linked_list_versioned(env, spec, c.num_cores);
+      return bench::cell_result(env, r.cycles, r.checksum);
     };
     lines.push_back(add_sweep(driver, "linked_list 1T", 1, run));
     lines.push_back(add_sweep(driver, "linked_list 32T", 32, run));
@@ -107,8 +106,9 @@ int main(int argc, char** argv) {
     spec.reads_per_write = 4;
     spec.ops = scale.ops(1200);
     auto run = [spec](const MachineConfig& c) {
-      Env env(c);
-      return binary_tree_versioned(env, spec, c.num_cores);
+      Env env(bench::with_cell_trace(c));
+      const RunResult r = binary_tree_versioned(env, spec, c.num_cores);
+      return bench::cell_result(env, r.cycles, r.checksum);
     };
     lines.push_back(add_sweep(driver, "binary_tree 1T", 1, run));
     lines.push_back(add_sweep(driver, "binary_tree 32T", 32, run));

@@ -26,12 +26,12 @@ namespace {
 using bench::CellResult;
 using bench::Driver;
 using bench::fmt;
+using bench::make_config;
 
 const Cycles kInject[] = {0, 2, 4, 6, 8, 10};
 
 MachineConfig config_with_inject(int cores, Cycles extra) {
-  MachineConfig c;
-  c.num_cores = cores;
+  MachineConfig c = make_config(cores);
   c.ostruct.injected_latency = extra;
   return c;
 }
@@ -43,15 +43,12 @@ struct Line {
 };
 
 Line add_sweep(Driver& driver, const std::string& label,
-               std::function<RunResult(Cycles)> fn) {
+               std::function<CellResult(Cycles)> fn) {
   Line ln{label, {}};
   for (Cycles extra : kInject) {
     ln.cells.push_back(
         driver.add(label + "/+" + std::to_string(extra) + "cyc",
-                   [fn, extra] {
-                     const RunResult r = fn(extra);
-                     return CellResult{r.cycles, r.checksum, 0.0};
-                   }));
+                   [fn, extra] { return fn(extra); }));
   }
   return ln;
 }
@@ -62,12 +59,14 @@ void add_par(Driver& driver, std::vector<Line>& lines, const char* name,
   lines.push_back(
       add_sweep(driver, std::string(name) + " 1T", [par](Cycles extra) {
         Env env(config_with_inject(1, extra));
-        return par(env, 1);
+        const RunResult r = par(env, 1);
+        return bench::cell_result(env, r.cycles, r.checksum);
       }));
   lines.push_back(
       add_sweep(driver, std::string(name) + " 32T", [par](Cycles extra) {
         Env env(config_with_inject(32, extra));
-        return par(env, 32);
+        const RunResult r = par(env, 32);
+        return bench::cell_result(env, r.cycles, r.checksum);
       }));
 }
 

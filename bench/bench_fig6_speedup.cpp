@@ -98,13 +98,13 @@ int main(int argc, char** argv) {
         ln.seq = driver.add(key + "/seq", [seq, spec] {
           Env env(make_config(1));
           const RunResult r = seq(env, spec);
-          return CellResult{r.cycles, r.checksum, 0.0};
+          return bench::cell_result(env, r.cycles, r.checksum);
         });
         auto par = ds.par;
         ln.par = driver.add(key + "/par", [par, spec] {
           Env env(make_config(kCores));
           const RunResult r = par(env, spec, kCores);
-          return CellResult{r.cycles, r.checksum, 0.0};
+          return bench::cell_result(env, r.cycles, r.checksum);
         });
         lines.push_back(ln);
       }
@@ -120,12 +120,12 @@ int main(int argc, char** argv) {
     ln.seq = driver.add("matrix_mul/seq", [spec] {
       Env env(make_config(1));
       const RunResult r = matmul_sequential(env, spec);
-      return CellResult{r.cycles, r.checksum, 0.0};
+      return bench::cell_result(env, r.cycles, r.checksum);
     });
     ln.par = driver.add("matrix_mul/par", [spec] {
       Env env(make_config(kCores));
       const RunResult r = matmul_versioned(env, spec, kCores);
-      return CellResult{r.cycles, r.checksum, 0.0};
+      return bench::cell_result(env, r.cycles, r.checksum);
     });
     lines.push_back(ln);
   }
@@ -139,12 +139,12 @@ int main(int argc, char** argv) {
     ln.seq = driver.add("levenshtein/seq", [spec] {
       Env env(make_config(1));
       const RunResult r = levenshtein_sequential(env, spec);
-      return CellResult{r.cycles, r.checksum, 0.0};
+      return bench::cell_result(env, r.cycles, r.checksum);
     });
     ln.par = driver.add("levenshtein/par", [spec] {
       Env env(make_config(kCores));
       const RunResult r = levenshtein_versioned(env, spec, kCores);
-      return CellResult{r.cycles, r.checksum, 0.0};
+      return bench::cell_result(env, r.cycles, r.checksum);
     });
     lines.push_back(ln);
   }

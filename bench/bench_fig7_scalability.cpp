@@ -44,7 +44,7 @@ Row add_ds(Driver& driver, const char* name, ParFn par, const DsSpec& spec) {
         [par, spec, cores] {
           Env env(make_config(cores));
           const RunResult res = par(env, spec, cores);
-          return CellResult{res.cycles, res.checksum, 0.0};
+          return bench::cell_result(env, res.cycles, res.checksum);
         }));
   }
   return r;
@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
           "levenshtein/cores=" + std::to_string(cores), [spec, cores] {
             Env env(make_config(cores));
             const RunResult res = levenshtein_versioned(env, spec, cores);
-            return CellResult{res.cycles, res.checksum, 0.0};
+            return bench::cell_result(env, res.cycles, res.checksum);
           }));
     }
     rows.push_back(lev);
@@ -118,7 +118,7 @@ int main(int argc, char** argv) {
           "matrix_mul/cores=" + std::to_string(cores), [spec, cores] {
             Env env(make_config(cores));
             const RunResult res = matmul_versioned(env, spec, cores);
-            return CellResult{res.cycles, res.checksum, 0.0};
+            return bench::cell_result(env, res.cycles, res.checksum);
           }));
     }
     rows.push_back(mm);

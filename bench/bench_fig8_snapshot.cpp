@@ -59,12 +59,12 @@ int main(int argc, char** argv) {
       r.ver.push_back(driver.add(key + "/versioned", [spec, cores] {
         Env env(make_config(cores));
         const RunResult res = binary_tree_versioned(env, spec, cores);
-        return CellResult{res.cycles, res.checksum, 0.0};
+        return bench::cell_result(env, res.cycles, res.checksum);
       }));
       r.rw.push_back(driver.add(key + "/rwlock", [spec, cores] {
         Env env(make_config(cores));
         const RunResult res = binary_tree_rwlock(env, spec, cores);
-        return CellResult{res.cycles, res.checksum, 0.0};
+        return bench::cell_result(env, res.cycles, res.checksum);
       }));
     }
     ranges.push_back(std::move(r));

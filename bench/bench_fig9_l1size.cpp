@@ -27,12 +27,12 @@ namespace {
 using bench::CellResult;
 using bench::Driver;
 using bench::fmt;
+using bench::make_config;
 
 const std::size_t kL1Kb[] = {8, 16, 32, 64, 128};
 
 MachineConfig config_with_l1(int cores, std::size_t l1_kb) {
-  MachineConfig c;
-  c.num_cores = cores;
+  MachineConfig c = make_config(cores);
   c.l1.size_bytes = l1_kb * 1024;
   return c;
 }
@@ -45,14 +45,11 @@ struct Line {
 
 /// Register `fn` at every L1 size; results print relative to 32 KB.
 Line add_sweep(Driver& driver, const std::string& label,
-               std::function<RunResult(std::size_t)> fn) {
+               std::function<CellResult(std::size_t)> fn) {
   Line ln{label, {}};
   for (std::size_t kb : kL1Kb) {
-    ln.cells.push_back(
-        driver.add(label + "/l1=" + std::to_string(kb) + "KB", [fn, kb] {
-          const RunResult r = fn(kb);
-          return CellResult{r.cycles, r.checksum, 0.0};
-        }));
+    ln.cells.push_back(driver.add(label + "/l1=" + std::to_string(kb) + "KB",
+                                  [fn, kb] { return fn(kb); }));
   }
   return ln;
 }
@@ -63,17 +60,23 @@ void add_ds(Driver& driver, std::vector<Line>& lines, const char* name,
   lines.push_back(add_sweep(driver, std::string(name) + " U",
                             [seq, spec](std::size_t kb) {
                               Env env(config_with_l1(1, kb));
-                              return seq(env, spec);
+                              const RunResult r = seq(env, spec);
+                              return bench::cell_result(env, r.cycles,
+                                                        r.checksum);
                             }));
   lines.push_back(add_sweep(driver, std::string(name) + " 1T",
                             [par, spec](std::size_t kb) {
                               Env env(config_with_l1(1, kb));
-                              return par(env, spec, 1);
+                              const RunResult r = par(env, spec, 1);
+                              return bench::cell_result(env, r.cycles,
+                                                        r.checksum);
                             }));
   lines.push_back(add_sweep(driver, std::string(name) + " 32T",
                             [par, spec](std::size_t kb) {
                               Env env(config_with_l1(32, kb));
-                              return par(env, spec, 32);
+                              const RunResult r = par(env, spec, 32);
+                              return bench::cell_result(env, r.cycles,
+                                                        r.checksum);
                             }));
 }
 

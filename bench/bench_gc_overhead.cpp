@@ -24,11 +24,11 @@ using bench::Driver;
 using bench::fmt;
 using bench::make_config;
 
-struct GcRun {
-  std::uint64_t phases = 0;
-  std::uint64_t traps = 0;
-  std::uint64_t freed = 0;
-};
+/// Machine-wide counter out of a cell's metric snapshot (0 when absent).
+std::uint64_t metric(const CellResult& r, const std::string& key) {
+  const bench::Json* m = r.metrics.find(key);
+  return m == nullptr ? 0 : m->as_u64();
+}
 
 }  // namespace
 }  // namespace osim
@@ -57,20 +57,16 @@ int main(int argc, char** argv) {
   MachineConfig nosort = ample;
   nosort.ostruct.sorted_lists = false;
 
-  // GC counters don't fit CellResult; each cell writes its own slot.
-  GcRun gc[3];
+  // GC counters ride along in each cell's metric snapshot.
   const MachineConfig configs[3] = {tight, ample, nosort};
   const char* names[3] = {"tight", "ample", "no-sorting"};
   std::size_t handles[3];
   for (int i = 0; i < 3; ++i) {
     const MachineConfig config = configs[i];
-    GcRun* out = &gc[i];
-    handles[i] = driver.add(names[i], [config, spec, out] {
-      Env env(config);
+    handles[i] = driver.add(names[i], [config, spec] {
+      Env env(with_cell_trace(config));
       const RunResult r = linked_list_versioned(env, spec, /*cores=*/1);
-      *out = {env.stats().gc_phases, env.stats().os_traps,
-              env.stats().blocks_freed};
-      return CellResult{r.cycles, r.checksum, 0.0};
+      return bench::cell_result(env, r.cycles, r.checksum);
     });
   }
 
@@ -92,8 +88,10 @@ int main(int argc, char** argv) {
   const CellResult* results[3] = {&t, &a, &n};
   for (int i = 0; i < 3; ++i) {
     const CellResult& r = *results[i];
-    row({names[i], std::to_string(r.cycles), std::to_string(gc[i].phases),
-         std::to_string(gc[i].traps), std::to_string(gc[i].freed),
+    row({names[i], std::to_string(r.cycles),
+         std::to_string(metric(r, "gc/phases")),
+         std::to_string(metric(r, "osm/os_traps")),
+         std::to_string(metric(r, "osm/blocks_freed")),
          i == 1 ? "0.000%"
                 : fmt(100.0 * (static_cast<double>(r.cycles) / a.cycles - 1.0),
                       3) +

@@ -45,8 +45,8 @@ void BM_CacheMissFill(benchmark::State& state) {
 void BM_MemorySystemAccess(benchmark::State& state) {
   MachineConfig cfg;
   cfg.num_cores = 4;
-  MachineStats stats(4);
-  MemorySystem ms(cfg, stats);
+  telemetry::MetricRegistry reg(4);
+  MemorySystem ms(cfg, reg);
   Addr a = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(ms.access(0, a, AccessType::kRead));

@@ -56,7 +56,7 @@ void run_mix(int ops, unsigned seed, StoreFn&& store, LoadFn&& load,
   }
 }
 
-Cycles run_hw(int cores, int ops_per_core) {
+CellResult run_hw(int cores, int ops_per_core) {
   Env env(make_config(cores));
   std::vector<std::vector<versioned<std::uint64_t>>> slots(cores);
   for (int c = 0; c < cores; ++c) {
@@ -76,10 +76,10 @@ Cycles run_hw(int cores, int ops_per_core) {
           });
     });
   }
-  return env.run();
+  return bench::cell_result(env, env.run(), 0);
 }
 
-Cycles run_sw(int cores, int ops_per_core) {
+CellResult run_sw(int cores, int ops_per_core) {
   Env env(make_config(cores));
   // Lock words and record lists are timed: the structures live in the arena.
   std::vector<std::vector<SwOStructure*>> slots(cores);
@@ -102,7 +102,7 @@ Cycles run_sw(int cores, int ops_per_core) {
           });
     });
   }
-  return env.run();
+  return bench::cell_result(env, env.run(), 0);
 }
 
 }  // namespace
@@ -118,14 +118,12 @@ int main(int argc, char** argv) {
   const int kCoreCounts[] = {1, 8, 32};
   std::vector<std::pair<std::size_t, std::size_t>> pairs;  // (hw, sw) handles
   for (int cores : kCoreCounts) {
-    const std::size_t hw =
-        driver.add("hw/cores=" + std::to_string(cores), [cores, ops] {
-          return CellResult{run_hw(cores, ops), 0, 0.0};
-        });
-    const std::size_t sw =
-        driver.add("sw/cores=" + std::to_string(cores), [cores, ops] {
-          return CellResult{run_sw(cores, ops), 0, 0.0};
-        });
+    const std::size_t hw = driver.add(
+        "hw/cores=" + std::to_string(cores),
+        [cores, ops] { return run_hw(cores, ops); });
+    const std::size_t sw = driver.add(
+        "sw/cores=" + std::to_string(cores),
+        [cores, ops] { return run_sw(cores, ops); });
     pairs.emplace_back(hw, sw);
   }
 

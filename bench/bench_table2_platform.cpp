@@ -27,7 +27,7 @@ CellResult l1_hit_probe() {
     hit = mach().now() - t0;
   });
   env.run();
-  return {hit, 0, 0.0};
+  return bench::cell_result(env, hit, 0);
 }
 
 CellResult cold_probe() {
@@ -39,7 +39,7 @@ CellResult cold_probe() {
     cold = mach().now() - t0;
   });
   env.run();
-  return {cold, 0, 0.0};
+  return bench::cell_result(env, cold, 0);
 }
 
 CellResult l2_hit_probe() {
@@ -56,7 +56,7 @@ CellResult l2_hit_probe() {
     l2 = mach().now() - t0;
   });
   env.run();
-  return {l2, 0, 0.0};
+  return bench::cell_result(env, l2, 0);
 }
 
 CellResult remote_probe() {
@@ -77,7 +77,7 @@ CellResult remote_probe() {
     remote = mach().now() - t0;
   });
   env.run();
-  return {remote, 0, 0.0};
+  return bench::cell_result(env, remote, 0);
 }
 
 CellResult direct_probe() {
@@ -93,7 +93,7 @@ CellResult direct_probe() {
     direct = mach().now() - t0;
   });
   env.run();
-  return {direct, 0, 0.0};
+  return bench::cell_result(env, direct, 0);
 }
 
 }  // namespace

@@ -39,18 +39,24 @@ struct Options {
   int threads = 0;
   /// Write/merge machine-readable results into this JSON file ("" = off).
   std::string json_path;
+  /// Stream each cell's version-lifecycle event trace to PATH.<cell-index>
+  /// ("" = off). Per-cell suffixing keeps concurrent cells off one file.
+  std::string trace_path;
 
   [[noreturn]] static void usage(const char* argv0, int exit_code) {
     std::fprintf(
         stderr,
-        "usage: %s [--quick | --full] [--threads N] [--json PATH]\n"
+        "usage: %s [--quick | --full] [--threads N] [--json PATH] "
+        "[--trace PATH]\n"
         "  --quick      smoke-test scale (0.25x ops)\n"
         "  --full       paper-sized runs (4x ops)\n"
         "  --threads N  run experiment cells on N host threads\n"
         "               (default: one per host core; results are\n"
         "               bit-identical for every N)\n"
         "  --json PATH  write results into PATH, merging with any bench\n"
-        "               results already recorded there\n",
+        "               results already recorded there\n"
+        "  --trace PATH write each cell's binary event trace to\n"
+        "               PATH.<cell-index> (read with tools/osim-report)\n",
         argv0);
     std::exit(exit_code);
   }
@@ -81,6 +87,12 @@ struct Options {
           usage(argv[0], 2);
         }
         o.json_path = argv[i];
+      } else if (std::strcmp(a, "--trace") == 0) {
+        if (++i >= argc) {
+          std::fprintf(stderr, "%s: --trace needs a path\n", argv[0]);
+          usage(argv[0], 2);
+        }
+        o.trace_path = argv[i];
       } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
         usage(argv[0], 0);
       } else {
@@ -92,9 +104,25 @@ struct Options {
   }
 };
 
+namespace detail {
+/// Trace file for the experiment cell running on this host thread
+/// ("PATH.<cell-index>"; empty = tracing off). The driver sets it around
+/// each cell so config helpers pick it up without threading a parameter
+/// through every bench's grid code.
+inline thread_local std::string g_cell_trace_path;
+}  // namespace detail
+
 inline MachineConfig make_config(int cores) {
   MachineConfig c;
   c.num_cores = cores;
+  c.ostruct.trace_path = detail::g_cell_trace_path;
+  return c;
+}
+
+/// Re-stamp the cell trace path onto a config that was built *outside* the
+/// cell (make_config only sees the thread-local while the cell runs).
+inline MachineConfig with_cell_trace(MachineConfig c) {
+  c.ostruct.trace_path = detail::g_cell_trace_path;
   return c;
 }
 

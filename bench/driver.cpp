@@ -21,6 +21,41 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
+Json metrics_json(const telemetry::MetricRegistry& reg) {
+  Json out = Json::object();
+  for (const auto& m : reg.metrics()) {
+    const std::string key =
+        std::string(telemetry::to_string(m.component)) + "/" + m.name;
+    if (m.kind == telemetry::MetricKind::kHistogram) {
+      const std::size_t nb = m.bounds.size();
+      Json h = Json::object();
+      h["count"] = Json::number(m.slot(nb + 2));
+      h["sum"] = Json::number(m.slot(nb + 1));
+      Json bounds = Json::array();
+      for (std::uint64_t b : m.bounds) bounds.push_back(Json::number(b));
+      h["bounds"] = std::move(bounds);
+      Json buckets = Json::array();  // last element counts overflows
+      for (std::size_t i = 0; i <= nb; ++i) {
+        buckets.push_back(Json::number(m.slot(i)));
+      }
+      h["buckets"] = std::move(buckets);
+      out[key] = std::move(h);
+    } else if (m.per_core) {
+      Json v = Json::object();
+      v["total"] = Json::number(m.total());
+      Json per = Json::array();
+      for (std::size_t i = 0; i < m.width; ++i) {
+        per.push_back(Json::number(m.slot(i)));
+      }
+      v["per_core"] = std::move(per);
+      out[key] = std::move(v);
+    } else {
+      out[key] = Json::number(m.total());
+    }
+  }
+  return out;
+}
+
 Driver::Driver(std::string bench_name, Options options)
     : name_(std::move(bench_name)), opt_(std::move(options)) {}
 
@@ -31,13 +66,20 @@ std::size_t Driver::add(std::string name, CellFn fn) {
 
 void Driver::run_all() {
   std::vector<std::function<void()>> jobs;
-  for (Cell& cell : cells_) {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    Cell& cell = cells_[i];
     if (cell.done) continue;
-    jobs.push_back([&cell] {
+    // Per-cell trace file: concurrent cells must not share one stream.
+    std::string trace = opt_.trace_path.empty()
+                            ? std::string()
+                            : opt_.trace_path + "." + std::to_string(i);
+    jobs.push_back([&cell, trace = std::move(trace)] {
+      detail::g_cell_trace_path = trace;
       const auto t0 = std::chrono::steady_clock::now();
       cell.result = cell.fn();
       cell.result.wall_seconds = seconds_since(t0);
       cell.done = true;
+      detail::g_cell_trace_path.clear();
     });
   }
   if (jobs.empty()) return;
@@ -77,8 +119,10 @@ int Driver::finish() {
       HostPool(opt_.threads).thread_count(), passed, checks_.size());
 
   if (!opt_.json_path.empty()) {
+    // Versioned result schema (v2): {"schema": 2, "benches": {name: {...}}}.
+    // Merge: keep other benches' entries, replace our own. Files in an
+    // older/foreign layout are discarded with a warning rather than mixed.
     Json root = Json::object();
-    // Merge: keep other benches' entries, replace our own.
     {
       std::ifstream in(opt_.json_path);
       if (in) {
@@ -86,14 +130,27 @@ int Driver::finish() {
         buf << in.rdbuf();
         try {
           Json existing = Json::parse(buf.str());
-          if (existing.is_object()) root = std::move(existing);
+          const Json* schema = existing.find("schema");
+          const Json* benches = existing.find("benches");
+          if (schema != nullptr && schema->is_number() &&
+              schema->as_u64() == kJsonSchemaVersion && benches != nullptr &&
+              benches->is_object()) {
+            root = std::move(existing);
+          } else {
+            std::fprintf(stderr,
+                         "%s: %s is not a schema-%llu result file; "
+                         "starting fresh\n",
+                         name_.c_str(), opt_.json_path.c_str(),
+                         static_cast<unsigned long long>(kJsonSchemaVersion));
+          }
         } catch (const std::exception& e) {
           std::fprintf(stderr, "%s: ignoring unreadable %s (%s)\n",
                        name_.c_str(), opt_.json_path.c_str(), e.what());
         }
       }
     }
-    Json& mine = root[name_];
+    root["schema"] = Json::number(kJsonSchemaVersion);
+    Json& mine = root["benches"][name_];
     mine = Json::object();
     mine["scale"] = Json::number(opt_.scale.factor);
     mine["threads"] = Json::number(
@@ -107,6 +164,7 @@ int Driver::finish() {
       jc["cycles"] = Json::number(static_cast<std::uint64_t>(c.result.cycles));
       jc["checksum"] = Json::number(c.result.checksum);
       jc["wall_seconds"] = Json::number(c.result.wall_seconds);
+      if (!c.result.metrics.is_null()) jc["metrics"] = c.result.metrics;
       cells.push_back(std::move(jc));
     }
     mine["cells"] = std::move(cells);

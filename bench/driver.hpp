@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "json.hpp"
 #include "sim/types.hpp"
 
 namespace osim::bench {
@@ -31,10 +32,26 @@ struct CellResult {
   Cycles cycles = 0;
   std::uint64_t checksum = 0;
   double wall_seconds = 0.0;  ///< host time for this cell (driver-filled)
+  /// Registry snapshot for the cell's machine (counters by "component/name",
+  /// per-core vectors, histograms); lands in the JSON cell record.
+  Json metrics;
 };
 
 /// One experiment cell: runs on some host thread, owns its whole simulation.
 using CellFn = std::function<CellResult()>;
+
+/// Serialize every metric of `reg` (see CellResult::metrics).
+Json metrics_json(const telemetry::MetricRegistry& reg);
+
+/// Standard cell epilogue: cycles + checksum + the machine's metrics.
+inline CellResult cell_result(Env& env, Cycles cycles,
+                              std::uint64_t checksum) {
+  CellResult r;
+  r.cycles = cycles;
+  r.checksum = checksum;
+  r.metrics = metrics_json(env.metrics());
+  return r;
+}
 
 class Driver {
  public:

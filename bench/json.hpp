@@ -9,12 +9,18 @@
 #include <cctype>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace osim::bench {
+
+/// Version of the bench result file layout: {"schema": 2, "benches": {...}}.
+/// Bump when the cell/bench record shape changes incompatibly; the writer
+/// (bench/driver.cpp) and readers (tools/osim-report) both check it.
+inline constexpr std::uint64_t kJsonSchemaVersion = 2;
 
 class Json {
  public:
@@ -51,17 +57,57 @@ class Json {
   }
 
   Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
   bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
 
   void push_back(Json v) { items_.emplace_back("", std::move(v)); }
 
   /// Object field access; inserts (preserving insertion order) if absent.
+  /// A null value promotes to an object, so `root["a"]["b"] = x` works.
   Json& operator[](const std::string& key) {
+    if (kind_ == Kind::kNull) kind_ = Kind::kObject;
     for (auto& [k, v] : items_) {
       if (k == key) return v;
     }
     items_.emplace_back(key, Json{});
     return items_.back().second;
+  }
+
+  // ---- Const accessors (readers: osim-report, schema validation) ----
+
+  /// Object lookup without insertion; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : items_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Key/value pairs of an object, or elements of an array (keys empty).
+  const std::vector<std::pair<std::string, Json>>& items() const {
+    return items_;
+  }
+  std::size_t size() const { return items_.size(); }
+
+  std::uint64_t as_u64() const {
+    if (kind_ != Kind::kNumber) fail("expected number");
+    return std::strtoull(str_.c_str(), nullptr, 10);
+  }
+  double as_double() const {
+    if (kind_ != Kind::kNumber) fail("expected number");
+    return std::strtod(str_.c_str(), nullptr);
+  }
+  const std::string& as_string() const {
+    if (kind_ != Kind::kString) fail("expected string");
+    return str_;
+  }
+  bool as_bool() const {
+    if (kind_ != Kind::kBool) fail("expected boolean");
+    return bool_;
   }
 
   void write(std::string& out, int indent = 0) const {

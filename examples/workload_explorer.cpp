@@ -152,11 +152,11 @@ int main(int argc, char** argv) {
 
   if (o.stats) {
     std::printf("\n");
-    dump(std::cout, env.stats());
+    env.metrics().dump(std::cout);
   }
   if (o.trace > 0) {
     std::printf("\nlast %zu versioned ops:\n", o.trace);
-    for (const TraceRecord& t : env.osm().trace().snapshot()) {
+    for (const telemetry::TraceEvent& t : env.osm().trace().snapshot()) {
       std::printf("  cycle %-10llu core %-2d %-18s addr %llx ver %llu\n",
                   static_cast<unsigned long long>(t.time), t.core,
                   to_string(t.op), static_cast<unsigned long long>(t.addr),

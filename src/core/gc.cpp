@@ -46,7 +46,7 @@ void GarbageCollector::on_shadowed(BlockIndex b, Ver shadower) {
   assert(vb.state == BlockState::kLive);
   vb.state = BlockState::kShadowed;
   shadowed_.push_back({b, vb.generation, shadower});
-  stats_.shadowed_blocks++;
+  shadowed_blocks_.inc();
 }
 
 bool GarbageCollector::start_phase() {
@@ -61,7 +61,10 @@ bool GarbageCollector::start_phase() {
     fence_ = std::max(fence_, s.shadower);
   }
   phase_active_ = true;
-  stats_.gc_phases++;
+  phases_.inc();
+  pending_batch_.observe(pending_.size());
+  pending_blocks_.set(pending_.size());
+  if (on_phase_) on_phase_(telemetry::EventType::kGcPhaseBegin, fence_);
   try_finalize();
   return true;
 }
@@ -75,6 +78,7 @@ void GarbageCollector::try_finalize() {
 }
 
 void GarbageCollector::finalize() {
+  std::uint64_t reclaimed = 0;
   for (auto& s : pending_) {
     VersionBlock& vb = pool_[s.block];
     if (vb.generation != s.generation || vb.state != BlockState::kPending) {
@@ -83,8 +87,11 @@ void GarbageCollector::finalize() {
     assert(vb.locked_by == kNoTask &&
            "GC rules guarantee reclaimed versions are unlocked");
     reclaim_(s.block);
+    ++reclaimed;
   }
   pending_.clear();
+  pending_blocks_.set(0);
+  if (on_phase_) on_phase_(telemetry::EventType::kGcPhaseEnd, reclaimed);
   // Future tasks must be too young to read anything reclaimed under this
   // fence. (Readers of a version shadowed by `fence_` have ids < fence_, so
   // the floor is fence_ - 1; keep it simple and monotone.)

@@ -26,8 +26,9 @@
 #include <vector>
 
 #include "core/version_block.hpp"
-#include "sim/stats.hpp"
 #include "sim/types.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace osim {
 
@@ -36,9 +37,26 @@ class GarbageCollector {
   /// `reclaim` unlinks the block from its version list, scrubs compressed-
   /// line entries, and returns it to the pool's free list.
   using ReclaimFn = std::function<void(BlockIndex)>;
+  /// Phase-boundary notification (the collector has no machine reference;
+  /// the owner timestamps and forwards to its trace sinks). Receives
+  /// kGcPhaseBegin with the fence version, kGcPhaseEnd with the number of
+  /// blocks reclaimed.
+  using PhaseEventFn = std::function<void(telemetry::EventType, std::uint64_t)>;
 
-  GarbageCollector(BlockPool& pool, MachineStats& stats, ReclaimFn reclaim)
-      : pool_(pool), stats_(stats), reclaim_(std::move(reclaim)) {}
+  /// Registers the gc/* metrics in `reg` (which must outlive this object).
+  GarbageCollector(BlockPool& pool, telemetry::MetricRegistry& reg,
+                   ReclaimFn reclaim, PhaseEventFn on_phase = {})
+      : pool_(pool),
+        shadowed_blocks_(
+            reg.counter(telemetry::Component::kGc, "shadowed_blocks")),
+        phases_(reg.counter(telemetry::Component::kGc, "phases")),
+        pending_blocks_(
+            reg.gauge(telemetry::Component::kGc, "pending_blocks")),
+        pending_batch_(reg.histogram(telemetry::Component::kGc,
+                                     "pending_batch_blocks",
+                                     {1, 4, 16, 64, 256, 1024, 4096, 16384})),
+        reclaim_(std::move(reclaim)),
+        on_phase_(std::move(on_phase)) {}
 
   /// Task creation (rule #3 check point): the new task must be no older
   /// than the oldest unfinished task and above the floor left by finalized
@@ -75,8 +93,12 @@ class GarbageCollector {
   void finalize();
 
   BlockPool& pool_;
-  MachineStats& stats_;
+  telemetry::Counter shadowed_blocks_;
+  telemetry::Counter phases_;
+  telemetry::Gauge pending_blocks_;
+  telemetry::Histogram pending_batch_;
   ReclaimFn reclaim_;
+  PhaseEventFn on_phase_;
 
   std::map<TaskId, int> known_;  // unfinished tasks: id -> create count
   std::map<TaskId, bool> begun_;  // subset of known_ that has begun

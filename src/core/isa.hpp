@@ -1,16 +1,17 @@
-// The versioned instruction set surface (paper Sec. II-A) and the optional
-// architectural trace.
+// The versioned instruction set surface (paper Sec. II-A).
 //
-// Tracing: when OStructConfig::trace_capacity > 0, the manager records the
-// last N versioned operations (ring buffer) with their timestamps — the
+// Tracing moved to src/telemetry/trace.hpp: the O-structure manager owns a
+// telemetry::Tracer and emits typed events (ISA ops plus the version
+// lifecycle) to pluggable sinks. When OStructConfig::trace_capacity > 0 the
+// manager keeps the classic ring of the last N versioned operations — the
 // first tool one reaches for when a pipelined workload deadlocks or
 // misorders. Zero-cost when disabled.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <vector>
 
-#include "sim/types.hpp"
+#include "telemetry/trace.hpp"
 
 namespace osim {
 
@@ -25,6 +26,8 @@ enum class OpCode : std::uint8_t {
   kTaskBegin,
   kTaskEnd,
 };
+
+inline constexpr int kNumOpCodes = 8;
 
 inline const char* to_string(OpCode op) {
   switch (op) {
@@ -45,60 +48,16 @@ inline const char* to_string(OpCode op) {
     case OpCode::kTaskEnd:
       return "TASK-END";
   }
+  assert(!"to_string: unknown OpCode");
   return "?";
 }
 
-/// One traced operation (recorded at issue, before any stall).
-struct TraceRecord {
-  Cycles time = 0;
-  CoreId core = 0;
-  OpCode op = OpCode::kLoadVersion;
-  Addr addr = 0;    ///< O-structure address (0 for TASK-BEGIN/END)
-  Ver version = 0;  ///< version / cap / task id argument
-};
-
-/// Fixed-capacity ring of TraceRecords.
-class OpTrace {
- public:
-  explicit OpTrace(std::size_t capacity) : capacity_(capacity) {
-    ring_.reserve(capacity);
-  }
-
-  bool enabled() const { return capacity_ > 0; }
-
-  void record(const TraceRecord& r) {
-    if (capacity_ == 0) return;
-    if (ring_.size() < capacity_) {
-      ring_.push_back(r);
-    } else {
-      ring_[next_] = r;
-    }
-    next_ = (next_ + 1) % capacity_;
-    ++total_;
-  }
-
-  /// Records in issue order, oldest first.
-  std::vector<TraceRecord> snapshot() const {
-    std::vector<TraceRecord> out;
-    out.reserve(ring_.size());
-    if (ring_.size() < capacity_ || capacity_ == 0) {
-      out = ring_;
-    } else {
-      out.insert(out.end(), ring_.begin() + static_cast<long>(next_),
-                 ring_.end());
-      out.insert(out.end(), ring_.begin(),
-                 ring_.begin() + static_cast<long>(next_));
-    }
-    return out;
-  }
-
-  std::uint64_t total_recorded() const { return total_; }
-
- private:
-  std::size_t capacity_;
-  std::size_t next_ = 0;
-  std::uint64_t total_ = 0;
-  std::vector<TraceRecord> ring_;
-};
+/// Compatibility aliases for the pre-telemetry trace API. TraceEvent
+/// carries the old fields under the same names (time, core, op, addr,
+/// version) plus the event type and a lifecycle argument; RingSink is the
+/// old ring with an added event-type mask.
+using TraceRecord [[deprecated("use telemetry::TraceEvent")]] =
+    telemetry::TraceEvent;
+using OpTrace [[deprecated("use telemetry::RingSink")]] = telemetry::RingSink;
 
 }  // namespace osim

@@ -1,6 +1,7 @@
 #include "core/ostructure_manager.hpp"
 
 #include <cassert>
+#include <memory>
 #include <string>
 
 #include "core/fault.hpp"
@@ -11,14 +12,69 @@ OStructureManager::OStructureManager(Machine& m)
     : m_(m),
       cfg_(m.config().ostruct),
       pool_(cfg_.initial_pool_blocks),
-      gc_(pool_, m.stats(), [this](BlockIndex b) { reclaim(b); }),
+      gc_(pool_, m.metrics(), [this](BlockIndex b) { reclaim(b); },
+          [this](telemetry::EventType t, std::uint64_t arg) {
+            emit_event(t, 0, 0, arg);
+          }),
       comp_(static_cast<std::size_t>(m.config().num_cores)),
-      trace_(m.config().ostruct.trace_capacity) {
+      core_counters_(static_cast<std::size_t>(m.config().num_cores)),
+      blocks_allocated_(
+          m.metrics().counter(telemetry::Component::kOsm,
+                              "blocks_allocated")),
+      blocks_freed_(
+          m.metrics().counter(telemetry::Component::kOsm, "blocks_freed")),
+      os_traps_(m.metrics().counter(telemetry::Component::kOsm, "os_traps")),
+      compressed_installs_(
+          m.metrics().counter(telemetry::Component::kOsm,
+                              "compressed_installs")),
+      compressed_discards_(
+          m.metrics().counter(telemetry::Component::kOsm,
+                              "compressed_discards")),
+      compress_overflows_(
+          m.metrics().counter(telemetry::Component::kOsm,
+                              "compress_overflows")),
+      walk_length_(m.metrics().histogram(telemetry::Component::kOsm,
+                                         "walk_length",
+                                         {1, 2, 4, 8, 16, 32, 64})),
+      version_lifetime_(m.metrics().histogram(
+          telemetry::Component::kOsm, "version_lifetime_cycles",
+          {64, 256, 1024, 4096, 16384, 65536, 262144, 1048576})),
+      reclaim_lag_(m.metrics().histogram(
+          telemetry::Component::kGc, "reclaim_lag_cycles",
+          {64, 256, 1024, 4096, 16384, 65536, 262144, 1048576})),
+      ring_(cfg_.trace_capacity,
+            telemetry::event_bit(telemetry::EventType::kIsaOp)) {
+  static_assert(sizeof(PerCoreCounters) == 8 * sizeof(std::uint64_t),
+                "stride below assumes a dense all-uint64 struct");
+  constexpr std::size_t kStride =
+      sizeof(PerCoreCounters) / sizeof(std::uint64_t);
+  auto& reg = m.metrics();
+  const PerCoreCounters* base = core_counters_.data();
+  reg.counter_vec_external(telemetry::Component::kOsm, "versioned_ops",
+                           &base->versioned_ops, kStride);
+  reg.counter_vec_external(telemetry::Component::kOsm, "root_loads",
+                           &base->root_loads, kStride);
+  reg.counter_vec_external(telemetry::Component::kOsm, "root_stalls",
+                           &base->root_stalls, kStride);
+  reg.counter_vec_external(telemetry::Component::kOsm, "direct_hits",
+                           &base->direct_hits, kStride);
+  reg.counter_vec_external(telemetry::Component::kOsm, "full_lookups",
+                           &base->full_lookups, kStride);
+  reg.counter_vec_external(telemetry::Component::kOsm, "walk_blocks",
+                           &base->walk_blocks, kStride);
+  reg.counter_vec_external(telemetry::Component::kOsm, "stalls",
+                           &base->stalls, kStride);
+  reg.counter_vec_external(telemetry::Component::kOsm, "tasks_executed",
+                           &base->tasks_executed, kStride);
+  if (ring_.enabled()) tracer_.attach(&ring_);
+  if (!cfg_.trace_path.empty()) {
+    tracer_.add_sink(std::make_unique<telemetry::FileSink>(cfg_.trace_path));
+  }
   m_.memsys().set_line_drop_observer([this](CoreId core, Addr line) {
     if (is_compressed_addr(line)) {
       auto& map = comp_[static_cast<std::size_t>(core)];
       if (map.erase(slot_of_compressed(line)) > 0) {
-        m_.stats().compressed_discards++;
+        compressed_discards_.inc();
       }
     }
   });
@@ -54,8 +110,10 @@ void OStructureManager::release(OAddr base, std::size_t slots) {
     BlockIndex b = sm.root;
     while (b != kNullBlock) {
       const BlockIndex next = pool_[b].next;
+      emit_event(telemetry::EventType::kBlockFreed, ostruct_addr(s),
+                 pool_[b].version, b);
       pool_.free(b);
-      m_.stats().blocks_freed++;
+      blocks_freed_.inc();
       b = next;
     }
     sm.root = kNullBlock;
@@ -102,15 +160,32 @@ void OStructureManager::check_conventional(Addr a) const {
 // ---------------------------------------------------------------------------
 // Timing helpers
 
+void OStructureManager::emit_event_slow(telemetry::EventType type, OAddr addr,
+                                        Ver version, std::uint64_t arg) {
+  telemetry::TraceEvent e;
+  // Host-context emissions (release() from teardown code) carry time 0.
+  if (Fiber::current() != nullptr) {
+    e.time = m_.now();
+    e.core = m_.current_core();
+  }
+  e.type = type;
+  e.addr = addr;
+  e.version = version;
+  e.arg = arg;
+  tracer_.emit(e);
+}
+
 void OStructureManager::begin_attempt(const OpFlags& f, int attempt,
                                        OpCode op, OAddr a, Ver v) {
   m_.sync_to_global_order();
   if (attempt == 0) {
-    CoreStats& cs = m_.running_core_stats();
-    cs.versioned_ops++;
-    if (f.root) cs.root_loads++;
-    if (trace_.enabled()) {
-      trace_.record({m_.now(), m_.current_core(), op, a, v});
+    const CoreId core = m_.current_core();
+    PerCoreCounters& pc = core_counters_[static_cast<std::size_t>(core)];
+    pc.versioned_ops++;
+    if (f.root) pc.root_loads++;
+    if (tracer_.enabled()) {
+      tracer_.emit({m_.now(), core, telemetry::EventType::kIsaOp, op, a, v,
+                    0});
     }
   }
   if (cfg_.injected_latency != 0) m_.advance(cfg_.injected_latency);
@@ -119,9 +194,10 @@ void OStructureManager::begin_attempt(const OpFlags& f, int attempt,
 void OStructureManager::stall(const OpFlags& f, std::uint64_t slot,
                               int attempt) {
   if (attempt == 0) {
-    CoreStats& cs = m_.running_core_stats();
-    cs.stalls++;
-    if (f.root) cs.root_stalls++;
+    const CoreId core = m_.current_core();
+    PerCoreCounters& pc = core_counters_[static_cast<std::size_t>(core)];
+    pc.stalls++;
+    if (f.root) pc.root_stalls++;
   }
   m_.block_on(slots_[slot].waiters);
 }
@@ -138,9 +214,9 @@ void OStructureManager::comp_install(std::uint64_t slot,
   CompressedLine& cl = comp_[static_cast<std::size_t>(core)][slot];
   const std::uint64_t rejected_before = cl.range_rejections();
   if (cl.install(e)) {
-    m_.stats().compressed_installs++;
+    compressed_installs_.inc();
   } else {
-    m_.stats().compress_overflows += cl.range_rejections() - rejected_before;
+    compress_overflows_.inc(cl.range_rejections() - rejected_before);
   }
   // Materialize the line in the L1 tag array (hardware builds it locally).
   m_.memsys().install_line(core, compressed_addr(slot), /*dirty=*/true);
@@ -184,7 +260,6 @@ void OStructureManager::charge_lookup(std::uint64_t slot, const FindResult& fr,
                                       AccessType final_access,
                                       std::optional<TaskId> probe_locked_by) {
   const CoreId core = m_.current_core();
-  CoreStats& cs = m_.running_core_stats();
 
   // Snapshot the block's fields now: the charged walk below yields, and the
   // block could be reclaimed or mutated before the walk completes.
@@ -206,7 +281,7 @@ void OStructureManager::charge_lookup(std::uint64_t slot, const FindResult& fr,
       const TaskId want = probe_locked_by.value_or(snap.locked_by);
       if (e && e->version == snap.version && e->locked_by == want) {
         // Direct access: a single L1 probe of the compressed line.
-        cs.direct_hits++;
+        core_counters_[static_cast<std::size_t>(core)].direct_hits++;
         m_.mem_access(compressed_addr(slot), final_access);
         return;
       }
@@ -218,8 +293,10 @@ void OStructureManager::charge_lookup(std::uint64_t slot, const FindResult& fr,
   // access — then the version block list is walked. Blocks passed over are
   // read without polluting the L1; the requested block is installed
   // normally and its compressed entry is (re)built.
-  cs.full_lookups++;
-  cs.walk_blocks += static_cast<std::uint64_t>(fr.blocks_walked);
+  PerCoreCounters& pc = core_counters_[static_cast<std::size_t>(core)];
+  pc.full_lookups++;
+  pc.walk_blocks += static_cast<std::uint64_t>(fr.blocks_walked);
+  walk_length_.observe(static_cast<std::uint64_t>(fr.blocks_walked));
   AccessOptions nofill;
   nofill.fill_l1 = !cfg_.pollution_avoidance;
   // Re-walk the current list for addresses; the list may have changed since
@@ -256,13 +333,16 @@ BlockIndex OStructureManager::alloc_block() {
     b = pool_.alloc();
     if (b == kNullBlock) {
       pool_.grow(cfg_.trap_grow_blocks);
-      m_.stats().os_traps++;
+      os_traps_.inc();
+      emit_event(telemetry::EventType::kOsTrap, 0, 0, cfg_.trap_grow_blocks);
       m_.advance(cfg_.os_trap_latency);
       b = pool_.alloc();
       assert(b != kNullBlock);
     }
   }
-  m_.stats().blocks_allocated++;
+  blocks_allocated_.inc();
+  stamp(block_born_, b, m_.now());
+  emit_event(telemetry::EventType::kBlockAlloc, 0, 0, b);
   if (pool_.free_count() < cfg_.gc_watermark && gc_.start_phase()) {
     m_.advance(cfg_.gc_trigger_latency);
   }
@@ -277,8 +357,16 @@ void OStructureManager::reclaim(BlockIndex b) {
   for (auto& per_core : comp_) {
     if (CompressedLine* cl = per_core.find(vb.slot)) cl->erase(vb.version);
   }
+  // Reclamation always happens inside a fiber (GC phases are driven by
+  // versioned ops and TASK-END), so the clock is valid for the lifetime
+  // and lag distributions.
+  const Cycles now = m_.now();
+  version_lifetime_.observe(now - stamp_of(block_born_, b));
+  reclaim_lag_.observe(now - stamp_of(block_shadowed_at_, b));
+  emit_event(telemetry::EventType::kBlockFreed, ostruct_addr(vb.slot),
+             vb.version, b);
   pool_.free(b);
-  m_.stats().blocks_freed++;
+  blocks_freed_.inc();
 }
 
 // ---------------------------------------------------------------------------
@@ -340,6 +428,7 @@ std::uint64_t OStructureManager::lock_load_version(OAddr a, Ver v,
         cl->set_lock(v, locker);
       }
       comp_remote_lock(slot, v, locker);
+      emit_event(telemetry::EventType::kLockAcquire, a, v, locker);
       return data;
     }
     stall(f, slot, attempt);
@@ -366,6 +455,7 @@ std::uint64_t OStructureManager::lock_load_latest(OAddr a, Ver cap,
         cl->set_lock(got, locker);
       }
       comp_remote_lock(slot, got, locker);
+      emit_event(telemetry::EventType::kLockAcquire, a, got, locker);
       if (found != nullptr) *found = got;
       return data;
     }
@@ -391,7 +481,7 @@ void OStructureManager::store_impl(std::uint64_t slot, Ver v,
     if (!ir.order_kept) sm.order_broken = true;
   } catch (const OFault&) {
     pool_.free(nb);  // duplicate version: return the block before faulting
-    m_.stats().blocks_allocated--;
+    blocks_allocated_.dec();
     throw;
   }
   // Snapshot everything the compressed-line update needs before any charged
@@ -426,11 +516,17 @@ void OStructureManager::store_impl(std::uint64_t slot, Ver v,
   m_.mem_access(std::max(na, pa), AccessType::kWrite);
   if (ir.at_head) m_.mem_access(root_addr(slot), AccessType::kWrite);
 
+  emit_event(telemetry::EventType::kVersionStore, ostruct_addr(slot), v, nb);
+
   // GC shadow registration. An insert at the head shadows the old head with
   // the new version; a mid-list insert is itself born shadowed by its
   // immediately-newer neighbour.
   if (ir.shadowed != kNullBlock) {
-    gc_.on_shadowed(ir.shadowed, ir.at_head ? v : snap.newer_version);
+    const Ver shadower = ir.at_head ? v : snap.newer_version;
+    stamp(block_shadowed_at_, ir.shadowed, m_.now());
+    emit_event(telemetry::EventType::kBlockShadowed, ostruct_addr(slot),
+               shadower, ir.shadowed);
+    gc_.on_shadowed(ir.shadowed, shadower);
   }
 
   // Compressed-line maintenance: patch the local line's adjacency, install
@@ -484,6 +580,7 @@ void OStructureManager::unlock_version(OAddr a, Ver locked_v, TaskId owner,
     cl->set_lock(locked_v, kNoTask);
   }
   comp_remote_lock(slot, locked_v, kNoTask);
+  emit_event(telemetry::EventType::kLockRelease, a, locked_v, owner);
 
   if (rename_to.has_value()) {
     // Renaming: materialize the same value as a new, unlocked version.
@@ -498,8 +595,9 @@ void OStructureManager::task_created(TaskId t) { gc_.task_created(t); }
 void OStructureManager::task_begin(TaskId t) {
   m_.sync_to_global_order();
   m_.exec(1);  // the TASK-BEGIN instruction itself
-  if (trace_.enabled()) {
-    trace_.record({m_.now(), m_.current_core(), OpCode::kTaskBegin, 0, t});
+  if (tracer_.enabled()) {
+    tracer_.emit({m_.now(), m_.current_core(), telemetry::EventType::kIsaOp,
+                  OpCode::kTaskBegin, 0, t, 0});
   }
   gc_.task_begin(t);
 }
@@ -507,11 +605,13 @@ void OStructureManager::task_begin(TaskId t) {
 void OStructureManager::task_end(TaskId t) {
   m_.sync_to_global_order();
   m_.exec(1);
-  if (trace_.enabled()) {
-    trace_.record({m_.now(), m_.current_core(), OpCode::kTaskEnd, 0, t});
+  if (tracer_.enabled()) {
+    tracer_.emit({m_.now(), m_.current_core(), telemetry::EventType::kIsaOp,
+                  OpCode::kTaskEnd, 0, t, 0});
   }
   gc_.task_end(t);
-  m_.running_core_stats().tasks_executed++;
+  core_counters_[static_cast<std::size_t>(m_.current_core())]
+      .tasks_executed++;
 }
 
 // ---------------------------------------------------------------------------

@@ -118,8 +118,12 @@ class OStructureManager {
   GarbageCollector& gc() { return gc_; }
   BlockPool& pool() { return pool_; }
   const OStructConfig& config() const { return cfg_; }
-  /// Architectural trace (enabled via OStructConfig::trace_capacity).
-  const OpTrace& trace() const { return trace_; }
+  /// Architectural ring trace of the last N versioned operations (enabled
+  /// via OStructConfig::trace_capacity; ISA-op events only).
+  const telemetry::RingSink& trace() const { return ring_; }
+  /// Event-trace dispatcher: attach extra sinks (lifecycle analysis, tests)
+  /// before running; all version-lifecycle events flow through it.
+  telemetry::Tracer& tracer() { return tracer_; }
 
  private:
   struct SlotMeta {
@@ -187,9 +191,31 @@ class OStructureManager {
   /// GC reclaim callback: unlink, scrub compressed entries, free.
   void reclaim(BlockIndex b);
 
+  /// Emit a lifecycle event stamped with the running core's time (host
+  /// context emits time 0 / core 0). One inlined branch when tracing is
+  /// off; the build/dispatch cost lives out of line.
+  void emit_event(telemetry::EventType type, OAddr addr, Ver version,
+                  std::uint64_t arg) {
+    if (tracer_.enabled()) emit_event_slow(type, addr, version, arg);
+  }
+  void emit_event_slow(telemetry::EventType type, OAddr addr, Ver version,
+                       std::uint64_t arg);
+
   /// Shared implementation of STORE-VERSION and the renaming half of
   /// UNLOCK-VERSION (assumes begin_attempt already ran).
   void store_impl(std::uint64_t slot, Ver v, std::uint64_t data);
+
+  /// Record a cycle stamp for block `b`, growing the side array on first
+  /// touch (see block_born_ below).
+  static void stamp(std::vector<Cycles>& stamps, BlockIndex b, Cycles t) {
+    const auto i = static_cast<std::size_t>(b);
+    if (stamps.size() <= i) stamps.resize(i + 1);
+    stamps[i] = t;
+  }
+  static Cycles stamp_of(const std::vector<Cycles>& stamps, BlockIndex b) {
+    const auto i = static_cast<std::size_t>(b);
+    return i < stamps.size() ? stamps[i] : 0;
+  }
 
   Machine& m_;
   OStructConfig cfg_;
@@ -203,7 +229,35 @@ class OStructureManager {
   std::vector<FlatMap<std::uint64_t, CompressedLine>> comp_;
   /// Released slot runs, keyed by run length, for reuse by alloc().
   FlatMap<std::uint64_t, std::vector<std::uint64_t>> slot_free_;
-  OpTrace trace_;
+
+  // ---- Telemetry ----
+  // Per-core counters, packed so one versioned op touches a single cache
+  // line of counter state (an op bumps 2-4 of these). Registered with the
+  // machine's registry as external-storage counter vectors.
+  struct PerCoreCounters {
+    std::uint64_t versioned_ops = 0, root_loads = 0, root_stalls = 0;
+    std::uint64_t direct_hits = 0, full_lookups = 0, walk_blocks = 0;
+    std::uint64_t stalls = 0, tasks_executed = 0;
+  };
+  std::vector<PerCoreCounters> core_counters_;  ///< fixed; registry reads it
+  // Machine-wide counters.
+  telemetry::Counter blocks_allocated_, blocks_freed_, os_traps_;
+  telemetry::Counter compressed_installs_, compressed_discards_;
+  telemetry::Counter compress_overflows_;
+  // Distributions (observed off the hot path: walks, reclaims).
+  telemetry::Histogram walk_length_;       ///< blocks touched per full lookup
+  telemetry::Histogram version_lifetime_;  ///< alloc -> reclaim, cycles
+  telemetry::Histogram reclaim_lag_;       ///< shadowed -> reclaim, cycles
+  // Per-block alloc/shadow cycle stamps feeding the two histograms above.
+  // Side arrays grown lazily to the highest block index actually used: the
+  // pool holds ~1M mostly-untouched blocks, so stamping inside VersionBlock
+  // would add pool_size * 16 bytes of cold zeroed memory to every machine
+  // construction (a hardware implementation would not store these at all).
+  std::vector<Cycles> block_born_;
+  std::vector<Cycles> block_shadowed_at_;
+  /// Event fan-out; the config-driven ring and file sinks attach here.
+  telemetry::Tracer tracer_;
+  telemetry::RingSink ring_;  ///< ISA-op ring (OStructConfig::trace_capacity)
 };
 
 }  // namespace osim

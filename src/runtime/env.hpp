@@ -28,7 +28,9 @@ class Env {
 
   Machine& machine() { return m_; }
   OStructureManager& osm() { return osm_; }
-  MachineStats& stats() { return m_.stats(); }
+  /// Snapshot of the legacy aggregate view (built from the registry).
+  MachineStats stats() const { return m_.stats(); }
+  telemetry::MetricRegistry& metrics() { return m_.metrics(); }
   const MachineConfig& config() const { return m_.config(); }
   Cycles elapsed() const { return m_.elapsed(); }
 

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "sim/types.hpp"
 
@@ -66,8 +67,12 @@ struct OStructConfig {
   bool inplace_comp_update = false;
 
   /// Keep the last N versioned operations in an architectural trace ring
-  /// (see core/isa.hpp). 0 disables tracing.
+  /// (telemetry::RingSink, masked to ISA-op events). 0 disables the ring.
   std::size_t trace_capacity = 0;
+  /// Stream the full version-lifecycle event trace to this binary file
+  /// (telemetry::FileSink; read back with tools/osim-report or
+  /// telemetry::read_trace_file). Empty disables the file sink.
+  std::string trace_path;
 };
 
 /// Whole-machine configuration (Table II defaults).

@@ -15,7 +15,13 @@ struct CancelUnwind {};
 }  // namespace
 
 Machine::Machine(const MachineConfig& cfg)
-    : cfg_(cfg), stats_(cfg.num_cores), memsys_(cfg, stats_) {
+    : cfg_(cfg),
+      registry_(cfg.num_cores),
+      instructions_(registry_.counter_vec(telemetry::Component::kCore,
+                                          "instructions")),
+      stall_cycles_(registry_.counter_vec(telemetry::Component::kCore,
+                                          "stall_cycles")),
+      memsys_(cfg, registry_) {
   cores_.resize(static_cast<std::size_t>(cfg.num_cores));
 }
 
@@ -112,7 +118,7 @@ void Machine::advance(Cycles c) {
 
 void Machine::exec(std::uint64_t n) {
   assert(running_ >= 0);
-  running_core_stats().instructions += n;
+  instructions_.inc(running_, n);
   const auto width = static_cast<std::uint64_t>(cfg_.issue_width);
   advance((n + width - 1) / width);
 }
@@ -138,8 +144,7 @@ void Machine::wake_all(WaitList& wl, Cycles wake_latency) {
     auto& ctx = cores_[static_cast<std::size_t>(w)];
     assert(ctx.state == CoreState::kBlocked);
     ctx.clock = std::max(ctx.clock, arrival);
-    stats_.core[static_cast<std::size_t>(w)].stall_cycles +=
-        ctx.clock - ctx.block_start;
+    stall_cycles_.inc(w, ctx.clock - ctx.block_start);
     ctx.state = CoreState::kRunnable;
   }
   if (!wl.waiters_.empty()) invalidate_order_cache();

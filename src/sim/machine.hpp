@@ -30,6 +30,7 @@
 #include "sim/memory_system.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace osim {
 
@@ -106,14 +107,16 @@ class Machine {
 
   // ---- Host-side accessors ----
   MemorySystem& memsys() { return memsys_; }
-  MachineStats& stats() { return stats_; }
+  /// The machine's metrics registry. Components register their counters
+  /// here at construction; tools read or dump it after a run.
+  telemetry::MetricRegistry& metrics() { return registry_; }
+  const telemetry::MetricRegistry& metrics() const { return registry_; }
+  /// DEPRECATED compatibility view: a by-value snapshot of the registry in
+  /// the pre-telemetry struct layout. Mutating it has no effect.
+  MachineStats stats() const { return stats_snapshot(registry_); }
   const MachineConfig& config() const { return cfg_; }
   /// Completion time: max over cores of their finish clock.
   Cycles elapsed() const { return elapsed_; }
-  CoreStats& core_stats(CoreId c) {
-    return stats_.core[static_cast<std::size_t>(c)];
-  }
-  CoreStats& running_core_stats() { return core_stats(running_); }
   int num_cores() const { return cfg_.num_cores; }
 
  private:
@@ -142,7 +145,11 @@ class Machine {
   void cancel_all();
 
   MachineConfig cfg_;
-  MachineStats stats_;
+  /// Declared before memsys_: components register metrics as they are
+  /// constructed, and the registry must outlive every handle holder.
+  telemetry::MetricRegistry registry_;
+  telemetry::CounterVec instructions_;
+  telemetry::CounterVec stall_cycles_;
   MemorySystem memsys_;
   std::vector<CoreCtx> cores_;
   CoreId running_ = -1;

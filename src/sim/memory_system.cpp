@@ -8,9 +8,33 @@ namespace {
 std::uint64_t bit(CoreId c) { return std::uint64_t{1} << c; }
 }  // namespace
 
-MemorySystem::MemorySystem(const MachineConfig& cfg, MachineStats& stats)
-    : cfg_(cfg), stats_(stats), l2_(cfg.l2_config()) {
+MemorySystem::MemorySystem(const MachineConfig& cfg,
+                           telemetry::MetricRegistry& reg)
+    : cfg_(cfg),
+      counters_(static_cast<std::size_t>(cfg.num_cores)),
+      l2_(cfg.l2_config()) {
   assert(cfg.num_cores >= 1 && cfg.num_cores <= 64);
+  static_assert(sizeof(PerCoreCounters) == 8 * sizeof(std::uint64_t),
+                "stride below assumes a dense all-uint64 struct");
+  constexpr std::size_t kStride =
+      sizeof(PerCoreCounters) / sizeof(std::uint64_t);
+  using telemetry::Component;
+  const PerCoreCounters* base = counters_.data();
+  reg.counter_vec_external(Component::kCache, "loads", &base->loads, kStride);
+  reg.counter_vec_external(Component::kCache, "stores", &base->stores,
+                           kStride);
+  reg.counter_vec_external(Component::kCache, "l1_hits", &base->l1_hits,
+                           kStride);
+  reg.counter_vec_external(Component::kCache, "l1_misses", &base->l1_misses,
+                           kStride);
+  reg.counter_vec_external(Component::kCache, "l2_hits", &base->l2_hits,
+                           kStride);
+  reg.counter_vec_external(Component::kCache, "l2_misses", &base->l2_misses,
+                           kStride);
+  reg.counter_vec_external(Component::kCache, "remote_l1_fills",
+                           &base->remote_l1_fills, kStride);
+  reg.counter_vec_external(Component::kCache, "upgrades", &base->upgrades,
+                           kStride);
   l1s_.reserve(static_cast<std::size_t>(cfg.num_cores));
   for (int i = 0; i < cfg.num_cores; ++i) l1s_.emplace_back(cfg.l1);
 }
@@ -72,18 +96,18 @@ Cycles MemorySystem::access(CoreId core, Addr addr, AccessType type,
                             AccessOptions opts) {
   const Addr line = line_of(addr);
   const bool write = type == AccessType::kWrite;
-  CoreStats& cs = stats_.core[static_cast<std::size_t>(core)];
-  (write ? cs.stores : cs.loads)++;
+  PerCoreCounters& pc = counters_[static_cast<std::size_t>(core)];
+  (write ? pc.stores : pc.loads)++;
 
   Cache& l1 = l1s_[static_cast<std::size_t>(core)];
   DirEntry& de = dir_[line];  // default-constructed if absent
 
   if (l1.access(line, write)) {
-    cs.l1_hits++;
+    pc.l1_hits++;
     Cycles lat = cfg_.l1.hit_latency;
     if (write && de.owner != core) {
       // Upgrade: invalidate the other sharers before writing.
-      cs.upgrades++;
+      pc.upgrades++;
       const bool had_remote = invalidate_copies(core, line);
       if (had_remote) lat += cfg_.invalidate_latency;
       // invalidate_copies may have erased the entry; re-establish ownership.
@@ -94,12 +118,12 @@ Cycles MemorySystem::access(CoreId core, Addr addr, AccessType type,
     return lat;
   }
 
-  cs.l1_misses++;
+  pc.l1_misses++;
   Cycles lat = cfg_.l1.hit_latency;  // tag probe before going down
 
   // Remote L1 holds the line modified: cache-to-cache forward.
   if (de.owner != -1 && de.owner != core) {
-    cs.remote_l1_fills++;
+    pc.remote_l1_fills++;
     lat += cfg_.remote_l1_latency;
     const CoreId owner = de.owner;
     if (write) {
@@ -111,13 +135,13 @@ Cycles MemorySystem::access(CoreId core, Addr addr, AccessType type,
       fill_l2_line(line);
     }
   } else if (l2_.access(line, /*write=*/false)) {
-    cs.l2_hits++;
+    pc.l2_hits++;
     lat += cfg_.l2_hit_latency;
     if (write) {
       if (invalidate_copies(core, line)) lat += cfg_.invalidate_latency;
     }
   } else {
-    cs.l2_misses++;
+    pc.l2_misses++;
     lat += cfg_.l2_hit_latency;  // L2 lookup that missed
     lat += cfg_.dram_latency;
     if (write && invalidate_copies(core, line)) lat += cfg_.invalidate_latency;

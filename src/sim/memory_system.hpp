@@ -20,8 +20,8 @@
 #include "sim/cache.hpp"
 #include "sim/config.hpp"
 #include "sim/flat_map.hpp"
-#include "sim/stats.hpp"
 #include "sim/types.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace osim {
 
@@ -35,7 +35,10 @@ struct AccessOptions {
 
 class MemorySystem {
  public:
-  MemorySystem(const MachineConfig& cfg, MachineStats& stats);
+  /// Registers the cache/* per-core counters in `reg`, backed by this
+  /// object's packed counter block (counter_vec_external); this object and
+  /// the registry must share a lifetime (both live in the Machine).
+  MemorySystem(const MachineConfig& cfg, telemetry::MetricRegistry& reg);
 
   /// Perform one access and return its latency in cycles.
   Cycles access(CoreId core, Addr addr, AccessType type,
@@ -85,7 +88,16 @@ class MemorySystem {
   void fill_l2_line(Addr line);
 
   MachineConfig cfg_;
-  MachineStats& stats_;
+  /// Per-core access counters, packed so each access touches a single cache
+  /// line of counter state (an access bumps 2-3 of these). Registered with
+  /// the machine's registry as external-storage counter vectors.
+  struct PerCoreCounters {
+    std::uint64_t loads = 0, stores = 0;
+    std::uint64_t l1_hits = 0, l1_misses = 0;
+    std::uint64_t l2_hits = 0, l2_misses = 0;
+    std::uint64_t remote_l1_fills = 0, upgrades = 0;
+  };
+  std::vector<PerCoreCounters> counters_;  ///< fixed size; registry reads it
   std::vector<Cache> l1s_;
   Cache l2_;
   /// Coherence directory, probed on every access: a flat open-addressed

@@ -3,7 +3,44 @@
 #include <iomanip>
 #include <ostream>
 
+#include "telemetry/metrics.hpp"
+
 namespace osim {
+
+MachineStats stats_snapshot(const telemetry::MetricRegistry& reg) {
+  using telemetry::Component;
+  MachineStats s(reg.num_cores());
+  for (int i = 0; i < reg.num_cores(); ++i) {
+    CoreStats& cs = s.core[static_cast<std::size_t>(i)];
+    cs.instructions = reg.value(Component::kCore, "instructions", i);
+    cs.stall_cycles = reg.value(Component::kCore, "stall_cycles", i);
+    cs.loads = reg.value(Component::kCache, "loads", i);
+    cs.stores = reg.value(Component::kCache, "stores", i);
+    cs.l1_hits = reg.value(Component::kCache, "l1_hits", i);
+    cs.l1_misses = reg.value(Component::kCache, "l1_misses", i);
+    cs.l2_hits = reg.value(Component::kCache, "l2_hits", i);
+    cs.l2_misses = reg.value(Component::kCache, "l2_misses", i);
+    cs.remote_l1_fills = reg.value(Component::kCache, "remote_l1_fills", i);
+    cs.upgrades = reg.value(Component::kCache, "upgrades", i);
+    cs.versioned_ops = reg.value(Component::kOsm, "versioned_ops", i);
+    cs.direct_hits = reg.value(Component::kOsm, "direct_hits", i);
+    cs.full_lookups = reg.value(Component::kOsm, "full_lookups", i);
+    cs.walk_blocks = reg.value(Component::kOsm, "walk_blocks", i);
+    cs.stalls = reg.value(Component::kOsm, "stalls", i);
+    cs.root_loads = reg.value(Component::kOsm, "root_loads", i);
+    cs.root_stalls = reg.value(Component::kOsm, "root_stalls", i);
+    cs.tasks_executed = reg.value(Component::kOsm, "tasks_executed", i);
+  }
+  s.blocks_allocated = reg.total(Component::kOsm, "blocks_allocated");
+  s.blocks_freed = reg.total(Component::kOsm, "blocks_freed");
+  s.os_traps = reg.total(Component::kOsm, "os_traps");
+  s.compressed_installs = reg.total(Component::kOsm, "compressed_installs");
+  s.compressed_discards = reg.total(Component::kOsm, "compressed_discards");
+  s.compress_overflows = reg.total(Component::kOsm, "compress_overflows");
+  s.gc_phases = reg.total(Component::kGc, "phases");
+  s.shadowed_blocks = reg.total(Component::kGc, "shadowed_blocks");
+  return s;
+}
 
 void dump(std::ostream& os, const MachineStats& stats) {
   const CoreStats t = stats.total();

@@ -1,17 +1,32 @@
-// Counters collected during a simulation run. Plain fields (hot path) plus a
-// generic dump for the bench harnesses.
+// DEPRECATED compatibility view over the telemetry metrics registry.
+//
+// Counters used to live here as plain struct fields that components
+// mutated directly. They now live in telemetry::MetricRegistry
+// (src/telemetry/metrics.hpp): components register named metrics and bump
+// handle slots; new code should read them through Machine::metrics().
+//
+// CoreStats / MachineStats remain as *snapshots*: Machine::stats() and
+// Env::stats() materialize one by name-lookup from the registry (cold path)
+// so existing benches and tests keep compiling. Metrics a machine never
+// registered (e.g. osm/* on a Machine without an O-structure manager) read
+// as zero. The structs no longer reference live storage — mutating a
+// snapshot has no effect on the machine.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
-#include <string>
 #include <vector>
 
 #include "sim/types.hpp"
 
 namespace osim {
 
-/// Per-core statistics.
+namespace telemetry {
+class MetricRegistry;
+}
+
+/// Per-core statistics snapshot. DEPRECATED: prefer the registry
+/// (Machine::metrics()) for new code.
 struct CoreStats {
   std::uint64_t instructions = 0;
   std::uint64_t loads = 0;
@@ -45,7 +60,7 @@ struct CoreStats {
   }
 };
 
-/// Machine-wide statistics.
+/// Machine-wide statistics snapshot. DEPRECATED: prefer Machine::metrics().
 struct MachineStats {
   std::vector<CoreStats> core;
 
@@ -87,7 +102,14 @@ struct MachineStats {
   }
 };
 
-/// Human-readable dump (used by benches with --verbose).
+/// Build the compatibility snapshot by name-lookup from the registry.
+/// Unregistered metrics read as zero.
+MachineStats stats_snapshot(const telemetry::MetricRegistry& reg);
+
+/// Human-readable dump of a snapshot. DEPRECATED: the registry's own
+/// dump (MetricRegistry::dump) covers every registered metric, including
+/// ones this fixed format does not know about.
+[[deprecated("use telemetry::MetricRegistry::dump")]]
 void dump(std::ostream& os, const MachineStats& stats);
 
 }  // namespace osim

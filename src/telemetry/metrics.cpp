@@ -1,0 +1,111 @@
+#include "telemetry/metrics.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace osim::telemetry {
+
+MetricRegistry::Metric& MetricRegistry::add(Component c, std::string name,
+                                            MetricKind kind,
+                                            std::size_t width) {
+  assert(find(c, name) == nullptr && "metric registered twice");
+  Metric m;
+  m.component = c;
+  m.name = std::move(name);
+  m.kind = kind;
+  m.width = width;
+  m.slots = std::make_unique<std::uint64_t[]>(width);
+  for (std::size_t i = 0; i < width; ++i) m.slots[i] = 0;
+  metrics_.push_back(std::move(m));
+  return metrics_.back();
+}
+
+Counter MetricRegistry::counter(Component c, std::string name) {
+  return Counter(add(c, std::move(name), MetricKind::kCounter, 1).slots.get());
+}
+
+CounterVec MetricRegistry::counter_vec(Component c, std::string name) {
+  Metric& m = add(c, std::move(name), MetricKind::kCounter,
+                  static_cast<std::size_t>(num_cores_));
+  m.per_core = true;
+  return CounterVec(m.slots.get());
+}
+
+void MetricRegistry::counter_vec_external(Component c, std::string name,
+                                          const std::uint64_t* base,
+                                          std::size_t stride) {
+  assert(base != nullptr && stride >= 1);
+  Metric& m = add(c, std::move(name), MetricKind::kCounter,
+                  static_cast<std::size_t>(num_cores_));
+  m.per_core = true;
+  m.slots.reset();  // the component owns the storage
+  m.ext = base;
+  m.stride = stride;
+}
+
+Gauge MetricRegistry::gauge(Component c, std::string name) {
+  return Gauge(add(c, std::move(name), MetricKind::kGauge, 1).slots.get());
+}
+
+Histogram MetricRegistry::histogram(Component c, std::string name,
+                                    std::vector<std::uint64_t> bounds) {
+  assert(!bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    assert(bounds[i - 1] < bounds[i] && "histogram bounds must ascend");
+  }
+  Metric& m =
+      add(c, std::move(name), MetricKind::kHistogram, bounds.size() + 3);
+  m.bounds = std::move(bounds);
+  return Histogram(m.slots.get(), m.bounds.data(), m.bounds.size());
+}
+
+const MetricRegistry::Metric* MetricRegistry::find(
+    Component c, const std::string& name) const {
+  for (const Metric& m : metrics_) {
+    if (m.component == c && m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+void MetricRegistry::dump(std::ostream& os) const {
+  for (const Metric& m : metrics_) {
+    os << to_string(m.component) << '/' << m.name;
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        if (m.per_core) {
+          os << " total=" << m.total() << " per_core=[";
+          for (std::size_t i = 0; i < m.width; ++i) {
+            if (i != 0) os << ' ';
+            os << m.slot(i);
+          }
+          os << ']';
+        } else {
+          os << ' ' << m.slot(0);
+        }
+        break;
+      case MetricKind::kGauge:
+        os << ' ' << m.slot(0);
+        break;
+      case MetricKind::kHistogram: {
+        const std::size_t n = m.bounds.size();
+        os << " count=" << m.slot(n + 2) << " sum=" << m.slot(n + 1)
+           << " buckets=[";
+        for (std::size_t i = 0; i < n; ++i) {
+          if (i != 0) os << ' ';
+          os << "le" << m.bounds[i] << ':' << m.slot(i);
+        }
+        os << " inf:" << m.slot(n) << ']';
+        break;
+      }
+    }
+    os << '\n';
+  }
+}
+
+std::string MetricRegistry::dump_str() const {
+  std::ostringstream os;
+  dump(os);
+  return os.str();
+}
+
+}  // namespace osim::telemetry

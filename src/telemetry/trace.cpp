@@ -1,0 +1,143 @@
+#include "telemetry/trace.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace osim::telemetry {
+
+const char* to_string(EventType t) {
+  switch (t) {
+    case EventType::kIsaOp:
+      return "ISA-OP";
+    case EventType::kBlockAlloc:
+      return "BLOCK-ALLOC";
+    case EventType::kVersionStore:
+      return "VERSION-STORE";
+    case EventType::kBlockShadowed:
+      return "BLOCK-SHADOWED";
+    case EventType::kBlockFreed:
+      return "BLOCK-FREED";
+    case EventType::kLockAcquire:
+      return "LOCK-ACQUIRE";
+    case EventType::kLockRelease:
+      return "LOCK-RELEASE";
+    case EventType::kGcPhaseBegin:
+      return "GC-PHASE-BEGIN";
+    case EventType::kGcPhaseEnd:
+      return "GC-PHASE-END";
+    case EventType::kOsTrap:
+      return "OS-TRAP";
+  }
+  assert(!"unknown EventType");
+  return "?";
+}
+
+namespace {
+
+// Record layout (little-endian, FileSink::kRecordBytes):
+//   u64 time | u64 addr | u64 version | u64 arg | u32 core | u8 type |
+//   u8 op | u16 zero
+void put_u64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+void put_u32(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+void encode(const TraceEvent& e, unsigned char* rec) {
+  put_u64(rec + 0, e.time);
+  put_u64(rec + 8, e.addr);
+  put_u64(rec + 16, e.version);
+  put_u64(rec + 24, e.arg);
+  put_u32(rec + 32, static_cast<std::uint32_t>(e.core));
+  rec[36] = static_cast<unsigned char>(e.type);
+  rec[37] = static_cast<unsigned char>(e.op);
+  rec[38] = 0;
+  rec[39] = 0;
+}
+
+TraceEvent decode(const unsigned char* rec) {
+  TraceEvent e;
+  e.time = get_u64(rec + 0);
+  e.addr = get_u64(rec + 8);
+  e.version = get_u64(rec + 16);
+  e.arg = get_u64(rec + 24);
+  e.core = static_cast<CoreId>(get_u32(rec + 32));
+  e.type = static_cast<EventType>(rec[36]);
+  e.op = static_cast<OpCode>(rec[37]);
+  return e;
+}
+
+}  // namespace
+
+struct FileSink::Impl {
+  std::FILE* f = nullptr;
+  std::string path;
+};
+
+FileSink::FileSink(const std::string& path, EventMask mask)
+    : TraceSink(mask), impl_(std::make_unique<Impl>()) {
+  impl_->path = path;
+  impl_->f = std::fopen(path.c_str(), "wb");
+  if (impl_->f == nullptr) {
+    throw std::runtime_error("cannot open trace file " + path);
+  }
+  unsigned char header[16] = {};
+  put_u32(header + 0, kMagic);
+  put_u32(header + 4, kFormatVersion);
+  put_u32(header + 8, static_cast<std::uint32_t>(kRecordBytes));
+  std::fwrite(header, 1, sizeof header, impl_->f);
+}
+
+FileSink::~FileSink() {
+  if (impl_->f != nullptr) std::fclose(impl_->f);
+}
+
+void FileSink::on_event(const TraceEvent& e) {
+  unsigned char rec[kRecordBytes];
+  encode(e, rec);
+  std::fwrite(rec, 1, sizeof rec, impl_->f);
+}
+
+void FileSink::flush() { std::fflush(impl_->f); }
+
+std::vector<TraceEvent> read_trace_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open trace file " + path);
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  unsigned char header[16];
+  if (std::fread(header, 1, sizeof header, f) != sizeof header ||
+      get_u32(header + 0) != FileSink::kMagic) {
+    throw std::runtime_error(path + " is not an osim trace file");
+  }
+  if (get_u32(header + 4) != FileSink::kFormatVersion ||
+      get_u32(header + 8) != FileSink::kRecordBytes) {
+    throw std::runtime_error(path + ": unsupported trace format version");
+  }
+  std::vector<TraceEvent> out;
+  unsigned char rec[FileSink::kRecordBytes];
+  while (std::fread(rec, 1, sizeof rec, f) == sizeof rec) {
+    out.push_back(decode(rec));
+  }
+  return out;
+}
+
+}  // namespace osim::telemetry

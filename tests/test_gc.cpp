@@ -13,10 +13,9 @@ namespace {
 class GcTest : public ::testing::Test {
  protected:
   GcTest()
-      : gc(pool, stats, [this](BlockIndex b) {
+      : gc(pool, reg, [this](BlockIndex b) {
           reclaimed.push_back(b);
           pool.free(b);
-          stats.blocks_freed++;
         }) {}
 
   BlockIndex live_block() {
@@ -25,8 +24,12 @@ class GcTest : public ::testing::Test {
     return b;
   }
 
+  std::uint64_t phases() const {
+    return reg.total(telemetry::Component::kGc, "phases");
+  }
+
   BlockPool pool{64};
-  MachineStats stats{1};
+  telemetry::MetricRegistry reg{1};
   std::vector<BlockIndex> reclaimed;
   GarbageCollector gc;
 };
@@ -59,7 +62,7 @@ TEST_F(GcTest, PhaseReclaimsOnceOldReadersFinish) {
   gc.task_end(1);
   EXPECT_FALSE(gc.phase_active());
   EXPECT_EQ(reclaimed, (std::vector<BlockIndex>{b}));
-  EXPECT_EQ(stats.gc_phases, 1u);
+  EXPECT_EQ(phases(), 1u);
 }
 
 TEST_F(GcTest, FenceIsYoungestShadowerInBatch) {
@@ -124,7 +127,7 @@ TEST_F(GcTest, NewlyShadowedDuringPhaseGoesToNextPhase) {
 
 TEST_F(GcTest, StartPhaseNoopWithoutShadowedWork) {
   EXPECT_FALSE(gc.start_phase());
-  EXPECT_EQ(stats.gc_phases, 0u);
+  EXPECT_EQ(phases(), 0u);
 }
 
 TEST_F(GcTest, StartPhaseNoopWhilePhaseActive) {
@@ -200,7 +203,7 @@ TEST_F(GcTest, ManyBlocksReclaimedInOnePhase) {
   gc.task_end(2);
   gc.task_end(1);
   EXPECT_EQ(reclaimed.size(), 20u);
-  EXPECT_EQ(stats.blocks_freed, 20u);
+  EXPECT_EQ(reg.total(telemetry::Component::kGc, "shadowed_blocks"), 20u);
 }
 
 TEST_F(GcTest, RepeatedPhasesRaiseFloorMonotonically) {

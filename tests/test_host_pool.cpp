@@ -5,6 +5,7 @@
 // driver's --threads flag relies on).
 #include <atomic>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -22,6 +23,7 @@ struct CellOut {
   std::uint64_t checksum = 0;
   std::uint64_t l1_hits = 0;
   std::uint64_t l2_misses = 0;
+  std::string metrics_dump;  ///< full registry dump (every metric)
 };
 
 /// A small grid of dissimilar cells: sequential and task-parallel variants,
@@ -53,7 +55,8 @@ std::vector<CellOut> run_grid(int threads) {
       Env env(cfg);
       const RunResult r = bodies[i](env);
       const CoreStats total = env.stats().total();
-      out[i] = {r.cycles, r.checksum, total.l1_hits, total.l2_misses};
+      out[i] = {r.cycles, r.checksum, total.l1_hits, total.l2_misses,
+                env.metrics().dump_str()};
     });
   }
   HostPool(threads).run(std::move(jobs));
@@ -70,6 +73,9 @@ TEST(HostPool, ParallelResultsBitIdenticalToSerial) {
       EXPECT_EQ(serial[i].checksum, par[i].checksum) << "cell " << i;
       EXPECT_EQ(serial[i].l1_hits, par[i].l1_hits) << "cell " << i;
       EXPECT_EQ(serial[i].l2_misses, par[i].l2_misses) << "cell " << i;
+      // Every metric — not just the legacy stats fields — must be
+      // byte-identical regardless of host threading.
+      EXPECT_EQ(serial[i].metrics_dump, par[i].metrics_dump) << "cell " << i;
     }
   }
 }

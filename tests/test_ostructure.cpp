@@ -321,7 +321,7 @@ TEST(OStructure, RepeatedLoadsHitCompressedLine) {
     for (int i = 0; i < 10; ++i) EXPECT_EQ(o.load_version(a, 1), 10u);
   });
   m.run();
-  const auto& cs = m.stats().core[0];
+  const CoreStats cs = m.stats().core[0];
   // The first load walks and installs the entry; the rest hit directly.
   EXPECT_GE(cs.direct_hits, 9u);
   EXPECT_LE(cs.full_lookups, 1u);
@@ -359,7 +359,7 @@ TEST(OStructure, LoadLatestDirectHitsViaAdjacency) {
     for (int i = 0; i < 5; ++i) EXPECT_EQ(o.load_latest(a, 2), 2u);
   });
   m.run();
-  const auto& cs = m.stats().core[0];
+  const CoreStats cs = m.stats().core[0];
   EXPECT_GE(cs.direct_hits, 4u);
 }
 

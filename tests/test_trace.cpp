@@ -98,9 +98,40 @@ TEST(OpTrace, StalledOpRecordedOnceAtIssue) {
 }
 
 TEST(OpTrace, OpCodeNamesAreStable) {
+  // All 8 opcodes: to_string has no silent fall-through (unknown values
+  // assert in debug builds), so every enumerator must map to its name.
+  static_assert(kNumOpCodes == 8);
   EXPECT_STREQ(to_string(OpCode::kLoadVersion), "LOAD-VERSION");
+  EXPECT_STREQ(to_string(OpCode::kLoadLatest), "LOAD-LATEST");
+  EXPECT_STREQ(to_string(OpCode::kStoreVersion), "STORE-VERSION");
+  EXPECT_STREQ(to_string(OpCode::kLockLoadVersion), "LOCK-LOAD-VERSION");
+  EXPECT_STREQ(to_string(OpCode::kLockLoadLatest), "LOCK-LOAD-LATEST");
   EXPECT_STREQ(to_string(OpCode::kUnlockVersion), "UNLOCK-VERSION");
+  EXPECT_STREQ(to_string(OpCode::kTaskBegin), "TASK-BEGIN");
   EXPECT_STREQ(to_string(OpCode::kTaskEnd), "TASK-END");
+}
+
+TEST(OpTrace, ConfigRingSeesOnlyIsaOpsExtraSinkSeesLifecycle) {
+  // The config-enabled ring keeps the classic ISA-op trace; a full-mask
+  // sink attached to the same tracer additionally sees lifecycle events.
+  Machine m(traced_cfg(64));
+  OStructureManager o(m);
+  telemetry::RingSink all(64, telemetry::kAllEvents);
+  o.tracer().attach(&all);
+  const OAddr a = o.alloc();
+  m.spawn(0, [&] { o.store_version(a, 1, 10); });
+  m.run();
+  for (const auto& e : o.trace().snapshot()) {
+    EXPECT_EQ(e.type, telemetry::EventType::kIsaOp);
+  }
+  bool saw_alloc = false, saw_store = false;
+  for (const auto& e : all.snapshot()) {
+    saw_alloc |= e.type == telemetry::EventType::kBlockAlloc;
+    saw_store |= e.type == telemetry::EventType::kVersionStore;
+  }
+  EXPECT_TRUE(saw_alloc);
+  EXPECT_TRUE(saw_store);
+  EXPECT_GT(all.total_recorded(), o.trace().total_recorded());
 }
 
 }  // namespace
