@@ -70,9 +70,13 @@ CellResult run_hw(int cores, int ops_per_core) {
           [&](int s, Ver v) { mine[s].store_ver(v, v); },
           [&](int s, Ver v) { mine[s].load_latest(v); },
           [&](int s, Ver fresh) {
+            // Distinct locker per core: sharing one task id across cores
+            // makes concurrent holds look like one task's nesting (flagged
+            // by osim-check as lock-order hazards).
+            const TaskId locker = 7 + static_cast<TaskId>(c);
             Ver got = 0;
-            mine[s].lock_load_last(fresh - 1, /*locker=*/7, &got);
-            mine[s].unlock_ver(got, 7, /*rename_to=*/Ver{fresh});
+            mine[s].lock_load_last(fresh - 1, locker, &got);
+            mine[s].unlock_ver(got, locker, /*rename_to=*/Ver{fresh});
           });
     });
   }
@@ -96,9 +100,10 @@ CellResult run_sw(int cores, int ops_per_core) {
           [&](int s, Ver v) { mine[s]->store_version(v, v); },
           [&](int s, Ver v) { mine[s]->load_latest(v); },
           [&](int s, Ver fresh) {
+            const TaskId locker = 7 + static_cast<TaskId>(c);
             Ver got = 0;
-            mine[s]->lock_load_latest(fresh - 1, 7, &got);
-            mine[s]->unlock_version(got, 7, Ver{fresh});
+            mine[s]->lock_load_latest(fresh - 1, locker, &got);
+            mine[s]->unlock_version(got, locker, Ver{fresh});
           });
     });
   }

@@ -42,12 +42,17 @@ struct Options {
   /// Stream each cell's version-lifecycle event trace to PATH.<cell-index>
   /// ("" = off). Per-cell suffixing keeps concurrent cells off one file.
   std::string trace_path;
+  /// Online protocol checking (osim-check): 0 = off, 1 = --check,
+  /// 2 = --check=strict. Checking charges no simulated cycles, so checked
+  /// results stay bit-identical; findings land in the JSON and fail the
+  /// bench's exit code.
+  int check_mode = 0;
 
   [[noreturn]] static void usage(const char* argv0, int exit_code) {
     std::fprintf(
         stderr,
         "usage: %s [--quick | --full] [--threads N] [--json PATH] "
-        "[--trace PATH]\n"
+        "[--trace PATH] [--check[=strict]]\n"
         "  --quick      smoke-test scale (0.25x ops)\n"
         "  --full       paper-sized runs (4x ops)\n"
         "  --threads N  run experiment cells on N host threads\n"
@@ -56,7 +61,11 @@ struct Options {
         "  --json PATH  write results into PATH, merging with any bench\n"
         "               results already recorded there\n"
         "  --trace PATH write each cell's binary event trace to\n"
-        "               PATH.<cell-index> (read with tools/osim-report)\n",
+        "               PATH.<cell-index> (read with tools/osim-report)\n"
+        "  --check      validate the O-structure protocol online\n"
+        "               (osim-check); findings fail the run and are\n"
+        "               recorded in the JSON\n"
+        "  --check=strict  as --check, but advisory findings also fail\n",
         argv0);
     std::exit(exit_code);
   }
@@ -93,6 +102,10 @@ struct Options {
           usage(argv[0], 2);
         }
         o.trace_path = argv[i];
+      } else if (std::strcmp(a, "--check") == 0) {
+        o.check_mode = 1;
+      } else if (std::strcmp(a, "--check=strict") == 0) {
+        o.check_mode = 2;
       } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
         usage(argv[0], 0);
       } else {
@@ -110,19 +123,25 @@ namespace detail {
 /// each cell so config helpers pick it up without threading a parameter
 /// through every bench's grid code.
 inline thread_local std::string g_cell_trace_path;
+/// osim-check mode for the cell running on this host thread (see
+/// Options::check_mode); driver-set like g_cell_trace_path.
+inline thread_local int g_cell_check_mode = 0;
 }  // namespace detail
 
 inline MachineConfig make_config(int cores) {
   MachineConfig c;
   c.num_cores = cores;
   c.ostruct.trace_path = detail::g_cell_trace_path;
+  c.ostruct.check_mode = detail::g_cell_check_mode;
   return c;
 }
 
-/// Re-stamp the cell trace path onto a config that was built *outside* the
-/// cell (make_config only sees the thread-local while the cell runs).
+/// Re-stamp the cell trace path and check mode onto a config that was
+/// built *outside* the cell (make_config only sees the thread-locals while
+/// the cell runs).
 inline MachineConfig with_cell_trace(MachineConfig c) {
   c.ostruct.trace_path = detail::g_cell_trace_path;
+  c.ostruct.check_mode = detail::g_cell_check_mode;
   return c;
 }
 

@@ -56,6 +56,34 @@ Json metrics_json(const telemetry::MetricRegistry& reg) {
   return out;
 }
 
+void harvest_check(Env& env, CellResult& r) {
+  analysis::Checker* checker = env.checker();
+  if (checker == nullptr) return;
+  checker->finish();
+  r.checked = true;
+  r.check_errors = checker->error_count();
+  r.check = Json::object();
+  r.check["errors"] = Json::number(checker->error_count());
+  r.check["warnings"] = Json::number(checker->warning_count());
+  r.check["total"] = Json::number(checker->total_findings());
+  Json findings = Json::array();
+  for (const analysis::Finding& f : checker->findings()) {
+    Json jf = Json::object();
+    jf["severity"] = Json::string(
+        f.severity == analysis::Severity::kError ? "error" : "warning");
+    jf["invariant"] = Json::string(analysis::id(f.invariant));
+    jf["time"] = Json::number(static_cast<std::uint64_t>(f.time));
+    jf["core"] = Json::number(static_cast<std::uint64_t>(f.core));
+    jf["addr"] = Json::number(static_cast<std::uint64_t>(f.addr));
+    jf["version"] = Json::number(static_cast<std::uint64_t>(f.version));
+    jf["task"] = Json::number(static_cast<std::uint64_t>(f.task));
+    jf["other_task"] = Json::number(static_cast<std::uint64_t>(f.other_task));
+    jf["detail"] = Json::string(f.detail);
+    findings.push_back(std::move(jf));
+  }
+  r.check["findings"] = std::move(findings);
+}
+
 Driver::Driver(std::string bench_name, Options options)
     : name_(std::move(bench_name)), opt_(std::move(options)) {}
 
@@ -66,20 +94,25 @@ std::size_t Driver::add(std::string name, CellFn fn) {
 
 void Driver::run_all() {
   std::vector<std::function<void()>> jobs;
+  std::vector<std::size_t> fresh;
   for (std::size_t i = 0; i < cells_.size(); ++i) {
     Cell& cell = cells_[i];
     if (cell.done) continue;
+    fresh.push_back(i);
     // Per-cell trace file: concurrent cells must not share one stream.
     std::string trace = opt_.trace_path.empty()
                             ? std::string()
                             : opt_.trace_path + "." + std::to_string(i);
-    jobs.push_back([&cell, trace = std::move(trace)] {
+    jobs.push_back([&cell, trace = std::move(trace),
+                    check = opt_.check_mode] {
       detail::g_cell_trace_path = trace;
+      detail::g_cell_check_mode = check;
       const auto t0 = std::chrono::steady_clock::now();
       cell.result = cell.fn();
       cell.result.wall_seconds = seconds_since(t0);
       cell.done = true;
       detail::g_cell_trace_path.clear();
+      detail::g_cell_check_mode = 0;
     });
   }
   if (jobs.empty()) return;
@@ -87,6 +120,29 @@ void Driver::run_all() {
   HostPool pool(opt_.threads);
   pool.run(std::move(jobs));
   total_wall_ += seconds_since(t0);
+  // Checked cells must come back clean; record one named invariant per
+  // cell so finish() fails (and prints) on any protocol violation.
+  if (opt_.check_mode != 0) {
+    for (std::size_t i : fresh) {
+      const Cell& cell = cells_[i];
+      if (!cell.result.checked) continue;  // cell has no Env/checker
+      check("osim-check clean: " + cell.name, cell.result.check_errors == 0);
+      if (cell.result.check_errors != 0) {
+        if (const Json* fs = cell.result.check.find("findings")) {
+          for (const auto& [unused, f] : fs->items()) {
+            (void)unused;
+            const Json* inv = f.find("invariant");
+            const Json* detail = f.find("detail");
+            std::fprintf(stderr, "%s: [%s] %s: %s\n", name_.c_str(),
+                         cell.name.c_str(),
+                         inv != nullptr ? inv->as_string().c_str() : "?",
+                         detail != nullptr ? detail->as_string().c_str()
+                                           : "");
+          }
+        }
+      }
+    }
+  }
 }
 
 const CellResult& Driver::result(std::size_t handle) const {
@@ -165,6 +221,7 @@ int Driver::finish() {
       jc["checksum"] = Json::number(c.result.checksum);
       jc["wall_seconds"] = Json::number(c.result.wall_seconds);
       if (!c.result.metrics.is_null()) jc["metrics"] = c.result.metrics;
+      if (c.result.checked) jc["check"] = c.result.check;
       cells.push_back(std::move(jc));
     }
     mine["cells"] = std::move(cells);

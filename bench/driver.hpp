@@ -35,6 +35,12 @@ struct CellResult {
   /// Registry snapshot for the cell's machine (counters by "component/name",
   /// per-core vectors, histograms); lands in the JSON cell record.
   Json metrics;
+  /// osim-check verdict (--check runs only). `check` is the JSON schema-2
+  /// extension written into the cell record: {errors, warnings, total,
+  /// findings: [...]}.
+  bool checked = false;
+  std::uint64_t check_errors = 0;
+  Json check;
 };
 
 /// One experiment cell: runs on some host thread, owns its whole simulation.
@@ -43,13 +49,19 @@ using CellFn = std::function<CellResult()>;
 /// Serialize every metric of `reg` (see CellResult::metrics).
 Json metrics_json(const telemetry::MetricRegistry& reg);
 
-/// Standard cell epilogue: cycles + checksum + the machine's metrics.
+/// Fold the cell Env's osim-check verdict into `r` (no-op when checking is
+/// off). Runs the checker's end-of-run pass, so call once per cell.
+void harvest_check(Env& env, CellResult& r);
+
+/// Standard cell epilogue: cycles + checksum + the machine's metrics +
+/// the osim-check verdict when --check is on.
 inline CellResult cell_result(Env& env, Cycles cycles,
                               std::uint64_t checksum) {
   CellResult r;
   r.cycles = cycles;
   r.checksum = checksum;
   r.metrics = metrics_json(env.metrics());
+  harvest_check(env, r);
   return r;
 }
 

@@ -1,0 +1,206 @@
+// osim-check: the O-structure protocol checker (online front end).
+//
+// One invariant engine with two front ends. The *online* front end is
+// CheckerSink, a telemetry::TraceSink registered on the O-structure
+// manager's Tracer; it validates the protocol as events stream out of a
+// run. The *static* front end (static_check.hpp) replays a workload's
+// generated op stream before execution. Both produce the same structured
+// Finding records, which bench/driver folds into the schema-2 JSON and
+// tools/osim-report --validate enforces.
+//
+// Checked invariants (see DESIGN.md "Checked invariants" for the mapping
+// to paper mechanisms):
+//   * Determinacy races: a vector-clock detector over per-address version
+//     accesses. Every LOAD-LATEST records the version *window* it
+//     observed (got < v <= cap); a later STORE-VERSION landing inside a
+//     recorded window without a happens-before edge to the reader (program
+//     order, store->read dataflow, or lock release->acquire) means the
+//     read's result depended on timing — the nondeterminism O-structures
+//     exist to rule out.
+//   * Version lifecycle: a per-block state machine (free -> alloc ->
+//     stored -> shadowed -> pending -> free) catching double-free,
+//     store-after-shadow, free-list corruption, and use-after-reclaim.
+//   * Lock discipline: unlock of a never-locked version, double unlock,
+//     locks held across TASK-END / end of run, and lock-ordering cycles.
+//   * GC safety: no version reclaimed from a pending list while an
+//     unfinished task older than its shadower could still name it.
+//
+// The checker consumes events only — it charges no simulated cycles and
+// never touches machine state, so a checked run's cycles and checksums are
+// bit-identical to an unchecked one.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "telemetry/trace.hpp"
+
+namespace osim::analysis {
+
+enum class Severity : std::uint8_t { kWarning, kError };
+
+/// Stable invariant identifiers; id() strings appear in JSON and reports.
+enum class Invariant : std::uint8_t {
+  kDeterminacyRace,    // VC-RACE
+  kDoubleFree,         // LC-DOUBLE-FREE
+  kStoreAfterShadow,   // LC-STORE-SHADOW
+  kFreeListCorruption, // LC-FREELIST
+  kUseAfterReclaim,    // LC-USE-RECLAIM
+  kUnlockWithoutLock,  // LK-UNHELD
+  kDoubleUnlock,       // LK-DOUBLE-UNLOCK
+  kDoubleAcquire,      // LK-DOUBLE-ACQUIRE
+  kLockHeldAtTaskEnd,  // LK-HELD-AT-END
+  kLockOrderCycle,     // LK-ORDER-CYCLE
+  kPrematureReclaim,   // GC-PREMATURE
+  kWawSameVersion,     // ST-WAW
+  kTaskPairing,        // ST-TASK-PAIRING
+  kReadNeverWritten,   // ST-READ-UNWRITTEN
+};
+
+const char* id(Invariant inv);
+
+struct Finding {
+  Severity severity = Severity::kError;
+  Invariant invariant = Invariant::kDeterminacyRace;
+  Cycles time = 0;
+  CoreId core = 0;
+  Addr addr = 0;
+  Ver version = 0;
+  TaskId task = 0;        ///< primary task (e.g. the racing writer)
+  TaskId other_task = 0;  ///< secondary task (e.g. the racing reader)
+  std::string detail;
+};
+
+/// One line: "[error] VC-RACE @cycle ...: detail".
+std::string to_string(const Finding& f);
+
+struct CheckerOptions {
+  /// Strict mode (--check=strict): warnings count as errors.
+  bool strict = false;
+  /// LOAD-LATEST windows remembered per address for the race detector.
+  std::size_t read_window = 64;
+  /// Findings kept verbatim; the rest are counted but dropped.
+  std::size_t max_findings = 256;
+};
+
+class Checker {
+ public:
+  explicit Checker(int num_cores, CheckerOptions opt = {});
+
+  /// Feed one trace event (any EventType; unknown types are ignored).
+  void on_event(const telemetry::TraceEvent& e);
+
+  /// End-of-run checks: locks still held, tasks begun but never ended.
+  /// Idempotent; call once after the machine finishes.
+  void finish();
+
+  /// Merge an externally produced finding (the static front end).
+  void add(Finding f);
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  /// All findings seen, including those dropped past max_findings.
+  std::uint64_t total_findings() const { return total_; }
+  std::uint64_t error_count() const { return errors_; }
+  std::uint64_t warning_count() const { return warnings_; }
+  /// No errors (strict mode: and no warnings).
+  bool clean() const { return errors_ == 0; }
+  const CheckerOptions& options() const { return opt_; }
+
+ private:
+  using Clock = std::uint64_t;
+  using VerKey = std::pair<Addr, Ver>;
+
+  /// Block lifecycle states mirrored from the manager's protocol.
+  enum class BState : std::uint8_t {
+    kFree,
+    kAlloc,    // off the free list, no version installed yet
+    kStored,   // carries a live version
+    kShadowed, // a newer version supersedes it
+    kPending,  // swept into an active GC phase
+  };
+
+  struct Window {
+    Ver got;      // version actually read
+    Ver cap;      // upper bound requested
+    CoreId core;  // reading core
+    Clock clock;  // reader core's clock at the read
+    TaskId task;  // reading task (0 when unknown)
+    Cycles time;
+  };
+
+  void report(Severity sev, Invariant inv, const telemetry::TraceEvent& e,
+              TaskId task, TaskId other, std::string detail);
+  void tick(CoreId core) { ++vc_[static_cast<std::size_t>(core)]
+                               [static_cast<std::size_t>(core)]; }
+  void join(CoreId core, const std::vector<Clock>& other);
+  TaskId cur_task(CoreId core) const {
+    return cur_task_[static_cast<std::size_t>(core)];
+  }
+  BState bstate(std::uint64_t block) const;
+  void set_bstate(std::uint64_t block, BState s);
+  /// True if adding edge a->b to the lock-order graph closes a cycle.
+  bool lock_edge_closes_cycle(Addr a, Addr b) const;
+
+  void on_isa_op(const telemetry::TraceEvent& e);
+  void on_version_read(const telemetry::TraceEvent& e);
+  void on_version_store(const telemetry::TraceEvent& e);
+  void on_lock_acquire(const telemetry::TraceEvent& e);
+  void on_lock_release(const telemetry::TraceEvent& e,
+                       bool flag_unheld);
+  void on_block_event(const telemetry::TraceEvent& e);
+
+  CheckerOptions opt_;
+  int num_cores_;
+
+  // Findings.
+  std::vector<Finding> findings_;
+  std::uint64_t total_ = 0, errors_ = 0, warnings_ = 0;
+  bool finished_ = false;
+
+  // Vector clocks, one per core, indexed by core.
+  std::vector<std::vector<Clock>> vc_;
+  // Current task per core, from TASK-BEGIN/TASK-END ISA events.
+  std::vector<TaskId> cur_task_;
+
+  // Race detector state.
+  std::map<VerKey, std::vector<Clock>> store_vc_;    // version -> writer VC
+  std::map<VerKey, std::vector<Clock>> release_vc_;  // lock -> releaser VC
+  std::map<Addr, std::deque<Window>> windows_;       // LOAD-LATEST windows
+
+  // Lock discipline.
+  std::map<VerKey, TaskId> lock_owner_;  // currently held locks
+  std::set<VerKey> ever_released_;       // distinguishes double unlock
+  std::map<Addr, std::set<Addr>> lock_edges_;  // held -> acquired order
+
+  // Lifecycle + GC safety.
+  std::vector<BState> bstate_;             // indexed by block
+  std::map<std::uint64_t, Ver> shadower_;  // block -> shadowing version
+  std::set<VerKey> reclaimed_;             // freed (addr, version) pairs
+  std::map<TaskId, int> live_tasks_;       // created/begun, not yet ended
+};
+
+/// Online front end: a trace sink owning a Checker. Attach to the
+/// manager's tracer (the runtime Env does this for check_mode != 0).
+class CheckerSink : public telemetry::TraceSink {
+ public:
+  explicit CheckerSink(int num_cores, CheckerOptions opt = {})
+      : telemetry::TraceSink(telemetry::kAllEvents),
+        checker_(num_cores, opt) {}
+
+  void on_event(const telemetry::TraceEvent& e) override {
+    checker_.on_event(e);
+  }
+
+  Checker& checker() { return checker_; }
+
+ private:
+  Checker checker_;
+};
+
+}  // namespace osim::analysis

@@ -1,0 +1,143 @@
+#include "analysis/static_check.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "core/isa.hpp"
+
+namespace osim::analysis {
+
+namespace {
+
+Finding make(Severity sev, Invariant inv, const VOp& op, std::size_t index,
+             std::string detail) {
+  Finding f;
+  f.severity = sev;
+  f.invariant = inv;
+  f.time = index;  // stream position, not cycles — the run never happened
+  f.addr = op.addr;
+  f.version = op.version;
+  f.task = op.task;
+  f.detail = std::move(detail);
+  return f;
+}
+
+}  // namespace
+
+std::vector<Finding> static_check(const std::vector<VOp>& ops,
+                                  const CheckerOptions& opt) {
+  std::vector<Finding> out;
+  auto report = [&](Severity sev, Invariant inv, const VOp& op,
+                    std::size_t i, std::string detail) {
+    if (out.size() < opt.max_findings) {
+      out.push_back(make(sev, inv, op, i, std::move(detail)));
+    }
+  };
+
+  using VerKey = std::pair<Addr, Ver>;
+  // Prepass: every version the stream ever creates, with the index of its
+  // first creation — distinguishes "never written" (deadlock) from
+  // "written later in the stream" (forward dependency, advisory).
+  std::map<VerKey, std::size_t> created_at;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const VOp& op = ops[i];
+    if (op.op == OpCode::kStoreVersion) {
+      created_at.emplace(VerKey{op.addr, op.version}, i);
+    } else if (op.op == OpCode::kUnlockVersion && op.rename_to) {
+      created_at.emplace(VerKey{op.addr, *op.rename_to}, i);
+    }
+  }
+
+  auto check_read = [&](const VOp& op, std::size_t i, Ver v) {
+    auto it = created_at.find({op.addr, v});
+    if (it == created_at.end()) {
+      report(Severity::kError, Invariant::kReadNeverWritten, op, i,
+             "reads version " + std::to_string(v) + " of addr " +
+                 std::to_string(op.addr) +
+                 " which no op in the stream creates (would block forever)");
+    } else if (it->second > i) {
+      report(Severity::kWarning, Invariant::kReadNeverWritten, op, i,
+             "reads version " + std::to_string(v) + " of addr " +
+                 std::to_string(op.addr) +
+                 " created only later in the stream (op " +
+                 std::to_string(it->second) + ")");
+    }
+  };
+
+  std::set<VerKey> written;      // versions created so far
+  std::map<TaskId, std::size_t> open_tasks;  // begun, not yet ended
+
+  auto check_create = [&](const VOp& op, std::size_t i, Ver v,
+                          const char* what) {
+    if (!written.insert({op.addr, v}).second) {
+      report(Severity::kError, Invariant::kWawSameVersion, op, i,
+             std::string(what) + " re-creates version " + std::to_string(v) +
+                 " of addr " + std::to_string(op.addr) +
+                 " (WAW without renaming; versions are immutable)");
+    }
+  };
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const VOp& op = ops[i];
+    switch (op.op) {
+      case OpCode::kStoreVersion:
+        check_create(op, i, op.version, "STORE-VERSION");
+        break;
+      case OpCode::kUnlockVersion:
+        if (op.rename_to) {
+          check_create(op, i, *op.rename_to, "UNLOCK-VERSION rename");
+        }
+        break;
+      case OpCode::kLoadVersion:
+      case OpCode::kLockLoadVersion:
+        check_read(op, i, op.version);
+        break;
+      case OpCode::kLoadLatest:
+      case OpCode::kLockLoadLatest: {
+        // Satisfiable iff some version <= cap is ever created at the addr.
+        bool any = false;
+        for (auto it = created_at.lower_bound({op.addr, 0});
+             it != created_at.end() && it->first.first == op.addr; ++it) {
+          if (it->first.second <= op.cap) {
+            any = true;
+            break;
+          }
+        }
+        if (!any) {
+          report(Severity::kError, Invariant::kReadNeverWritten, op, i,
+                 "LOAD-LATEST(cap=" + std::to_string(op.cap) + ") of addr " +
+                     std::to_string(op.addr) +
+                     " which never holds a version that old");
+        }
+        break;
+      }
+      case OpCode::kTaskBegin:
+        if (!open_tasks.emplace(op.task, i).second) {
+          report(Severity::kError, Invariant::kTaskPairing, op, i,
+                 "TASK-BEGIN for task " + std::to_string(op.task) +
+                     " which is already running");
+        }
+        break;
+      case OpCode::kTaskEnd:
+        if (open_tasks.erase(op.task) == 0) {
+          report(Severity::kError, Invariant::kTaskPairing, op, i,
+                 "TASK-END for task " + std::to_string(op.task) +
+                     " without a matching TASK-BEGIN");
+        }
+        break;
+    }
+  }
+  for (const auto& [t, i] : open_tasks) {
+    VOp end;
+    end.op = OpCode::kTaskEnd;
+    end.task = t;
+    report(Severity::kError, Invariant::kTaskPairing, end, i,
+           "TASK-BEGIN for task " + std::to_string(t) +
+               " is never matched by a TASK-END");
+  }
+  return out;
+}
+
+}  // namespace osim::analysis

@@ -1,0 +1,42 @@
+// osim-check: static front end of the protocol checker.
+//
+// Validates an abstract versioned op stream *before* execution: the ops a
+// workload intends to issue, in submission order (which is task-id order
+// for the tasked runner). Catches protocol bugs that would otherwise
+// surface as runtime faults or deadlocks mid-run:
+//   * WAW to the same version without renaming (versions are immutable;
+//     the second STORE-VERSION faults at runtime)
+//   * missing TASK-BEGIN / TASK-END pairing (breaks the GC's progress
+//     reports, so reclamation stalls or fences wrongly)
+//   * reads of versions no store in the stream ever creates (the load
+//     blocks forever: a structural deadlock)
+// Findings use the same record type as the online checker and merge into
+// the same per-run verdict.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/checker.hpp"
+#include "sim/types.hpp"
+
+namespace osim::analysis {
+
+/// One abstract versioned op. `version` is the exact version stored,
+/// loaded, or locked (the task id for TASK-BEGIN/END); `cap` is the bound
+/// of the *-LATEST forms; `rename_to` is UNLOCK-VERSION's optional new
+/// version.
+struct VOp {
+  OpCode op{};
+  Addr addr = 0;
+  Ver version = 0;
+  Ver cap = 0;
+  TaskId task = 0;
+  std::optional<Ver> rename_to;
+};
+
+/// Run the static pass over `ops`; returns findings (empty = clean).
+std::vector<Finding> static_check(const std::vector<VOp>& ops,
+                                  const CheckerOptions& opt = {});
+
+}  // namespace osim::analysis

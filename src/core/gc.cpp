@@ -57,6 +57,10 @@ bool GarbageCollector::start_phase() {
     VersionBlock& vb = pool_[s.block];
     if (vb.generation == s.generation && vb.state == BlockState::kShadowed) {
       vb.state = BlockState::kPending;
+      if (on_phase_) {
+        on_phase_(telemetry::EventType::kBlockPending, vb.slot, vb.version,
+                  s.block);
+      }
     }
     fence_ = std::max(fence_, s.shadower);
   }
@@ -64,7 +68,9 @@ bool GarbageCollector::start_phase() {
   phases_.inc();
   pending_batch_.observe(pending_.size());
   pending_blocks_.set(pending_.size());
-  if (on_phase_) on_phase_(telemetry::EventType::kGcPhaseBegin, fence_);
+  if (on_phase_) {
+    on_phase_(telemetry::EventType::kGcPhaseBegin, 0, 0, fence_);
+  }
   try_finalize();
   return true;
 }
@@ -91,7 +97,9 @@ void GarbageCollector::finalize() {
   }
   pending_.clear();
   pending_blocks_.set(0);
-  if (on_phase_) on_phase_(telemetry::EventType::kGcPhaseEnd, reclaimed);
+  if (on_phase_) {
+    on_phase_(telemetry::EventType::kGcPhaseEnd, 0, 0, reclaimed);
+  }
   // Future tasks must be too young to read anything reclaimed under this
   // fence. (Readers of a version shadowed by `fence_` have ids < fence_, so
   // the floor is fence_ - 1; keep it simple and monotone.)

@@ -37,11 +37,14 @@ class GarbageCollector {
   /// `reclaim` unlinks the block from its version list, scrubs compressed-
   /// line entries, and returns it to the pool's free list.
   using ReclaimFn = std::function<void(BlockIndex)>;
-  /// Phase-boundary notification (the collector has no machine reference;
-  /// the owner timestamps and forwards to its trace sinks). Receives
-  /// kGcPhaseBegin with the fence version, kGcPhaseEnd with the number of
-  /// blocks reclaimed.
-  using PhaseEventFn = std::function<void(telemetry::EventType, std::uint64_t)>;
+  /// Phase/lifecycle notification (the collector has no machine reference;
+  /// the owner timestamps, maps slots to addresses, and forwards to its
+  /// trace sinks). Receives kGcPhaseBegin with the fence version in `arg`,
+  /// kGcPhaseEnd with the number of blocks reclaimed in `arg`, and one
+  /// kBlockPending per block entering a phase with the block's owning slot,
+  /// its version, and the block index.
+  using PhaseEventFn = std::function<void(
+      telemetry::EventType, std::uint64_t /*slot*/, Ver, std::uint64_t /*arg*/)>;
 
   /// Registers the gc/* metrics in `reg` (which must outlive this object).
   GarbageCollector(BlockPool& pool, telemetry::MetricRegistry& reg,

@@ -13,8 +13,12 @@ OStructureManager::OStructureManager(Machine& m)
       cfg_(m.config().ostruct),
       pool_(cfg_.initial_pool_blocks),
       gc_(pool_, m.metrics(), [this](BlockIndex b) { reclaim(b); },
-          [this](telemetry::EventType t, std::uint64_t arg) {
-            emit_event(t, 0, 0, arg);
+          [this](telemetry::EventType t, std::uint64_t slot, Ver v,
+                 std::uint64_t arg) {
+            const OAddr a =
+                t == telemetry::EventType::kBlockPending ? ostruct_addr(slot)
+                                                         : 0;
+            emit_event(t, a, v, arg);
           }),
       comp_(static_cast<std::size_t>(m.config().num_cores)),
       core_counters_(static_cast<std::size_t>(m.config().num_cores)),
@@ -381,6 +385,14 @@ std::uint64_t OStructureManager::load_version(OAddr a, Ver v, OpFlags f) {
         find_exact(pool_, sm.root, v, effective_sorted(sm));
     if (fr.found() && pool_[fr.block].locked_by == kNoTask) {
       const std::uint64_t data = pool_[fr.block].data;
+      // Semantic point: the version is resolved here, before the charged
+      // lookup can yield to other cores, so cross-core event order matches
+      // the authoritative serialization.
+      if (tracer_.enabled()) {
+        tracer_.emit({m_.now(), m_.current_core(),
+                      telemetry::EventType::kVersionRead, OpCode::kLoadVersion,
+                      a, v, v});
+      }
       charge_lookup(slot, fr, LookupKind::kExact, v);
       return data;
     }
@@ -399,6 +411,11 @@ std::uint64_t OStructureManager::load_latest(OAddr a, Ver cap, Ver* found,
     if (fr.found() && pool_[fr.block].locked_by == kNoTask) {
       const std::uint64_t data = pool_[fr.block].data;
       const Ver got = pool_[fr.block].version;
+      if (tracer_.enabled()) {
+        tracer_.emit({m_.now(), m_.current_core(),
+                      telemetry::EventType::kVersionRead, OpCode::kLoadLatest,
+                      a, got, cap});
+      }
       charge_lookup(slot, fr, LookupKind::kLatest, cap);
       if (found != nullptr) *found = got;
       return data;
@@ -419,6 +436,15 @@ std::uint64_t OStructureManager::lock_load_version(OAddr a, Ver v,
       VersionBlock& vb = pool_[fr.block];
       vb.locked_by = locker;  // semantic effect, atomic at this timestamp
       const std::uint64_t data = vb.data;
+      // Emit at the semantic point: the charged lookup below yields, and a
+      // competing core's release/acquire must not appear out of order in
+      // the event stream.
+      if (tracer_.enabled()) {
+        tracer_.emit({m_.now(), m_.current_core(),
+                      telemetry::EventType::kVersionRead,
+                      OpCode::kLockLoadVersion, a, v, v});
+      }
+      emit_event(telemetry::EventType::kLockAcquire, a, v, locker);
       // Locking needs exclusive access to the block's line (paper Sec.
       // III-A "Locking a version"): the lookup's final transaction is a
       // read-for-ownership, and compressed copies elsewhere are discarded.
@@ -428,7 +454,6 @@ std::uint64_t OStructureManager::lock_load_version(OAddr a, Ver v,
         cl->set_lock(v, locker);
       }
       comp_remote_lock(slot, v, locker);
-      emit_event(telemetry::EventType::kLockAcquire, a, v, locker);
       return data;
     }
     stall(f, slot, attempt);
@@ -449,13 +474,18 @@ std::uint64_t OStructureManager::lock_load_latest(OAddr a, Ver cap,
       vb.locked_by = locker;
       const std::uint64_t data = vb.data;
       const Ver got = vb.version;
+      if (tracer_.enabled()) {
+        tracer_.emit({m_.now(), m_.current_core(),
+                      telemetry::EventType::kVersionRead,
+                      OpCode::kLockLoadLatest, a, got, cap});
+      }
+      emit_event(telemetry::EventType::kLockAcquire, a, got, locker);
       charge_lookup(slot, fr, LookupKind::kLatest, cap, AccessType::kWrite,
                     kNoTask);
       if (CompressedLine* cl = comp_line(m_.current_core(), slot)) {
         cl->set_lock(got, locker);
       }
       comp_remote_lock(slot, got, locker);
-      emit_event(telemetry::EventType::kLockAcquire, a, got, locker);
       if (found != nullptr) *found = got;
       return data;
     }
@@ -480,7 +510,10 @@ void OStructureManager::store_impl(std::uint64_t slot, Ver v,
     ir = list_insert(pool_, &sm.root, nb, cfg_.sorted_lists);
     if (!ir.order_kept) sm.order_broken = true;
   } catch (const OFault&) {
-    pool_.free(nb);  // duplicate version: return the block before faulting
+    // Duplicate version: return the block before faulting. addr 0 marks a
+    // bare recycle — no version was ever installed on it.
+    emit_event(telemetry::EventType::kBlockFreed, 0, 0, nb);
+    pool_.free(nb);
     blocks_allocated_.dec();
     throw;
   }
@@ -493,6 +526,17 @@ void OStructureManager::store_impl(std::uint64_t slot, Ver v,
   if (cfg_.sorted_lists && ir.pred != kNullBlock) {
     snap.has_newer = true;
     snap.newer_version = pool_[ir.pred].version;
+  }
+
+  // Emit at the semantic point — the insert is authoritative here, before
+  // the charged walk below can yield to other cores and interleave their
+  // events ahead of this store in the stream. The GC shadow *registration*
+  // stays at its original place after the charges (moving it would change
+  // which phase picks the block up, i.e. simulated timing).
+  emit_event(telemetry::EventType::kVersionStore, ostruct_addr(slot), v, nb);
+  if (ir.shadowed != kNullBlock) {
+    emit_event(telemetry::EventType::kBlockShadowed, ostruct_addr(slot),
+               ir.at_head ? v : snap.newer_version, ir.shadowed);
   }
 
   // Timing: walk to the insertion point (the list head address itself is a
@@ -516,16 +560,12 @@ void OStructureManager::store_impl(std::uint64_t slot, Ver v,
   m_.mem_access(std::max(na, pa), AccessType::kWrite);
   if (ir.at_head) m_.mem_access(root_addr(slot), AccessType::kWrite);
 
-  emit_event(telemetry::EventType::kVersionStore, ostruct_addr(slot), v, nb);
-
   // GC shadow registration. An insert at the head shadows the old head with
   // the new version; a mid-list insert is itself born shadowed by its
   // immediately-newer neighbour.
   if (ir.shadowed != kNullBlock) {
     const Ver shadower = ir.at_head ? v : snap.newer_version;
     stamp(block_shadowed_at_, ir.shadowed, m_.now());
-    emit_event(telemetry::EventType::kBlockShadowed, ostruct_addr(slot),
-               shadower, ir.shadowed);
     gc_.on_shadowed(ir.shadowed, shadower);
   }
 
@@ -575,12 +615,15 @@ void OStructureManager::unlock_version(OAddr a, Ver locked_v, TaskId owner,
 
   vb.locked_by = kNoTask;
   const std::uint64_t data = vb.data;
+  // Semantic point: the lock is released here; emit before the charged
+  // write below yields, or a competing core's re-acquire would appear
+  // before this release in the event stream.
+  emit_event(telemetry::EventType::kLockRelease, a, locked_v, owner);
   m_.mem_access(version_block_addr(fr.block), AccessType::kWrite);
   if (CompressedLine* cl = comp_line(m_.current_core(), slot)) {
     cl->set_lock(locked_v, kNoTask);
   }
   comp_remote_lock(slot, locked_v, kNoTask);
-  emit_event(telemetry::EventType::kLockRelease, a, locked_v, owner);
 
   if (rename_to.has_value()) {
     // Renaming: materialize the same value as a new, unlocked version.
@@ -590,7 +633,10 @@ void OStructureManager::unlock_version(OAddr a, Ver locked_v, TaskId owner,
   }
 }
 
-void OStructureManager::task_created(TaskId t) { gc_.task_created(t); }
+void OStructureManager::task_created(TaskId t) {
+  gc_.task_created(t);
+  emit_event(telemetry::EventType::kTaskCreated, 0, t, 0);
+}
 
 void OStructureManager::task_begin(TaskId t) {
   m_.sync_to_global_order();

@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <type_traits>
 #include <utility>
 
+#include "analysis/checker.hpp"
 #include "core/ostructure_manager.hpp"
 #include "runtime/arena.hpp"
 #include "sim/flat_map.hpp"
@@ -21,13 +23,28 @@ namespace osim {
 
 class Env {
  public:
-  explicit Env(const MachineConfig& cfg) : m_(cfg), osm_(m_) {}
+  explicit Env(const MachineConfig& cfg) : m_(cfg), osm_(m_) {
+    // Online protocol checking (osim-check): attach the checker as a trace
+    // sink so it validates the event stream as the run produces it. It
+    // charges no simulated cycles — checked runs stay bit-identical.
+    if (cfg.ostruct.check_mode != 0) {
+      analysis::CheckerOptions opt;
+      opt.strict = cfg.ostruct.check_mode >= 2;
+      auto sink =
+          std::make_unique<analysis::CheckerSink>(cfg.num_cores, opt);
+      checker_ = &sink->checker();
+      osm_.tracer().add_sink(std::move(sink));
+    }
+  }
 
   Env(const Env&) = delete;
   Env& operator=(const Env&) = delete;
 
   Machine& machine() { return m_; }
   OStructureManager& osm() { return osm_; }
+  /// The online protocol checker, when OStructConfig::check_mode enabled
+  /// one for this machine; nullptr otherwise.
+  analysis::Checker* checker() { return checker_; }
   /// Snapshot of the legacy aggregate view (built from the registry).
   MachineStats stats() const { return m_.stats(); }
   telemetry::MetricRegistry& metrics() { return m_.metrics(); }
@@ -107,6 +124,7 @@ class Env {
  private:
   Machine m_;
   OStructureManager osm_;
+  analysis::Checker* checker_ = nullptr;  // owned by the tracer's sink list
   FlatMap<Addr, Addr> line_map_;
   Addr next_line_ = 0;
   Arena arena_;  // last member: destroyed first, so arena-owned objects may

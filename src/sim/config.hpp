@@ -73,6 +73,11 @@ struct OStructConfig {
   /// (telemetry::FileSink; read back with tools/osim-report or
   /// telemetry::read_trace_file). Empty disables the file sink.
   std::string trace_path;
+  /// Online protocol checking (src/analysis): 0 = off, 1 = on, 2 = strict
+  /// (advisory findings become errors). When on, the runtime Env attaches
+  /// an analysis::CheckerSink to the manager's tracer; checking charges no
+  /// simulated cycles, so results stay bit-identical.
+  int check_mode = 0;
 };
 
 /// Whole-machine configuration (Table II defaults).

@@ -6,6 +6,25 @@
 #include <cstdlib>
 #include <exception>
 
+// AddressSanitizer tracks one stack per thread; switching onto a fiber's
+// heap-allocated stack without telling it makes any "noreturn" event there
+// (throwing an exception, longjmp) unpoison the wrong region and report
+// stack-use-after-scope from the sigaltstack interceptor — the documented
+// false positive in google/sanitizers#189. The fix is the fiber-switch
+// annotation API: announce the destination stack before each switch and
+// confirm arrival after. Compiled out entirely in non-ASan builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define OSIM_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define OSIM_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(OSIM_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 extern "C" {
 // Defined in fiber_switch.S.
 void osim_fiber_switch(void** save_sp, void* load_sp);
@@ -21,7 +40,9 @@ thread_local Fiber* g_current = nullptr;
 Fiber* Fiber::current() { return g_current; }
 
 Fiber::Fiber(Fn fn, std::size_t stack_bytes)
-    : stack_(new std::byte[stack_bytes]), fn_(std::move(fn)) {
+    : stack_(new std::byte[stack_bytes]),
+      stack_bytes_(stack_bytes),
+      fn_(std::move(fn)) {
   // Build the fake register frame that the first osim_fiber_switch will pop:
   // six callee-saved registers (r15,r14,r13,r12,rbx,rbp from low to high
   // addresses) followed by the return address (the trampoline). The saved
@@ -51,19 +72,47 @@ void Fiber::resume() {
   assert(g_current == nullptr && "resume() must be called from the scheduler");
   started_ = true;
   g_current = this;
+#if defined(OSIM_ASAN_FIBERS)
+  // `fake` lives in this frame, which stays alive while the fiber runs, so
+  // it doubles as the scheduler context's saved fake-stack handle.
+  void* fake = nullptr;
+  __sanitizer_start_switch_fiber(&fake, stack_.get(), stack_bytes_);
+#endif
   osim_fiber_switch(&caller_sp_, sp_);
+#if defined(OSIM_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
   g_current = nullptr;
 }
 
 void Fiber::yield() {
   assert(g_current == this && "yield() from outside the fiber");
+#if defined(OSIM_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(&asan_fake_stack_, asan_caller_bottom_,
+                                 asan_caller_size_);
+#endif
   osim_fiber_switch(&sp_, caller_sp_);
+#if defined(OSIM_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(asan_fake_stack_, &asan_caller_bottom_,
+                                  &asan_caller_size_);
+#endif
 }
 
 void fiber_entry_impl(Fiber* f) {
+#if defined(OSIM_ASAN_FIBERS)
+  // First arrival on this stack: no prior fake-stack handle to restore;
+  // record the resumer's bounds for the switches back in yield().
+  __sanitizer_finish_switch_fiber(nullptr, &f->asan_caller_bottom_,
+                                  &f->asan_caller_size_);
+#endif
   f->fn_();
   f->finished_ = true;
   // Final switch back to the resumer; this fiber is never resumed again.
+#if defined(OSIM_ASAN_FIBERS)
+  // Null handle: the fiber is exiting for good, so ASan frees its fake stack.
+  __sanitizer_start_switch_fiber(nullptr, f->asan_caller_bottom_,
+                                 f->asan_caller_size_);
+#endif
   osim_fiber_switch(&f->sp_, f->caller_sp_);
 }
 

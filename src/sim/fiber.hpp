@@ -55,9 +55,17 @@ class Fiber {
   void* sp_ = nullptr;         // fiber's saved stack pointer
   void* caller_sp_ = nullptr;  // resumer's saved stack pointer
   std::unique_ptr<std::byte[]> stack_;
+  std::size_t stack_bytes_ = 0;
   Fn fn_;
   bool finished_ = false;
   bool started_ = false;
+  // AddressSanitizer fiber-switch bookkeeping: ASan must be told the stack
+  // bounds around every switch or exception unwinds on the heap-allocated
+  // stack trip its "noreturn" stack unpoisoning (google/sanitizers#189).
+  // Unused (and never touched) in non-sanitized builds.
+  void* asan_fake_stack_ = nullptr;
+  const void* asan_caller_bottom_ = nullptr;
+  std::size_t asan_caller_size_ = 0;
 };
 
 }  // namespace osim

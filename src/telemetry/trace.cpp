@@ -1,6 +1,7 @@
 #include "telemetry/trace.hpp"
 
 #include <cassert>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -29,6 +30,12 @@ const char* to_string(EventType t) {
       return "GC-PHASE-END";
     case EventType::kOsTrap:
       return "OS-TRAP";
+    case EventType::kTaskCreated:
+      return "TASK-CREATED";
+    case EventType::kBlockPending:
+      return "BLOCK-PENDING";
+    case EventType::kVersionRead:
+      return "VERSION-READ";
   }
   assert(!"unknown EventType");
   return "?";
@@ -85,6 +92,14 @@ TraceEvent decode(const unsigned char* rec) {
 struct FileSink::Impl {
   std::FILE* f = nullptr;
   std::string path;
+  std::string error;
+  bool error_observed = false;  // flush() threw or returned clean
+
+  void fail(const char* what) {
+    if (!error.empty()) return;  // keep the first failure
+    error = std::string(what) + " failed for trace file " + path;
+    if (errno != 0) error += ": " + std::string(std::strerror(errno));
+  }
 };
 
 FileSink::FileSink(const std::string& path, EventMask mask)
@@ -98,20 +113,49 @@ FileSink::FileSink(const std::string& path, EventMask mask)
   put_u32(header + 0, kMagic);
   put_u32(header + 4, kFormatVersion);
   put_u32(header + 8, static_cast<std::uint32_t>(kRecordBytes));
-  std::fwrite(header, 1, sizeof header, impl_->f);
+  errno = 0;
+  if (std::fwrite(header, 1, sizeof header, impl_->f) != sizeof header) {
+    impl_->fail("header write");
+  }
 }
 
 FileSink::~FileSink() {
-  if (impl_->f != nullptr) std::fclose(impl_->f);
+  if (impl_->f != nullptr) {
+    errno = 0;
+    if (std::fflush(impl_->f) != 0) impl_->fail("flush");
+    std::fclose(impl_->f);
+  }
+  // A destructor must not throw; if nobody called flush() to observe the
+  // failure, at least leave a trail instead of dropping it on the floor.
+  if (!impl_->error.empty() && !impl_->error_observed) {
+    std::fprintf(stderr, "osim: trace sink error: %s\n", impl_->error.c_str());
+  }
 }
 
 void FileSink::on_event(const TraceEvent& e) {
+  if (!impl_->error.empty()) return;  // drop after first failure, keep cause
   unsigned char rec[kRecordBytes];
   encode(e, rec);
-  std::fwrite(rec, 1, sizeof rec, impl_->f);
+  errno = 0;
+  if (std::fwrite(rec, 1, sizeof rec, impl_->f) != sizeof rec) {
+    impl_->fail("record write");
+  }
 }
 
-void FileSink::flush() { std::fflush(impl_->f); }
+void FileSink::flush() {
+  if (impl_->error.empty()) {
+    errno = 0;
+    if (std::fflush(impl_->f) != 0) impl_->fail("flush");
+  }
+  impl_->error_observed = true;
+  if (!impl_->error.empty()) {
+    throw std::runtime_error(impl_->error);
+  }
+}
+
+bool FileSink::failed() const { return !impl_->error.empty(); }
+
+const std::string& FileSink::error() const { return impl_->error; }
 
 std::vector<TraceEvent> read_trace_file(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");

@@ -43,8 +43,11 @@ enum class EventType : std::uint8_t {
   kGcPhaseBegin = 7,   ///< collection phase started (arg = fence version)
   kGcPhaseEnd = 8,     ///< collection phase finalized (arg = blocks freed)
   kOsTrap = 9,         ///< free-list exhaustion trap (arg = blocks added)
+  kTaskCreated = 10,   ///< task registered with the GC (version = task id)
+  kBlockPending = 11,  ///< shadowed block entered a GC phase (arg = block)
+  kVersionRead = 12,   ///< version resolved by a load (op = which, arg = cap)
 };
-inline constexpr int kNumEventTypes = 10;
+inline constexpr int kNumEventTypes = 13;
 
 const char* to_string(EventType t);
 
@@ -137,6 +140,12 @@ class RingSink : public TraceSink {
 /// Binary trace file: a 16-byte header (magic, format version, record size)
 /// followed by fixed 40-byte little-endian records. Buffered; flushed on
 /// destruction.
+///
+/// I/O errors (unwritable path, full disk) do not vanish: the first failed
+/// write latches failed()/error(), further events are dropped, and flush()
+/// throws std::runtime_error so a traced run cannot silently produce a
+/// truncated file. The destructor never throws; it prints the latched error
+/// to stderr if flush() was never called.
 class FileSink : public TraceSink {
  public:
   explicit FileSink(const std::string& path, EventMask mask = kAllEvents);
@@ -144,6 +153,11 @@ class FileSink : public TraceSink {
 
   void on_event(const TraceEvent& e) override;
   void flush() override;
+
+  /// True once any write or flush on the underlying file has failed.
+  bool failed() const;
+  /// Human-readable description of the first failure ("" while healthy).
+  const std::string& error() const;
 
   static constexpr std::uint32_t kMagic = 0x4f54524bu;  // "KRTO"
   static constexpr std::uint32_t kFormatVersion = 1;

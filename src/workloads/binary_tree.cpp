@@ -6,6 +6,7 @@
 
 #include "runtime/pipeline.hpp"
 #include "runtime/rwlock.hpp"
+#include "workloads/opstream.hpp"
 #include "workloads/runner.hpp"
 
 namespace osim {
@@ -315,6 +316,7 @@ RunResult binary_tree_sequential(Env& env, const DsSpec& spec) {
 }
 
 RunResult binary_tree_versioned(Env& env, const DsSpec& spec, int cores) {
+  static_check_workload(env, spec);
   VTree* tree = env.make<VTree>(env);
   const auto ops = generate_ops(spec);
   auto results = std::make_shared<std::vector<std::uint64_t>>(ops.size());

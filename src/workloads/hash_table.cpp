@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "runtime/pipeline.hpp"
+#include "workloads/opstream.hpp"
 #include "workloads/runner.hpp"
 
 namespace osim {
@@ -231,6 +232,7 @@ RunResult hash_table_sequential(Env& env, const DsSpec& spec) {
 }
 
 RunResult hash_table_versioned(Env& env, const DsSpec& spec, int cores) {
+  static_check_workload(env, spec);
   VHash* table = env.make<VHash>(env, bucket_count(spec));
   const auto ops = generate_ops(spec);
   auto results = std::make_shared<std::vector<std::uint64_t>>(ops.size());

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "runtime/pipeline.hpp"
+#include "workloads/opstream.hpp"
 #include "workloads/runner.hpp"
 
 namespace osim {
@@ -292,6 +293,7 @@ RunResult linked_list_sequential(Env& env, const DsSpec& spec) {
 }
 
 RunResult linked_list_versioned(Env& env, const DsSpec& spec, int cores) {
+  static_check_workload(env, spec);
   VList* list = env.make<VList>(env);
   const auto ops = generate_ops(spec);
   auto results = std::make_shared<std::vector<std::uint64_t>>(ops.size());

@@ -1,0 +1,60 @@
+#include "workloads/opstream.hpp"
+
+#include "core/isa.hpp"
+#include "workloads/runner.hpp"
+
+namespace osim {
+
+namespace {
+/// Abstract address of the root ticket in the lowered stream. Static
+/// checking runs before allocation, so the address is symbolic.
+constexpr Addr kAbstractRoot = 1;
+}  // namespace
+
+std::vector<analysis::VOp> root_protocol_stream(const DsSpec& spec) {
+  const std::vector<Op> ops = generate_ops(spec);
+  const std::vector<Ver> prev = prev_mutator_versions(ops);
+  std::vector<analysis::VOp> stream;
+  stream.reserve(ops.size() * 4 + 1);
+
+  auto push = [&](OpCode op, Ver version, Ver cap, TaskId task,
+                  std::optional<Ver> rename_to = std::nullopt) {
+    analysis::VOp v;
+    v.op = op;
+    v.addr = kAbstractRoot;
+    v.version = version;
+    v.cap = cap;
+    v.task = task;
+    v.rename_to = rename_to;
+    stream.push_back(v);
+  };
+
+  // Unmeasured setup publishes the initial ticket.
+  push(OpCode::kStoreVersion, kSetupVersion, 0, 0);
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const TaskId t = kFirstTaskId + i;
+    const bool mutator =
+        ops[i].kind == OpKind::kInsert || ops[i].kind == OpKind::kDelete;
+    push(OpCode::kTaskBegin, t, 0, t);
+    if (mutator) {
+      push(OpCode::kLockLoadVersion, prev[i], 0, t);
+      push(OpCode::kUnlockVersion, prev[i], 0, t, Ver{t});
+    } else {
+      push(OpCode::kLoadVersion, prev[i], 0, t);
+    }
+    push(OpCode::kTaskEnd, t, 0, t);
+  }
+  return stream;
+}
+
+std::size_t static_check_workload(Env& env, const DsSpec& spec) {
+  analysis::Checker* checker = env.checker();
+  if (checker == nullptr) return 0;
+  std::vector<analysis::Finding> findings =
+      analysis::static_check(root_protocol_stream(spec), checker->options());
+  for (analysis::Finding& f : findings) checker->add(std::move(f));
+  return findings.size();
+}
+
+}  // namespace osim

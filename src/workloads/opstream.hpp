@@ -1,0 +1,32 @@
+// Abstract versioned op streams for the static checker (osim-check's
+// offline front end).
+//
+// The data-structure workloads all funnel through the same root-ticket
+// protocol (runtime/pipeline.hpp): mutator task t lock-loads the root at
+// the previous mutator's version and renames it to t; readers load the
+// previous mutator's version directly. root_protocol_stream() lowers a
+// DsSpec's generated op sequence to that abstract stream so
+// analysis::static_check can prove the pipeline is well-formed — every
+// ticket version is created exactly once, every read has a writer, every
+// task begins and ends — before any simulated cycle is spent.
+#pragma once
+
+#include <vector>
+
+#include "analysis/static_check.hpp"
+#include "runtime/env.hpp"
+#include "workloads/opgen.hpp"
+
+namespace osim {
+
+/// Lower `spec`'s op sequence to the root-ticket protocol stream, in
+/// submission (task-id) order. The root is an abstract address.
+std::vector<analysis::VOp> root_protocol_stream(const DsSpec& spec);
+
+/// Static front end hook for the DsSpec workloads: when `env` has checking
+/// enabled, run the static pass over the spec's stream and merge findings
+/// into the run's checker. Returns the number of findings (0 when checking
+/// is off or the stream is clean).
+std::size_t static_check_workload(Env& env, const DsSpec& spec);
+
+}  // namespace osim

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "runtime/pipeline.hpp"
+#include "workloads/opstream.hpp"
 #include "workloads/runner.hpp"
 
 namespace osim {
@@ -488,6 +489,7 @@ RunResult rb_tree_sequential(Env& env, const DsSpec& spec) {
 }
 
 RunResult rb_tree_versioned(Env& env, const DsSpec& spec, int cores) {
+  static_check_workload(env, spec);
   VRbTree* tree = env.make<VRbTree>(env);
   const auto ops = generate_ops(spec);
   auto results = std::make_shared<std::vector<std::uint64_t>>(ops.size());

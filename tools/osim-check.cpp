@@ -1,0 +1,141 @@
+// osim-check: offline protocol validation of binary event traces.
+//
+// Reads the trace files written by `bench_* --trace PATH` (or any
+// telemetry::FileSink stream) and replays them through the same invariant
+// engine the `--check` bench flag runs online (analysis::Checker): the
+// determinacy-race detector, the version-lifecycle state machine, lock
+// discipline, and GC reclamation safety. Findings print one per line;
+// the exit status is non-zero iff any error-severity finding fired
+// (`--strict` promotes warnings to errors).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/checker.hpp"
+#include "telemetry/trace.hpp"
+
+namespace {
+
+/// Expand `p` to {p} if it exists, else {p.0, p.1, ...} (the per-cell
+/// suffixes the bench driver writes).
+std::vector<std::string> expand_trace_arg(const std::string& p) {
+  std::vector<std::string> out;
+  if (std::ifstream(p).good()) {
+    out.push_back(p);
+    return out;
+  }
+  for (int i = 0;; ++i) {
+    const std::string candidate = p + "." + std::to_string(i);
+    if (!std::ifstream(candidate).good()) break;
+    out.push_back(candidate);
+  }
+  return out;
+}
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(
+      stderr,
+      "usage: osim-check [--strict] [--window N] [--max-findings N] "
+      "TRACE...\n"
+      "  Replays binary event traces (bench --trace output) through the\n"
+      "  O-structure protocol checker. Each TRACE expands to TRACE.0,\n"
+      "  TRACE.1, ... when the bare path does not exist.\n"
+      "  --strict          advisory findings also fail the run\n"
+      "  --window N        LOAD-LATEST race window depth (default 64)\n"
+      "  --max-findings N  stop recording after N findings (default 256)\n");
+  std::exit(code);
+}
+
+long parse_count(const char* argv0, const char* flag, const char* val) {
+  char* end = nullptr;
+  const long n = std::strtol(val, &end, 10);
+  if (end == val || *end != '\0' || n <= 0) {
+    std::fprintf(stderr, "%s: bad %s value '%s'\n", argv0, flag, val);
+    usage(2);
+  }
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  osim::analysis::CheckerOptions opt;
+  std::vector<std::string> trace_args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--strict") == 0) {
+      opt.strict = true;
+    } else if (std::strcmp(a, "--window") == 0) {
+      if (++i >= argc) usage(2);
+      opt.read_window =
+          static_cast<std::size_t>(parse_count(argv[0], a, argv[i]));
+    } else if (std::strcmp(a, "--max-findings") == 0) {
+      if (++i >= argc) usage(2);
+      opt.max_findings =
+          static_cast<std::size_t>(parse_count(argv[0], a, argv[i]));
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      usage(0);
+    } else if (a[0] == '-') {
+      std::fprintf(stderr, "osim-check: unknown flag '%s'\n", a);
+      usage(2);
+    } else {
+      trace_args.push_back(a);
+    }
+  }
+  if (trace_args.empty()) usage(2);
+
+  std::size_t traces = 0, total_errors = 0, total_warnings = 0;
+  bool io_error = false;
+  for (const std::string& arg : trace_args) {
+    const std::vector<std::string> files = expand_trace_arg(arg);
+    if (files.empty()) {
+      std::fprintf(stderr, "osim-check: no trace file at %s (or %s.0)\n",
+                   arg.c_str(), arg.c_str());
+      io_error = true;
+      continue;
+    }
+    for (const std::string& path : files) {
+      std::vector<osim::telemetry::TraceEvent> events;
+      try {
+        events = osim::telemetry::read_trace_file(path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "osim-check: %s\n", e.what());
+        io_error = true;
+        continue;
+      }
+      // One checker per trace: each cell is its own simulation, so state
+      // (clocks, lock tables, block lifecycles) must not leak across files.
+      // Core count isn't recorded in the stream; size the vector clocks to
+      // the highest core that appears.
+      int cores = 1;
+      for (const osim::telemetry::TraceEvent& e : events) {
+        if (static_cast<int>(e.core) + 1 > cores) {
+          cores = static_cast<int>(e.core) + 1;
+        }
+      }
+      osim::analysis::Checker checker(cores, opt);
+      for (const osim::telemetry::TraceEvent& e : events) {
+        checker.on_event(e);
+      }
+      checker.finish();
+      ++traces;
+      total_errors += static_cast<std::size_t>(checker.error_count());
+      total_warnings += static_cast<std::size_t>(checker.warning_count());
+      std::printf("%s: %zu events, %llu error(s), %llu warning(s)%s\n",
+                  path.c_str(), events.size(),
+                  static_cast<unsigned long long>(checker.error_count()),
+                  static_cast<unsigned long long>(checker.warning_count()),
+                  checker.total_findings() > checker.findings().size()
+                      ? " (findings capped)"
+                      : "");
+      for (const osim::analysis::Finding& f : checker.findings()) {
+        std::printf("  %s\n", osim::analysis::to_string(f).c_str());
+      }
+    }
+  }
+  std::printf("osim-check: %zu trace(s), %zu error(s), %zu warning(s)\n",
+              traces, total_errors, total_warnings);
+  return (total_errors > 0 || io_error) ? 1 : 0;
+}

@@ -39,6 +39,7 @@ struct Cell {
   std::uint64_t cycles = 0;
   std::uint64_t checksum = 0;
   const Json* metrics = nullptr;  ///< owned by the file's Json root
+  const Json* check = nullptr;    ///< osim-check verdict (--check runs only)
 };
 
 struct BenchRecord {
@@ -127,6 +128,7 @@ bool load_results(const std::string& path, ResultFile& out) {
       c.cycles = cy->as_u64();
       c.checksum = ck->as_u64();
       c.metrics = jc.find("metrics");
+      c.check = jc.find("check");
       b.cells.push_back(std::move(c));
     }
     out.benches.emplace_back(name, std::move(b));
@@ -172,6 +174,48 @@ std::vector<std::string> split(const std::string& s, char sep = '/') {
     }
   }
   return parts;
+}
+
+std::uint64_t check_u64(const Json* check, const char* key) {
+  if (check == nullptr) return 0;
+  const Json* v = check->find(key);
+  return v == nullptr ? 0 : v->as_u64();
+}
+
+/// Summarize the osim-check verdicts recorded by `--check` runs. Cells with
+/// errors fail validation and have their findings printed.
+void report_checks(const std::string& path, const std::string& bench,
+                   const BenchRecord& b) {
+  std::size_t checked = 0;
+  std::uint64_t errors = 0, warnings = 0;
+  for (const Cell& c : b.cells) {
+    if (c.check == nullptr) continue;
+    ++checked;
+    errors += check_u64(c.check, "errors");
+    warnings += check_u64(c.check, "warnings");
+  }
+  if (checked == 0) return;
+  std::printf("osim-check: %zu cell(s) checked, %llu error(s), "
+              "%llu warning(s)\n",
+              checked, static_cast<unsigned long long>(errors),
+              static_cast<unsigned long long>(warnings));
+  if (errors == 0) return;
+  fail(path + ": bench '" + bench + "' recorded osim-check violations");
+  for (const Cell& c : b.cells) {
+    if (check_u64(c.check, "errors") == 0) continue;
+    const Json* findings = c.check->find("findings");
+    if (findings == nullptr) continue;
+    for (const auto& [unused, f] : findings->items()) {
+      (void)unused;
+      const Json* sev = f.find("severity");
+      const Json* inv = f.find("invariant");
+      const Json* detail = f.find("detail");
+      std::printf("  [%s] %s %s: %s\n", c.name.c_str(),
+                  sev == nullptr ? "?" : sev->as_string().c_str(),
+                  inv == nullptr ? "?" : inv->as_string().c_str(),
+                  detail == nullptr ? "" : detail->as_string().c_str());
+    }
+  }
 }
 
 std::uint64_t metric_u64(const Cell& c, const std::string& key) {
@@ -641,6 +685,7 @@ int main(int argc, char** argv) {
       if (!rec.checks_passed) {
         fail(path + ": bench '" + name + "' recorded failed self-checks");
       }
+      report_checks(path, name, rec);
       const Formatter* f = nullptr;
       for (const Formatter& cand : kFormatters) {
         if (name == cand.bench) f = &cand;

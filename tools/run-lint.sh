@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# clang-tidy over the simulator sources using the repo's .clang-tidy
+# profile and the compile database from the default build directory.
+#
+# Degrades gracefully: toolchains without clang-tidy (the perf container
+# ships GCC only) skip with a notice and exit 0, so CI lanes can call this
+# unconditionally and only clang-equipped lanes enforce it.
+#
+# Usage: tools/run-lint.sh [BUILD_DIR] [JOBS]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+jobs="${2:-$(nproc)}"
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "run-lint: clang-tidy not installed; skipping (install LLVM to lint)"
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run-lint: generating compile database in $build_dir"
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+# Lint the first-party translation units; generated/third-party code and
+# the assembly shim are out of scope.
+mapfile -t sources < <(git ls-files 'src/**/*.cpp' 'bench/*.cpp' \
+                                    'tools/*.cpp')
+echo "run-lint: ${#sources[@]} files, -j$jobs"
+
+if command -v run-clang-tidy > /dev/null 2>&1; then
+  run-clang-tidy -p "$build_dir" -j "$jobs" -quiet "${sources[@]}"
+else
+  status=0
+  for f in "${sources[@]}"; do
+    clang-tidy -p "$build_dir" --quiet "$f" || status=1
+  done
+  exit "$status"
+fi

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Sanitizer CI gate: build and run the unit suite under ASan+UBSan, then
+# the host-threading tests under TSan. Any sanitizer report fails the
+# script (halt_on_error aborts the offending test, which fails ctest).
+#
+# The simulated cores are cooperative fibers on hand-rolled stack switches
+# (src/sim/fiber_switch.S); ASan and UBSan handle that fine, but TSan's
+# shadow state does not follow custom context switches, so the TSan leg
+# runs only the genuinely multi-threaded host-side tests (the experiment
+# driver's thread pool).
+#
+# Usage: tools/run-sanitizers.sh [JOBS]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${1:-$(nproc)}"
+
+# Sanitizer runtime knobs: abort on the first report rather than printing
+# and carrying on, so CI can't go green past a finding.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:abort_on_error=0"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export TSAN_OPTIONS="halt_on_error=1"
+
+echo "== ASan+UBSan: full unit suite =="
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$jobs"
+# Unit tests only: the bench_smoke label re-runs whole benches, which is
+# redundant coverage at sanitizer speed.
+ctest --test-dir build-asan-ubsan --output-on-failure -j "$jobs" \
+  -LE bench_smoke
+
+echo
+echo "== TSan: host thread pool =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$jobs" --target test_host_pool
+# Run the binary directly: only this target is built, so ctest's
+# discovered test lists for the rest of the tree don't exist here.
+./build-tsan/tests/test_host_pool
+
+echo
+echo "sanitizer gate: PASS"
