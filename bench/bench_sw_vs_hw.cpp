@@ -117,6 +117,12 @@ int main(int argc, char** argv) {
   using namespace osim;
   using namespace osim::bench;
   const Options opt = Options::parse(argc, argv);
+  if (opt.backend != BackendKind::kTimed) {
+    std::fprintf(stderr,
+                 "sw_vs_hw: this figure is about simulated per-op cost; "
+                 "only --backend=timed makes sense here\n");
+    return 2;
+  }
   const int ops = opt.scale.ops(2000);
   Driver driver("sw_vs_hw", opt);
 

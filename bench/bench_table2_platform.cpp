@@ -103,6 +103,12 @@ int main(int argc, char** argv) {
   using namespace osim;
   using namespace osim::bench;
   const Options opt = Options::parse(argc, argv);
+  if (opt.backend != BackendKind::kTimed) {
+    std::fprintf(stderr,
+                 "table2_platform: latency probes drive the simulated "
+                 "memory hierarchy; only --backend=timed makes sense here\n");
+    return 2;
+  }
   Driver driver("table2_platform", opt);
 
   const MachineConfig c = make_config(32);

@@ -47,12 +47,17 @@ struct Options {
   /// results stay bit-identical; findings land in the JSON and fail the
   /// bench's exit code.
   int check_mode = 0;
+  /// Execution backend for every cell. The timed backend reports simulated
+  /// cycles; the functional backend reports logical op counts at host
+  /// speed. Benches whose figures are *about* simulated time reject
+  /// kFunctional after parsing.
+  BackendKind backend = BackendKind::kTimed;
 
   [[noreturn]] static void usage(const char* argv0, int exit_code) {
     std::fprintf(
         stderr,
         "usage: %s [--quick | --full] [--threads N] [--json PATH] "
-        "[--trace PATH] [--check[=strict]]\n"
+        "[--trace PATH] [--check[=strict]] [--backend=timed|functional]\n"
         "  --quick      smoke-test scale (0.25x ops)\n"
         "  --full       paper-sized runs (4x ops)\n"
         "  --threads N  run experiment cells on N host threads\n"
@@ -65,7 +70,10 @@ struct Options {
         "  --check      validate the O-structure protocol online\n"
         "               (osim-check); findings fail the run and are\n"
         "               recorded in the JSON\n"
-        "  --check=strict  as --check, but advisory findings also fail\n",
+        "  --check=strict  as --check, but advisory findings also fail\n"
+        "  --backend=timed       cycle-accurate simulation (default)\n"
+        "  --backend=functional  host-speed semantic execution; cells\n"
+        "               report logical op counts instead of cycles\n",
         argv0);
     std::exit(exit_code);
   }
@@ -106,6 +114,16 @@ struct Options {
         o.check_mode = 1;
       } else if (std::strcmp(a, "--check=strict") == 0) {
         o.check_mode = 2;
+      } else if (std::strcmp(a, "--backend=timed") == 0) {
+        o.backend = BackendKind::kTimed;
+      } else if (std::strcmp(a, "--backend=functional") == 0) {
+        o.backend = BackendKind::kFunctional;
+      } else if (std::strncmp(a, "--backend", 9) == 0) {
+        std::fprintf(stderr,
+                     "%s: bad backend '%s' (use --backend=timed or "
+                     "--backend=functional)\n",
+                     argv[0], a);
+        usage(argv[0], 2);
       } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
         usage(argv[0], 0);
       } else {
@@ -126,20 +144,27 @@ inline thread_local std::string g_cell_trace_path;
 /// osim-check mode for the cell running on this host thread (see
 /// Options::check_mode); driver-set like g_cell_trace_path.
 inline thread_local int g_cell_check_mode = 0;
+/// Execution backend for the cell running on this host thread (see
+/// Options::backend); driver-set like g_cell_trace_path. Benches that mix
+/// backends inside one run (bench_backend_throughput) override it on the
+/// config after make_config.
+inline thread_local BackendKind g_cell_backend = BackendKind::kTimed;
 }  // namespace detail
 
 inline MachineConfig make_config(int cores) {
   MachineConfig c;
   c.num_cores = cores;
+  c.backend = detail::g_cell_backend;
   c.ostruct.trace_path = detail::g_cell_trace_path;
   c.ostruct.check_mode = detail::g_cell_check_mode;
   return c;
 }
 
-/// Re-stamp the cell trace path and check mode onto a config that was
-/// built *outside* the cell (make_config only sees the thread-locals while
-/// the cell runs).
+/// Re-stamp the cell trace path, check mode and backend onto a config that
+/// was built *outside* the cell (make_config only sees the thread-locals
+/// while the cell runs).
 inline MachineConfig with_cell_trace(MachineConfig c) {
+  c.backend = detail::g_cell_backend;
   c.ostruct.trace_path = detail::g_cell_trace_path;
   c.ostruct.check_mode = detail::g_cell_check_mode;
   return c;

@@ -103,16 +103,18 @@ void Driver::run_all() {
     std::string trace = opt_.trace_path.empty()
                             ? std::string()
                             : opt_.trace_path + "." + std::to_string(i);
-    jobs.push_back([&cell, trace = std::move(trace),
-                    check = opt_.check_mode] {
+    jobs.push_back([&cell, trace = std::move(trace), check = opt_.check_mode,
+                    backend = opt_.backend] {
       detail::g_cell_trace_path = trace;
       detail::g_cell_check_mode = check;
+      detail::g_cell_backend = backend;
       const auto t0 = std::chrono::steady_clock::now();
       cell.result = cell.fn();
       cell.result.wall_seconds = seconds_since(t0);
       cell.done = true;
       detail::g_cell_trace_path.clear();
       detail::g_cell_check_mode = 0;
+      detail::g_cell_backend = BackendKind::kTimed;
     });
   }
   if (jobs.empty()) return;
@@ -217,6 +219,9 @@ int Driver::finish() {
     for (const Cell& c : cells_) {
       Json jc = Json::object();
       jc["name"] = Json::string(c.name);
+      jc["backend"] = Json::string(c.result.backend.empty()
+                                       ? to_string(opt_.backend)
+                                       : c.result.backend);
       jc["cycles"] = Json::number(static_cast<std::uint64_t>(c.result.cycles));
       jc["checksum"] = Json::number(c.result.checksum);
       jc["wall_seconds"] = Json::number(c.result.wall_seconds);

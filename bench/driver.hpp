@@ -32,6 +32,10 @@ struct CellResult {
   Cycles cycles = 0;
   std::uint64_t checksum = 0;
   double wall_seconds = 0.0;  ///< host time for this cell (driver-filled)
+  /// Backend that produced this cell ("timed" / "functional"); cell_result
+  /// records the cell Env's own backend, so mixed-backend benches label
+  /// each cell correctly. Empty = fall back to the bench-wide --backend.
+  std::string backend;
   /// Registry snapshot for the cell's machine (counters by "component/name",
   /// per-core vectors, histograms); lands in the JSON cell record.
   Json metrics;
@@ -60,6 +64,7 @@ inline CellResult cell_result(Env& env, Cycles cycles,
   CellResult r;
   r.cycles = cycles;
   r.checksum = checksum;
+  r.backend = to_string(env.config().backend);
   r.metrics = metrics_json(env.metrics());
   harvest_check(env, r);
   return r;

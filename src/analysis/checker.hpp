@@ -38,7 +38,7 @@
 #include <utility>
 #include <vector>
 
-#include "sim/types.hpp"
+#include "core/types.hpp"
 #include "telemetry/trace.hpp"
 
 namespace osim::analysis {

@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "analysis/checker.hpp"
-#include "sim/types.hpp"
+#include "core/types.hpp"
 
 namespace osim::analysis {
 

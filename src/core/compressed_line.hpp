@@ -22,7 +22,7 @@
 #include <cstdint>
 #include <optional>
 
-#include "sim/types.hpp"
+#include "core/types.hpp"
 
 namespace osim {
 

@@ -28,6 +28,10 @@ enum class FaultKind {
   /// Task runtime violated GC rule #3 (spawned a task older than the oldest
   /// active task) or ended a task that never began.
   kTaskOrderViolation,
+  /// A versioned op would block, on a backend that cannot block (the
+  /// functional backend executes in creation order, where a blocking op
+  /// means the schedule itself can never make progress).
+  kWouldBlock,
 };
 
 /// String name of a fault kind (stable; used in fault messages and tests).
@@ -67,6 +71,8 @@ inline const char* to_string(FaultKind k) {
       return "invalid O-structure address";
     case FaultKind::kTaskOrderViolation:
       return "task ordering rule violation";
+    case FaultKind::kWouldBlock:
+      return "versioned op would block in-order execution";
   }
   return "unknown fault";
 }

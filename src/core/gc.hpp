@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "core/version_block.hpp"
-#include "sim/types.hpp"
+#include "core/types.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 

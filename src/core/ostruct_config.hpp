@@ -1,0 +1,67 @@
+// O-structure subsystem parameters (paper Sec. III). Lives in core/ so the
+// semantic engine (core/version_store.hpp) can be configured without pulling
+// in the simulator; sim/config.hpp embeds it into MachineConfig.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace osim {
+
+struct OStructConfig {
+  /// Initial number of version blocks carved into the free list.
+  std::size_t initial_pool_blocks = 1 << 20;
+  /// Blocks added per OS trap when the free list is exhausted (paper: the
+  /// runtime "simply allocates more memory, carves it up into version
+  /// blocks, and adds them to the free-list").
+  std::size_t trap_grow_blocks = 1 << 16;
+  /// GC phase auto-trigger: start a collection when free blocks drop below
+  /// this watermark (paper Sec. III-B "Operation").
+  std::size_t gc_watermark = 1 << 12;
+  /// Fixed latency injected into every versioned operation, on top of the
+  /// modelled cache latencies. 0 in the baseline; swept 2..10 for Fig. 10.
+  Cycles injected_latency = 0;
+  /// Cost charged to the core whose allocation triggers a GC phase
+  /// transition (the collector itself runs in background hardware).
+  Cycles gc_trigger_latency = 10;
+  /// Cycles to deliver a wakeup to a core stalled on a versioned access.
+  Cycles wake_latency = 8;
+  /// Cost of the OS trap taken when the free list is exhausted (the runtime
+  /// allocates memory, carves version blocks, fixes the page table).
+  Cycles os_trap_latency = 2000;
+  /// Whether the version block list is kept sorted (paper Sec. IV-F compares
+  /// against a no-sorting configuration; sorted is the architected default).
+  bool sorted_lists = true;
+
+  // ---- Ablation / future-work switches -------------------------------
+
+  /// Compressed version blocks in L1 (paper Sec. III-A). Disabling forces
+  /// every versioned access down the full-lookup path.
+  bool enable_compression = true;
+  /// Cache-pollution avoidance: blocks passed over during a version-list
+  /// walk are not installed in L1 (paper Sec. III-A). Disabling installs
+  /// every walked block.
+  bool pollution_avoidance = true;
+  /// Future work evaluated (paper Sec. III-A: "sophisticated approaches
+  /// that modify compressed version blocks in situ"): instead of discarding
+  /// remote compressed lines on a mutation, patch them in place through the
+  /// extended coherence message.
+  bool inplace_comp_update = false;
+
+  /// Keep the last N versioned operations in an architectural trace ring
+  /// (telemetry::RingSink, masked to ISA-op events). 0 disables the ring.
+  std::size_t trace_capacity = 0;
+  /// Stream the full version-lifecycle event trace to this binary file
+  /// (telemetry::FileSink; read back with tools/osim-report or
+  /// telemetry::read_trace_file). Empty disables the file sink.
+  std::string trace_path;
+  /// Online protocol checking (src/analysis): 0 = off, 1 = on, 2 = strict
+  /// (advisory findings become errors). When on, the runtime Env attaches
+  /// an analysis::CheckerSink to the manager's tracer; checking charges no
+  /// simulated cycles, so results stay bit-identical.
+  int check_mode = 0;
+};
+
+}  // namespace osim

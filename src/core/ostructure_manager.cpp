@@ -1,233 +1,58 @@
 #include "core/ostructure_manager.hpp"
 
-#include <cassert>
-#include <memory>
-#include <string>
-
-#include "core/fault.hpp"
+#include <algorithm>
 
 namespace osim {
 
-OStructureManager::OStructureManager(Machine& m)
+MachineTimingModel::MachineTimingModel(Machine& m)
     : m_(m),
       cfg_(m.config().ostruct),
-      pool_(cfg_.initial_pool_blocks),
-      gc_(pool_, m.metrics(), [this](BlockIndex b) { reclaim(b); },
-          [this](telemetry::EventType t, std::uint64_t slot, Ver v,
-                 std::uint64_t arg) {
-            const OAddr a =
-                t == telemetry::EventType::kBlockPending ? ostruct_addr(slot)
-                                                         : 0;
-            emit_event(t, a, v, arg);
-          }),
-      comp_(static_cast<std::size_t>(m.config().num_cores)),
-      core_counters_(static_cast<std::size_t>(m.config().num_cores)),
-      blocks_allocated_(
-          m.metrics().counter(telemetry::Component::kOsm,
-                              "blocks_allocated")),
-      blocks_freed_(
-          m.metrics().counter(telemetry::Component::kOsm, "blocks_freed")),
-      os_traps_(m.metrics().counter(telemetry::Component::kOsm, "os_traps")),
-      compressed_installs_(
-          m.metrics().counter(telemetry::Component::kOsm,
-                              "compressed_installs")),
-      compressed_discards_(
-          m.metrics().counter(telemetry::Component::kOsm,
-                              "compressed_discards")),
-      compress_overflows_(
-          m.metrics().counter(telemetry::Component::kOsm,
-                              "compress_overflows")),
-      walk_length_(m.metrics().histogram(telemetry::Component::kOsm,
-                                         "walk_length",
-                                         {1, 2, 4, 8, 16, 32, 64})),
-      version_lifetime_(m.metrics().histogram(
-          telemetry::Component::kOsm, "version_lifetime_cycles",
-          {64, 256, 1024, 4096, 16384, 65536, 262144, 1048576})),
-      reclaim_lag_(m.metrics().histogram(
-          telemetry::Component::kGc, "reclaim_lag_cycles",
-          {64, 256, 1024, 4096, 16384, 65536, 262144, 1048576})),
-      ring_(cfg_.trace_capacity,
-            telemetry::event_bit(telemetry::EventType::kIsaOp)) {
-  static_assert(sizeof(PerCoreCounters) == 8 * sizeof(std::uint64_t),
-                "stride below assumes a dense all-uint64 struct");
-  constexpr std::size_t kStride =
-      sizeof(PerCoreCounters) / sizeof(std::uint64_t);
-  auto& reg = m.metrics();
-  const PerCoreCounters* base = core_counters_.data();
-  reg.counter_vec_external(telemetry::Component::kOsm, "versioned_ops",
-                           &base->versioned_ops, kStride);
-  reg.counter_vec_external(telemetry::Component::kOsm, "root_loads",
-                           &base->root_loads, kStride);
-  reg.counter_vec_external(telemetry::Component::kOsm, "root_stalls",
-                           &base->root_stalls, kStride);
-  reg.counter_vec_external(telemetry::Component::kOsm, "direct_hits",
-                           &base->direct_hits, kStride);
-  reg.counter_vec_external(telemetry::Component::kOsm, "full_lookups",
-                           &base->full_lookups, kStride);
-  reg.counter_vec_external(telemetry::Component::kOsm, "walk_blocks",
-                           &base->walk_blocks, kStride);
-  reg.counter_vec_external(telemetry::Component::kOsm, "stalls",
-                           &base->stalls, kStride);
-  reg.counter_vec_external(telemetry::Component::kOsm, "tasks_executed",
-                           &base->tasks_executed, kStride);
-  if (ring_.enabled()) tracer_.attach(&ring_);
-  if (!cfg_.trace_path.empty()) {
-    tracer_.add_sink(std::make_unique<telemetry::FileSink>(cfg_.trace_path));
-  }
+      comp_(static_cast<std::size_t>(m.config().num_cores)) {}
+
+void MachineTimingModel::bind(VersionStore* store) {
+  store_ = store;
   m_.memsys().set_line_drop_observer([this](CoreId core, Addr line) {
     if (is_compressed_addr(line)) {
       auto& map = comp_[static_cast<std::size_t>(core)];
       if (map.erase(slot_of_compressed(line)) > 0) {
-        compressed_discards_.inc();
+        store_->compressed_discards_counter().inc();
       }
     }
   });
 }
 
-// ---------------------------------------------------------------------------
-// Allocation
-
-OAddr OStructureManager::alloc(std::size_t slots) {
-  if (slots == 0) throw OFault(FaultKind::kInvalidAddress, "zero-slot alloc");
-  auto& freed = slot_free_[static_cast<std::uint64_t>(slots)];
-  std::uint64_t base;
-  if (!freed.empty()) {
-    base = freed.back();
-    freed.pop_back();
-  } else {
-    base = slots_.size();
-    slots_.resize(slots_.size() + slots);
-  }
-  for (std::uint64_t s = base; s < base + slots; ++s) {
-    SlotMeta& sm = slots_[s];
-    assert(!sm.allocated && sm.root == kNullBlock);
-    sm.allocated = true;
-  }
-  return ostruct_addr(base);
+void MachineTimingModel::wake_slot(std::uint64_t slot) {
+  // Host-context callers (release() from teardown code) have no fiber to
+  // account the wakeup against; with no simulated core running there is no
+  // one to wake either.
+  if (Fiber::current() == nullptr) return;
+  m_.wake_all(wl(slot), cfg_.wake_latency);
 }
 
-void OStructureManager::release(OAddr base, std::size_t slots) {
-  const std::uint64_t first = slot_of(base);
-  for (std::uint64_t s = first; s < first + slots; ++s) {
-    SlotMeta& sm = slots_[s];
-    // Discard every version of the slot.
-    BlockIndex b = sm.root;
-    while (b != kNullBlock) {
-      const BlockIndex next = pool_[b].next;
-      emit_event(telemetry::EventType::kBlockFreed, ostruct_addr(s),
-                 pool_[b].version, b);
-      pool_.free(b);
-      blocks_freed_.inc();
-      b = next;
-    }
-    sm.root = kNullBlock;
-    sm.allocated = false;
-    sm.order_broken = false;
-    sm.nversions = 0;
-    for (auto& per_core : comp_) per_core.erase(s);
-    // Anyone still parked here violated the release precondition; wake them
-    // so they fault with a clear diagnostic instead of deadlocking.
-    if (!sm.waiters.empty() && Fiber::current() != nullptr) {
-      m_.wake_all(sm.waiters, cfg_.wake_latency);
-    }
-  }
-  slot_free_[static_cast<std::uint64_t>(slots)].push_back(first);
-}
-
-std::uint64_t OStructureManager::slot_of(OAddr a) const {
-  if (a < kOStructBase || (a - kOStructBase) % 8 != 0) {
-    throw OFault(FaultKind::kVersionedAccessToUnversionedPage,
-                 "address " + std::to_string(a) +
-                     " is outside the versioned region");
-  }
-  const std::uint64_t slot = (a - kOStructBase) / 8;
-  if (slot >= slots_.size() || !slots_[slot].allocated) {
-    throw OFault(FaultKind::kVersionedAccessToUnversionedPage,
-                 "slot " + std::to_string(slot) + " is not allocated");
-  }
-  return slot;
-}
-
-bool OStructureManager::is_versioned_addr(Addr a) const {
-  if (a < kOStructBase || (a - kOStructBase) % 8 != 0) return false;
-  const std::uint64_t slot = (a - kOStructBase) / 8;
-  return slot < slots_.size() && slots_[slot].allocated;
-}
-
-void OStructureManager::check_conventional(Addr a) const {
-  if (is_versioned_addr(a)) {
-    throw OFault(FaultKind::kConventionalAccessToVersionedPage,
-                 "slot " + std::to_string((a - kOStructBase) / 8));
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Timing helpers
-
-void OStructureManager::emit_event_slow(telemetry::EventType type, OAddr addr,
-                                        Ver version, std::uint64_t arg) {
-  telemetry::TraceEvent e;
-  // Host-context emissions (release() from teardown code) carry time 0.
-  if (Fiber::current() != nullptr) {
-    e.time = m_.now();
-    e.core = m_.current_core();
-  }
-  e.type = type;
-  e.addr = addr;
-  e.version = version;
-  e.arg = arg;
-  tracer_.emit(e);
-}
-
-void OStructureManager::begin_attempt(const OpFlags& f, int attempt,
-                                       OpCode op, OAddr a, Ver v) {
-  m_.sync_to_global_order();
-  if (attempt == 0) {
-    const CoreId core = m_.current_core();
-    PerCoreCounters& pc = core_counters_[static_cast<std::size_t>(core)];
-    pc.versioned_ops++;
-    if (f.root) pc.root_loads++;
-    if (tracer_.enabled()) {
-      tracer_.emit({m_.now(), core, telemetry::EventType::kIsaOp, op, a, v,
-                    0});
-    }
-  }
-  if (cfg_.injected_latency != 0) m_.advance(cfg_.injected_latency);
-}
-
-void OStructureManager::stall(const OpFlags& f, std::uint64_t slot,
-                              int attempt) {
-  if (attempt == 0) {
-    const CoreId core = m_.current_core();
-    PerCoreCounters& pc = core_counters_[static_cast<std::size_t>(core)];
-    pc.stalls++;
-    if (f.root) pc.root_stalls++;
-  }
-  m_.block_on(slots_[slot].waiters);
-}
-
-CompressedLine* OStructureManager::comp_line(CoreId core, std::uint64_t slot) {
+CompressedLine* MachineTimingModel::comp_line(CoreId core,
+                                              std::uint64_t slot) {
   if (!m_.memsys().line_in_l1(core, compressed_addr(slot))) return nullptr;
   return comp_[static_cast<std::size_t>(core)].find(slot);
 }
 
-void OStructureManager::comp_install(std::uint64_t slot,
-                                     const CompressedLine::Entry& e) {
+void MachineTimingModel::comp_install(std::uint64_t slot,
+                                      const CompressedLine::Entry& e) {
   if (!cfg_.enable_compression) return;
   const CoreId core = m_.current_core();
   CompressedLine& cl = comp_[static_cast<std::size_t>(core)][slot];
   const std::uint64_t rejected_before = cl.range_rejections();
   if (cl.install(e)) {
-    compressed_installs_.inc();
+    store_->compressed_installs_counter().inc();
   } else {
-    compress_overflows_.inc(cl.range_rejections() - rejected_before);
+    store_->compress_overflows_counter().inc(cl.range_rejections() -
+                                             rejected_before);
   }
   // Materialize the line in the L1 tag array (hardware builds it locally).
   m_.memsys().install_line(core, compressed_addr(slot), /*dirty=*/true);
 }
 
-void OStructureManager::comp_remote_insert(std::uint64_t slot, Ver v,
-                                           bool at_head) {
+void MachineTimingModel::comp_remote_insert(std::uint64_t slot, Ver v,
+                                            bool at_head) {
   // Remote caches either discard their compressed line for this O-structure
   // when they observe the coherence message (paper: "the simplest course of
   // action is to discard the compressed version block") or — the paper's
@@ -246,8 +71,8 @@ void OStructureManager::comp_remote_insert(std::uint64_t slot, Ver v,
   }
 }
 
-void OStructureManager::comp_remote_lock(std::uint64_t slot, Ver v,
-                                         TaskId locker) {
+void MachineTimingModel::comp_remote_lock(std::uint64_t slot, Ver v,
+                                          TaskId locker) {
   const CoreId me = m_.current_core();
   if (!cfg_.inplace_comp_update) {
     m_.memsys().invalidate_others(me, compressed_addr(slot));
@@ -259,17 +84,21 @@ void OStructureManager::comp_remote_lock(std::uint64_t slot, Ver v,
   }
 }
 
-void OStructureManager::charge_lookup(std::uint64_t slot, const FindResult& fr,
-                                      LookupKind kind, Ver key,
-                                      AccessType final_access,
-                                      std::optional<TaskId> probe_locked_by) {
+void MachineTimingModel::lookup_done(std::uint64_t slot, const FindResult& fr,
+                                     bool exact, Ver key, bool exclusive,
+                                     std::optional<TaskId> probe_locked_by) {
   const CoreId core = m_.current_core();
+  const AccessType final_access =
+      exclusive ? AccessType::kWrite : AccessType::kRead;
 
   // Snapshot the block's fields now: the charged walk below yields, and the
-  // block could be reclaimed or mutated before the walk completes.
+  // block could be reclaimed or mutated before the walk completes. Lock
+  // operations apply their semantic effect before charging, so the snapshot
+  // already carries the new lock while `probe_locked_by` holds the pre-lock
+  // state a resident compressed entry would still show.
   CompressedLine::Entry snap;
   {
-    const VersionBlock& vb = pool_[fr.block];
+    const VersionBlock& vb = store_->pool()[fr.block];
     snap.version = vb.version;
     snap.locked_by = vb.locked_by;
     snap.data = vb.data;
@@ -280,12 +109,11 @@ void OStructureManager::charge_lookup(std::uint64_t slot, const FindResult& fr,
 
   if (cfg_.enable_compression) {
     if (CompressedLine* cl = comp_line(core, slot)) {
-      const auto e = kind == LookupKind::kExact ? cl->find_exact(key)
-                                                : cl->find_latest(key);
+      const auto e = exact ? cl->find_exact(key) : cl->find_latest(key);
       const TaskId want = probe_locked_by.value_or(snap.locked_by);
       if (e && e->version == snap.version && e->locked_by == want) {
         // Direct access: a single L1 probe of the compressed line.
-        core_counters_[static_cast<std::size_t>(core)].direct_hits++;
+        store_->counters(core).direct_hits++;
         m_.mem_access(compressed_addr(slot), final_access);
         return;
       }
@@ -297,17 +125,18 @@ void OStructureManager::charge_lookup(std::uint64_t slot, const FindResult& fr,
   // access — then the version block list is walked. Blocks passed over are
   // read without polluting the L1; the requested block is installed
   // normally and its compressed entry is (re)built.
-  PerCoreCounters& pc = core_counters_[static_cast<std::size_t>(core)];
+  VersionStore::PerCoreCounters& pc = store_->counters(core);
   pc.full_lookups++;
   pc.walk_blocks += static_cast<std::uint64_t>(fr.blocks_walked);
-  walk_length_.observe(static_cast<std::uint64_t>(fr.blocks_walked));
+  store_->walk_length_hist().observe(
+      static_cast<std::uint64_t>(fr.blocks_walked));
   AccessOptions nofill;
   nofill.fill_l1 = !cfg_.pollution_avoidance;
   // Re-walk the current list for addresses; the list may have changed since
   // the semantic decision, so bound the walk by both count and list end.
   int remaining = fr.blocks_walked - 1;
-  for (BlockIndex b = slots_[slot].root; b != kNullBlock && remaining > 0;
-       b = pool_[b].next, --remaining) {
+  for (BlockIndex b = store_->root_of(slot); b != kNullBlock && remaining > 0;
+       b = store_->pool()[b].next, --remaining) {
     m_.mem_access(version_block_addr(b), AccessType::kRead, nofill);
   }
   // Compressed/uncompressed choice (paper Sec. III-A): packing into a
@@ -315,243 +144,46 @@ void OStructureManager::charge_lookup(std::uint64_t slot, const FindResult& fr,
   // 64-byte line carries 8 of them); a single-version slot is denser as a
   // plain block line (4 blocks per line). The L1 keeps exactly one resident
   // form per lookup: the compressed line, or the uncompressed block line.
-  const bool compress =
-      cfg_.enable_compression && slots_[slot].nversions > 1;
+  const bool compress = cfg_.enable_compression && store_->nversions(slot) > 1;
   AccessOptions final_opts;
   final_opts.fill_l1 = !compress;
   m_.mem_access(version_block_addr(fr.block), final_access, final_opts);
   if (compress) comp_install(slot, snap);
 }
 
-// ---------------------------------------------------------------------------
-// Block allocation and GC plumbing
-
-BlockIndex OStructureManager::alloc_block() {
-  // Pop from this core's bank of the hardware free list (one exclusive
-  // access to the bank head; banks are per-core, paper Fig. 2).
-  m_.mem_access(free_list_addr(m_.current_core()), AccessType::kWrite);
-  BlockIndex b = pool_.alloc();
-  if (b == kNullBlock) {
-    // Free list exhausted: give the GC a chance, then trap to the OS.
-    if (gc_.start_phase()) m_.advance(cfg_.gc_trigger_latency);
-    b = pool_.alloc();
-    if (b == kNullBlock) {
-      pool_.grow(cfg_.trap_grow_blocks);
-      os_traps_.inc();
-      emit_event(telemetry::EventType::kOsTrap, 0, 0, cfg_.trap_grow_blocks);
-      m_.advance(cfg_.os_trap_latency);
-      b = pool_.alloc();
-      assert(b != kNullBlock);
-    }
+void MachineTimingModel::lock_applied(std::uint64_t slot, Ver v,
+                                      TaskId locker) {
+  if (CompressedLine* cl = comp_line(m_.current_core(), slot)) {
+    cl->set_lock(v, locker);
   }
-  blocks_allocated_.inc();
-  stamp(block_born_, b, m_.now());
-  emit_event(telemetry::EventType::kBlockAlloc, 0, 0, b);
-  if (pool_.free_count() < cfg_.gc_watermark && gc_.start_phase()) {
-    m_.advance(cfg_.gc_trigger_latency);
-  }
-  return b;
+  comp_remote_lock(slot, v, locker);
 }
 
-void OStructureManager::reclaim(BlockIndex b) {
-  VersionBlock& vb = pool_[b];
-  SlotMeta& sm = slots_[vb.slot];
-  sm.nversions--;
-  list_unlink(pool_, &sm.root, b);
-  for (auto& per_core : comp_) {
-    if (CompressedLine* cl = per_core.find(vb.slot)) cl->erase(vb.version);
+void MachineTimingModel::unlock_applied(std::uint64_t slot, BlockIndex b,
+                                        Ver v) {
+  m_.mem_access(version_block_addr(b), AccessType::kWrite);
+  if (CompressedLine* cl = comp_line(m_.current_core(), slot)) {
+    cl->set_lock(v, kNoTask);
   }
-  // Reclamation always happens inside a fiber (GC phases are driven by
-  // versioned ops and TASK-END), so the clock is valid for the lifetime
-  // and lag distributions.
-  const Cycles now = m_.now();
-  version_lifetime_.observe(now - stamp_of(block_born_, b));
-  reclaim_lag_.observe(now - stamp_of(block_shadowed_at_, b));
-  emit_event(telemetry::EventType::kBlockFreed, ostruct_addr(vb.slot),
-             vb.version, b);
-  pool_.free(b);
-  blocks_freed_.inc();
+  comp_remote_lock(slot, v, kNoTask);
 }
 
-// ---------------------------------------------------------------------------
-// The versioned ISA
-
-std::uint64_t OStructureManager::load_version(OAddr a, Ver v, OpFlags f) {
-  for (int attempt = 0;; ++attempt) {
-    begin_attempt(f, attempt, OpCode::kLoadVersion, a, v);
-    const std::uint64_t slot = slot_of(a);
-    SlotMeta& sm = slots_[slot];
-    const FindResult fr =
-        find_exact(pool_, sm.root, v, effective_sorted(sm));
-    if (fr.found() && pool_[fr.block].locked_by == kNoTask) {
-      const std::uint64_t data = pool_[fr.block].data;
-      // Semantic point: the version is resolved here, before the charged
-      // lookup can yield to other cores, so cross-core event order matches
-      // the authoritative serialization.
-      if (tracer_.enabled()) {
-        tracer_.emit({m_.now(), m_.current_core(),
-                      telemetry::EventType::kVersionRead, OpCode::kLoadVersion,
-                      a, v, v});
-      }
-      charge_lookup(slot, fr, LookupKind::kExact, v);
-      return data;
-    }
-    stall(f, slot, attempt);
-  }
-}
-
-std::uint64_t OStructureManager::load_latest(OAddr a, Ver cap, Ver* found,
-                                             OpFlags f) {
-  for (int attempt = 0;; ++attempt) {
-    begin_attempt(f, attempt, OpCode::kLoadLatest, a, cap);
-    const std::uint64_t slot = slot_of(a);
-    SlotMeta& sm = slots_[slot];
-    const FindResult fr =
-        find_latest(pool_, sm.root, cap, effective_sorted(sm));
-    if (fr.found() && pool_[fr.block].locked_by == kNoTask) {
-      const std::uint64_t data = pool_[fr.block].data;
-      const Ver got = pool_[fr.block].version;
-      if (tracer_.enabled()) {
-        tracer_.emit({m_.now(), m_.current_core(),
-                      telemetry::EventType::kVersionRead, OpCode::kLoadLatest,
-                      a, got, cap});
-      }
-      charge_lookup(slot, fr, LookupKind::kLatest, cap);
-      if (found != nullptr) *found = got;
-      return data;
-    }
-    stall(f, slot, attempt);
-  }
-}
-
-std::uint64_t OStructureManager::lock_load_version(OAddr a, Ver v,
-                                                   TaskId locker, OpFlags f) {
-  for (int attempt = 0;; ++attempt) {
-    begin_attempt(f, attempt, OpCode::kLockLoadVersion, a, v);
-    const std::uint64_t slot = slot_of(a);
-    SlotMeta& sm = slots_[slot];
-    const FindResult fr =
-        find_exact(pool_, sm.root, v, effective_sorted(sm));
-    if (fr.found() && pool_[fr.block].locked_by == kNoTask) {
-      VersionBlock& vb = pool_[fr.block];
-      vb.locked_by = locker;  // semantic effect, atomic at this timestamp
-      const std::uint64_t data = vb.data;
-      // Emit at the semantic point: the charged lookup below yields, and a
-      // competing core's release/acquire must not appear out of order in
-      // the event stream.
-      if (tracer_.enabled()) {
-        tracer_.emit({m_.now(), m_.current_core(),
-                      telemetry::EventType::kVersionRead,
-                      OpCode::kLockLoadVersion, a, v, v});
-      }
-      emit_event(telemetry::EventType::kLockAcquire, a, v, locker);
-      // Locking needs exclusive access to the block's line (paper Sec.
-      // III-A "Locking a version"): the lookup's final transaction is a
-      // read-for-ownership, and compressed copies elsewhere are discarded.
-      charge_lookup(slot, fr, LookupKind::kExact, v, AccessType::kWrite,
-                    kNoTask);
-      if (CompressedLine* cl = comp_line(m_.current_core(), slot)) {
-        cl->set_lock(v, locker);
-      }
-      comp_remote_lock(slot, v, locker);
-      return data;
-    }
-    stall(f, slot, attempt);
-  }
-}
-
-std::uint64_t OStructureManager::lock_load_latest(OAddr a, Ver cap,
-                                                  TaskId locker, Ver* found,
-                                                  OpFlags f) {
-  for (int attempt = 0;; ++attempt) {
-    begin_attempt(f, attempt, OpCode::kLockLoadLatest, a, cap);
-    const std::uint64_t slot = slot_of(a);
-    SlotMeta& sm = slots_[slot];
-    const FindResult fr =
-        find_latest(pool_, sm.root, cap, effective_sorted(sm));
-    if (fr.found() && pool_[fr.block].locked_by == kNoTask) {
-      VersionBlock& vb = pool_[fr.block];
-      vb.locked_by = locker;
-      const std::uint64_t data = vb.data;
-      const Ver got = vb.version;
-      if (tracer_.enabled()) {
-        tracer_.emit({m_.now(), m_.current_core(),
-                      telemetry::EventType::kVersionRead,
-                      OpCode::kLockLoadLatest, a, got, cap});
-      }
-      emit_event(telemetry::EventType::kLockAcquire, a, got, locker);
-      charge_lookup(slot, fr, LookupKind::kLatest, cap, AccessType::kWrite,
-                    kNoTask);
-      if (CompressedLine* cl = comp_line(m_.current_core(), slot)) {
-        cl->set_lock(got, locker);
-      }
-      comp_remote_lock(slot, got, locker);
-      if (found != nullptr) *found = got;
-      return data;
-    }
-    stall(f, slot, attempt);
-  }
-}
-
-void OStructureManager::store_impl(std::uint64_t slot, Ver v,
-                                   std::uint64_t data) {
-  // alloc_block() charges memory accesses and may yield to other cores,
-  // which can allocate slots and reallocate slots_: SlotMeta references
-  // must only be taken afterwards.
-  const BlockIndex nb = alloc_block();
-  VersionBlock& vb = pool_[nb];
-  vb.version = v;
-  vb.data = data;
-  vb.slot = slot;
-
-  SlotMeta& sm = slots_[slot];
-  InsertResult ir;
-  try {
-    ir = list_insert(pool_, &sm.root, nb, cfg_.sorted_lists);
-    if (!ir.order_kept) sm.order_broken = true;
-  } catch (const OFault&) {
-    // Duplicate version: return the block before faulting. addr 0 marks a
-    // bare recycle — no version was ever installed on it.
-    emit_event(telemetry::EventType::kBlockFreed, 0, 0, nb);
-    pool_.free(nb);
-    blocks_allocated_.dec();
-    throw;
-  }
-  // Snapshot everything the compressed-line update needs before any charged
-  // access can yield to other cores.
-  CompressedLine::Entry snap;
-  snap.version = v;
-  snap.data = data;
-  snap.is_head = ir.at_head;
-  if (cfg_.sorted_lists && ir.pred != kNullBlock) {
-    snap.has_newer = true;
-    snap.newer_version = pool_[ir.pred].version;
-  }
-
-  // Emit at the semantic point — the insert is authoritative here, before
-  // the charged walk below can yield to other cores and interleave their
-  // events ahead of this store in the stream. The GC shadow *registration*
-  // stays at its original place after the charges (moving it would change
-  // which phase picks the block up, i.e. simulated timing).
-  emit_event(telemetry::EventType::kVersionStore, ostruct_addr(slot), v, nb);
-  if (ir.shadowed != kNullBlock) {
-    emit_event(telemetry::EventType::kBlockShadowed, ostruct_addr(slot),
-               ir.at_head ? v : snap.newer_version, ir.shadowed);
-  }
-
-  // Timing: walk to the insertion point (the list head address itself is a
+void MachineTimingModel::store_charged(std::uint64_t slot,
+                                       const InsertResult& ir,
+                                       BlockIndex nb) {
+  // Walk to the insertion point (the list head address itself is a
   // TLB-cached page-table translation) and the two exclusive line
   // acquisitions of the insertion protocol (new block + predecessor,
-  // lowest-address first per the paper's deadlock-avoidance order).
+  // lowest-address first per the paper's deadlock-avoidance order). The new
+  // block is already linked, so the walk skips it.
   AccessOptions nofill;
   nofill.fill_l1 = false;
-  // Note: `sm` must not be used past this point — slots_ may reallocate
-  // while charged accesses yield to other cores; re-fetch via slots_[slot].
   int remaining = ir.blocks_walked;
-  for (BlockIndex b = slots_[slot].root; b != kNullBlock && remaining > 0;
-       b = pool_[b].next, --remaining) {
-    if (b != nb) m_.mem_access(version_block_addr(b), AccessType::kRead,
-                               nofill);
+  for (BlockIndex b = store_->root_of(slot); b != kNullBlock && remaining > 0;
+       b = store_->pool()[b].next, --remaining) {
+    if (b != nb) {
+      m_.mem_access(version_block_addr(b), AccessType::kRead, nofill);
+    }
   }
   const Addr na = version_block_addr(nb);
   const Addr pa =
@@ -559,143 +191,35 @@ void OStructureManager::store_impl(std::uint64_t slot, Ver v,
   m_.mem_access(std::min(na, pa), AccessType::kWrite);
   m_.mem_access(std::max(na, pa), AccessType::kWrite);
   if (ir.at_head) m_.mem_access(root_addr(slot), AccessType::kWrite);
+}
 
-  // GC shadow registration. An insert at the head shadows the old head with
-  // the new version; a mid-list insert is itself born shadowed by its
-  // immediately-newer neighbour.
-  if (ir.shadowed != kNullBlock) {
-    const Ver shadower = ir.at_head ? v : snap.newer_version;
-    stamp(block_shadowed_at_, ir.shadowed, m_.now());
-    gc_.on_shadowed(ir.shadowed, shadower);
-  }
-
+void MachineTimingModel::store_installed(std::uint64_t slot,
+                                         const CompressedLine::Entry& snap) {
   // Compressed-line maintenance: patch the local line's adjacency, install
   // the new version, and make remote caches discard their copies.
-  slots_[slot].nversions++;
   const CoreId core = m_.current_core();
   if (CompressedLine* cl = comp_line(core, slot)) {
-    cl->on_insert(v, ir.at_head);
+    cl->on_insert(snap.version, snap.is_head);
   }
-  if (slots_[slot].nversions > 1) comp_install(slot, snap);
-  comp_remote_insert(slot, v, ir.at_head);
-
-  // A new version may satisfy parked LOAD/LOCK attempts.
-  m_.wake_all(slots_[slot].waiters, cfg_.wake_latency);
+  if (store_->nversions(slot) > 1) comp_install(slot, snap);
+  comp_remote_insert(slot, snap.version, snap.is_head);
 }
 
-void OStructureManager::store_version(OAddr a, Ver v, std::uint64_t data,
-                                      OpFlags f) {
-  begin_attempt(f, 0, OpCode::kStoreVersion, a, v);
-  store_impl(slot_of(a), v, data);
+void MachineTimingModel::block_reclaimed(BlockIndex b, std::uint64_t slot,
+                                         Ver v) {
+  for (auto& per_core : comp_) {
+    if (CompressedLine* cl = per_core.find(slot)) cl->erase(v);
+  }
+  // Reclamation always happens inside a fiber (GC phases are driven by
+  // versioned ops and TASK-END), so the clock is valid for the lifetime
+  // and lag distributions.
+  const Cycles now = m_.now();
+  store_->version_lifetime_hist().observe(now - stamp_of(block_born_, b));
+  store_->reclaim_lag_hist().observe(now - stamp_of(block_shadowed_at_, b));
 }
 
-void OStructureManager::unlock_version(OAddr a, Ver locked_v, TaskId owner,
-                                       std::optional<Ver> rename_to,
-                                       OpFlags f) {
-  begin_attempt(f, 0, OpCode::kUnlockVersion, a, locked_v);
-  const std::uint64_t slot = slot_of(a);
-  SlotMeta& sm = slots_[slot];
-  const FindResult fr =
-      find_exact(pool_, sm.root, locked_v, effective_sorted(sm));
-  if (!fr.found()) {
-    throw OFault(FaultKind::kNotLockOwner,
-                 "unlock of nonexistent version " + std::to_string(locked_v));
-  }
-  VersionBlock& vb = pool_[fr.block];
-  if (vb.locked_by != owner) {
-    throw OFault(FaultKind::kNotLockOwner,
-                 "version " + std::to_string(locked_v) + " locked by " +
-                     std::to_string(vb.locked_by) + ", unlock by " +
-                     std::to_string(owner));
-  }
-  if (rename_to.has_value() &&
-      find_exact(pool_, sm.root, *rename_to, effective_sorted(sm)).found()) {
-    throw OFault(FaultKind::kRenameTargetExists, std::to_string(*rename_to));
-  }
-
-  vb.locked_by = kNoTask;
-  const std::uint64_t data = vb.data;
-  // Semantic point: the lock is released here; emit before the charged
-  // write below yields, or a competing core's re-acquire would appear
-  // before this release in the event stream.
-  emit_event(telemetry::EventType::kLockRelease, a, locked_v, owner);
-  m_.mem_access(version_block_addr(fr.block), AccessType::kWrite);
-  if (CompressedLine* cl = comp_line(m_.current_core(), slot)) {
-    cl->set_lock(locked_v, kNoTask);
-  }
-  comp_remote_lock(slot, locked_v, kNoTask);
-
-  if (rename_to.has_value()) {
-    // Renaming: materialize the same value as a new, unlocked version.
-    store_impl(slot, *rename_to, data);
-  } else {
-    m_.wake_all(slots_[slot].waiters, cfg_.wake_latency);
-  }
-}
-
-void OStructureManager::task_created(TaskId t) {
-  gc_.task_created(t);
-  emit_event(telemetry::EventType::kTaskCreated, 0, t, 0);
-}
-
-void OStructureManager::task_begin(TaskId t) {
-  m_.sync_to_global_order();
-  m_.exec(1);  // the TASK-BEGIN instruction itself
-  if (tracer_.enabled()) {
-    tracer_.emit({m_.now(), m_.current_core(), telemetry::EventType::kIsaOp,
-                  OpCode::kTaskBegin, 0, t, 0});
-  }
-  gc_.task_begin(t);
-}
-
-void OStructureManager::task_end(TaskId t) {
-  m_.sync_to_global_order();
-  m_.exec(1);
-  if (tracer_.enabled()) {
-    tracer_.emit({m_.now(), m_.current_core(), telemetry::EventType::kIsaOp,
-                  OpCode::kTaskEnd, 0, t, 0});
-  }
-  gc_.task_end(t);
-  core_counters_[static_cast<std::size_t>(m_.current_core())]
-      .tasks_executed++;
-}
-
-// ---------------------------------------------------------------------------
-// Host-side inspection
-
-std::optional<std::uint64_t> OStructureManager::peek_version(OAddr a,
-                                                             Ver v) const {
-  const std::uint64_t slot = slot_of(a);
-  const FindResult fr =
-      find_exact(pool_, slots_[slot].root, v, effective_sorted(slots_[slot]));
-  if (!fr.found()) return std::nullopt;
-  return pool_[fr.block].data;
-}
-
-std::optional<Ver> OStructureManager::newest_version(OAddr a) const {
-  const std::uint64_t slot = slot_of(a);
-  BlockIndex b = slots_[slot].root;
-  if (b == kNullBlock) return std::nullopt;
-  if (effective_sorted(slots_[slot])) return pool_[b].version;
-  Ver best = pool_[b].version;
-  for (; b != kNullBlock; b = pool_[b].next) {
-    best = std::max(best, pool_[b].version);
-  }
-  return best;
-}
-
-std::optional<TaskId> OStructureManager::lock_holder(OAddr a, Ver v) const {
-  const std::uint64_t slot = slot_of(a);
-  const FindResult fr =
-      find_exact(pool_, slots_[slot].root, v, effective_sorted(slots_[slot]));
-  if (!fr.found()) return std::nullopt;
-  const TaskId l = pool_[fr.block].locked_by;
-  return l == kNoTask ? std::nullopt : std::optional<TaskId>(l);
-}
-
-int OStructureManager::version_count(OAddr a) const {
-  const std::uint64_t slot = slot_of(a);
-  return list_length(pool_, slots_[slot].root);
+void MachineTimingModel::slot_released(std::uint64_t slot) {
+  for (auto& per_core : comp_) per_core.erase(slot);
 }
 
 }  // namespace osim

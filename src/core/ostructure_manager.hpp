@@ -1,25 +1,27 @@
-// The O-structure Memory Version Manager (paper Sec. III, Fig. 2).
+// The cycle-accurate (timed) backend of the O-structure Memory Version
+// Manager (paper Sec. III, Fig. 2).
 //
-// This is the architectural contribution: it implements the versioned
-// instruction set (LOAD-VERSION, LOAD-LATEST, STORE-VERSION,
-// LOCK-LOAD-VERSION, LOCK-LOAD-LATEST, UNLOCK-VERSION, TASK-BEGIN,
-// TASK-END) on top of the simulated cache hierarchy.
+// The *semantics* of the versioned instruction set live in
+// core/version_store.hpp; this header supplies the machine model they run
+// against:
 //
-// Semantics vs. timing. Every operation's *semantic* effect (which version
-// is read, which block is locked, where an insert lands) is decided and
-// applied atomically at the operation's start timestamp, against the
-// authoritative version lists in the block pool. *Timing* is then charged
-// through the memory hierarchy: a direct access costs one L1 probe of the
-// slot's compressed line; a full lookup costs the root-pointer access plus
-// one access per version block walked, with only the final block installed
-// in L1 (the paper's pollution avoidance). Because operations serialize at
-// timestamps, the paper's two-cache-line exclusive-acquisition/retry
-// protocol for inserts can never actually race here; its cost (two
-// exclusive line acquisitions) is still charged.
+//   * MachineTimingModel — the TimingModel that turns each reported semantic
+//     effect into simulated cache-hierarchy traffic, fiber scheduling and
+//     wait lists, per-core compressed version lines, and block lifetime
+//     stamps. A direct access costs one L1 probe of the slot's compressed
+//     line; a full lookup costs the root-pointer access plus one access per
+//     version block walked, with only the final block installed in L1 (the
+//     paper's pollution avoidance). Because operations serialize at
+//     timestamps, the paper's two-cache-line exclusive-acquisition/retry
+//     protocol for inserts can never actually race here; its cost (two
+//     exclusive line acquisitions) is still charged.
+//
+//   * OStructureManager — the backend itself: a VersionStore wired to a
+//     MachineTimingModel, presenting the historical single-object API.
 //
 // Blocking semantics (a load of an uncreated version, a load/lock of a
-// locked version) park the core on the slot's wait list; every store or
-// unlock to the slot wakes the waiters, which re-evaluate.
+// locked version) park the core's fiber on the slot's wait list; every store
+// or unlock to the slot wakes the waiters, which re-evaluate.
 #pragma once
 
 #include <cstdint>
@@ -27,150 +29,63 @@
 #include <vector>
 
 #include "core/compressed_line.hpp"
-#include "core/isa.hpp"
-#include "core/gc.hpp"
-#include "core/version_block.hpp"
-#include "core/version_list.hpp"
-#include "sim/address_map.hpp"
-#include "sim/flat_map.hpp"
+#include "core/timing_model.hpp"
+#include "core/version_store.hpp"
 #include "sim/machine.hpp"
 
 namespace osim {
 
-/// User-visible address of an O-structure slot (8-byte granularity inside
-/// the versioned region).
-using OAddr = Addr;
-
-struct OpFlags {
-  /// Workload-level "root of the data structure" access; feeds the
-  /// root-stall statistics of Sec. IV-D.
-  bool root = false;
-};
-
-class OStructureManager {
+/// Charges VersionStore's semantic effects against a simulated Machine.
+/// Owns the purely-timing state the engine deliberately does not know about:
+/// per-core compressed lines, per-slot wait lists, block lifetime stamps.
+class MachineTimingModel final : public TimingModel {
  public:
-  /// The manager registers itself as the machine's L1 drop observer (for
-  /// compressed-line coherence); create at most one per machine.
-  explicit OStructureManager(Machine& m);
+  explicit MachineTimingModel(Machine& m);
 
-  // ---- O-structure allocation (the OS/runtime interface) ----
+  /// Attach the engine this model charges for. Registers the model as the
+  /// machine's L1 drop observer (compressed-line coherence); call exactly
+  /// once, before any operation runs.
+  void bind(VersionStore* store);
 
-  /// Allocate `slots` contiguous O-structure slots; their pages get the
-  /// versioned bit. Returns the address of the first slot.
-  OAddr alloc(std::size_t slots = 1);
+  // ---- TimingModel ----
+  bool in_op_context() const override { return Fiber::current() != nullptr; }
+  Cycles now() const override { return m_.now(); }
+  CoreId core() const override { return m_.current_core(); }
 
-  /// Convert the slots back to conventional memory. All their versions are
-  /// discarded. The caller must guarantee no unfinished task touches them
-  /// (paper Sec. III-C); parked waiters are woken and will fault.
-  void release(OAddr base, std::size_t slots = 1);
+  void op_serialize() override { m_.sync_to_global_order(); }
+  void op_overhead() override { m_.advance(cfg_.injected_latency); }
+  void task_instr() override { m_.exec(1); }
 
-  // ---- The versioned ISA (call only from a core fiber) ----
+  void wait_on_slot(std::uint64_t slot) override { m_.block_on(wl(slot)); }
+  void wake_slot(std::uint64_t slot) override;
 
-  /// LOAD-VERSION: value of exactly version `v`; blocks until it exists and
-  /// is unlocked (locks on *other* versions are ignored).
-  std::uint64_t load_version(OAddr a, Ver v, OpFlags f = {});
+  void lookup_done(std::uint64_t slot, const FindResult& fr, bool exact,
+                   Ver key, bool exclusive,
+                   std::optional<TaskId> probe_locked_by) override;
+  void lock_applied(std::uint64_t slot, Ver v, TaskId locker) override;
+  void unlock_applied(std::uint64_t slot, BlockIndex b, Ver v) override;
 
-  /// LOAD-LATEST: value of the highest version <= `cap`; blocks while no
-  /// such version exists or the candidate is locked. The version actually
-  /// read is reported through `found` if non-null.
-  std::uint64_t load_latest(OAddr a, Ver cap, Ver* found = nullptr,
-                            OpFlags f = {});
-
-  /// STORE-VERSION: create version `v` holding `data`. Faults if `v`
-  /// already exists (versions are immutable once created).
-  void store_version(OAddr a, Ver v, std::uint64_t data, OpFlags f = {});
-
-  /// LOCK-LOAD-VERSION: LOAD-VERSION + lock; blocks while locked by others.
-  std::uint64_t lock_load_version(OAddr a, Ver v, TaskId locker,
-                                  OpFlags f = {});
-
-  /// LOCK-LOAD-LATEST: LOAD-LATEST + lock of the version that was read.
-  std::uint64_t lock_load_latest(OAddr a, Ver cap, TaskId locker,
-                                 Ver* found = nullptr, OpFlags f = {});
-
-  /// UNLOCK-VERSION: release `locked_v` (held by `owner`), optionally
-  /// renaming: creating unlocked version `rename_to` with the same value.
-  void unlock_version(OAddr a, Ver locked_v, TaskId owner,
-                      std::optional<Ver> rename_to = std::nullopt,
-                      OpFlags f = {});
-
-  /// Task creation announcement (GC rule #3 check point). Host-context
-  /// safe; charges nothing — creation belongs to the spawning program.
-  void task_created(TaskId t);
-  /// TASK-BEGIN / TASK-END: GC progress reports (rules #2-#3).
-  void task_begin(TaskId t);
-  void task_end(TaskId t);
-
-  // ---- Protection ----
-
-  /// True if `a` falls on an allocated O-structure slot.
-  bool is_versioned_addr(Addr a) const;
-  /// Fault check for conventional loads/stores (versioned-bit protection).
-  void check_conventional(Addr a) const;
-
-  // ---- Host-side inspection (no timing; tests and tools) ----
-  std::optional<std::uint64_t> peek_version(OAddr a, Ver v) const;
-  std::optional<Ver> newest_version(OAddr a) const;
-  std::optional<TaskId> lock_holder(OAddr a, Ver v) const;
-  int version_count(OAddr a) const;
-  std::size_t free_blocks() const { return pool_.free_count(); }
-
-  GarbageCollector& gc() { return gc_; }
-  BlockPool& pool() { return pool_; }
-  const OStructConfig& config() const { return cfg_; }
-  /// Architectural ring trace of the last N versioned operations (enabled
-  /// via OStructConfig::trace_capacity; ISA-op events only).
-  const telemetry::RingSink& trace() const { return ring_; }
-  /// Event-trace dispatcher: attach extra sinks (lifecycle analysis, tests)
-  /// before running; all version-lifecycle events flow through it.
-  telemetry::Tracer& tracer() { return tracer_; }
-
- private:
-  struct SlotMeta {
-    BlockIndex root = kNullBlock;
-    bool allocated = false;
-    /// Live version count; steers the compressed/uncompressed choice (the
-    /// paper's caches "can store both compressed and uncompressed versions
-    /// of an O-structure at the same time" — packing into a compressed
-    /// line only pays once a slot holds more than one version).
-    int nversions = 0;
-    /// Unsorted mode: set once an out-of-order insert breaks the de-facto
-    /// descending order; until then lookups may still early-terminate.
-    bool order_broken = false;
-    WaitList waiters;
-  };
-
-  /// Whether lookups on this slot may use sorted-order early termination.
-  bool effective_sorted(const SlotMeta& sm) const {
-    return cfg_.sorted_lists || !sm.order_broken;
+  void free_list_access() override {
+    m_.mem_access(free_list_addr(m_.current_core()), AccessType::kWrite);
+  }
+  void gc_triggered() override { m_.advance(cfg_.gc_trigger_latency); }
+  void os_trapped() override { m_.advance(cfg_.os_trap_latency); }
+  void block_allocated(BlockIndex b) override {
+    stamp(block_born_, b, m_.now());
   }
 
-  enum class LookupKind { kExact, kLatest };
+  void store_charged(std::uint64_t slot, const InsertResult& ir,
+                     BlockIndex nb) override;
+  void block_shadowed(BlockIndex b) override {
+    stamp(block_shadowed_at_, b, m_.now());
+  }
+  void store_installed(std::uint64_t slot,
+                       const CompressedLine::Entry& snap) override;
 
-  std::uint64_t slot_of(OAddr a) const;
-  SlotMeta& meta(std::uint64_t slot) { return slots_[slot]; }
+  void block_reclaimed(BlockIndex b, std::uint64_t slot, Ver v) override;
+  void slot_released(std::uint64_t slot) override;
 
-  /// Per-attempt preamble: global ordering, injected latency, stats, and
-  /// the architectural trace (recorded at first issue only).
-  void begin_attempt(const OpFlags& f, int attempt, OpCode op, OAddr a,
-                     Ver v);
-  /// First-stall accounting, then park on the slot's wait list.
-  void stall(const OpFlags& f, std::uint64_t slot, int attempt);
-
-  /// Charge the cost of a satisfied lookup (direct or full) and maintain
-  /// the compressed line. `fr` is the authoritative find result. Lock
-  /// operations pass `final_access = kWrite`: the hardware fetches the
-  /// target block with a single read-for-ownership transaction instead of
-  /// a read followed by an upgrade.
-  /// `probe_locked_by`: the lock state the compressed entry is expected to
-  /// show for a direct hit. Lock operations apply their semantic effect
-  /// before charging, so they pass the pre-lock state (kNoTask) here while
-  /// the freshly-installed entry carries the new lock.
-  void charge_lookup(std::uint64_t slot, const FindResult& fr,
-                     LookupKind kind, Ver key,
-                     AccessType final_access = AccessType::kRead,
-                     std::optional<TaskId> probe_locked_by = std::nullopt);
-
+ private:
   /// The core's compressed line for `slot`, valid only while the line is
   /// resident in its L1; nullptr otherwise.
   CompressedLine* comp_line(CoreId core, std::uint64_t slot);
@@ -185,25 +100,12 @@ class OStructureManager {
   /// Propagate a lock-field change likewise.
   void comp_remote_lock(std::uint64_t slot, Ver v, TaskId locker);
 
-  /// Allocate a version block, growing the pool via the OS trap if needed
-  /// and kicking the GC at the watermark. Charges free-list access.
-  BlockIndex alloc_block();
-  /// GC reclaim callback: unlink, scrub compressed entries, free.
-  void reclaim(BlockIndex b);
-
-  /// Emit a lifecycle event stamped with the running core's time (host
-  /// context emits time 0 / core 0). One inlined branch when tracing is
-  /// off; the build/dispatch cost lives out of line.
-  void emit_event(telemetry::EventType type, OAddr addr, Ver version,
-                  std::uint64_t arg) {
-    if (tracer_.enabled()) emit_event_slow(type, addr, version, arg);
+  /// Wait list of `slot`, grown on first use (slots are engine state; only
+  /// their parked fibers live here).
+  WaitList& wl(std::uint64_t slot) {
+    if (waiters_.size() <= slot) waiters_.resize(slot + 1);
+    return waiters_[slot];
   }
-  void emit_event_slow(telemetry::EventType type, OAddr addr, Ver version,
-                       std::uint64_t arg);
-
-  /// Shared implementation of STORE-VERSION and the renaming half of
-  /// UNLOCK-VERSION (assumes begin_attempt already ran).
-  void store_impl(std::uint64_t slot, Ver v, std::uint64_t data);
 
   /// Record a cycle stamp for block `b`, growing the side array on first
   /// touch (see block_born_ below).
@@ -219,45 +121,103 @@ class OStructureManager {
 
   Machine& m_;
   OStructConfig cfg_;
-  BlockPool pool_;
-  GarbageCollector gc_;
-  std::vector<SlotMeta> slots_;
+  VersionStore* store_ = nullptr;
   /// Per-core side storage for compressed lines (timing metadata; presence
   /// in L1 is tracked by the real tag array via compressed_addr()). Probed
   /// on every versioned lookup and on every L1 line drop, so it uses the
   /// flat open-addressed map rather than std::unordered_map.
   std::vector<FlatMap<std::uint64_t, CompressedLine>> comp_;
-  /// Released slot runs, keyed by run length, for reuse by alloc().
-  FlatMap<std::uint64_t, std::vector<std::uint64_t>> slot_free_;
-
-  // ---- Telemetry ----
-  // Per-core counters, packed so one versioned op touches a single cache
-  // line of counter state (an op bumps 2-4 of these). Registered with the
-  // machine's registry as external-storage counter vectors.
-  struct PerCoreCounters {
-    std::uint64_t versioned_ops = 0, root_loads = 0, root_stalls = 0;
-    std::uint64_t direct_hits = 0, full_lookups = 0, walk_blocks = 0;
-    std::uint64_t stalls = 0, tasks_executed = 0;
-  };
-  std::vector<PerCoreCounters> core_counters_;  ///< fixed; registry reads it
-  // Machine-wide counters.
-  telemetry::Counter blocks_allocated_, blocks_freed_, os_traps_;
-  telemetry::Counter compressed_installs_, compressed_discards_;
-  telemetry::Counter compress_overflows_;
-  // Distributions (observed off the hot path: walks, reclaims).
-  telemetry::Histogram walk_length_;       ///< blocks touched per full lookup
-  telemetry::Histogram version_lifetime_;  ///< alloc -> reclaim, cycles
-  telemetry::Histogram reclaim_lag_;       ///< shadowed -> reclaim, cycles
-  // Per-block alloc/shadow cycle stamps feeding the two histograms above.
+  /// Per-slot wait lists, indexed by slot, grown lazily.
+  std::vector<WaitList> waiters_;
+  // Per-block alloc/shadow cycle stamps feeding the lifetime histograms.
   // Side arrays grown lazily to the highest block index actually used: the
   // pool holds ~1M mostly-untouched blocks, so stamping inside VersionBlock
   // would add pool_size * 16 bytes of cold zeroed memory to every machine
   // construction (a hardware implementation would not store these at all).
   std::vector<Cycles> block_born_;
   std::vector<Cycles> block_shadowed_at_;
-  /// Event fan-out; the config-driven ring and file sinks attach here.
-  telemetry::Tracer tracer_;
-  telemetry::RingSink ring_;  ///< ISA-op ring (OStructConfig::trace_capacity)
+};
+
+/// The timed backend: the semantic engine bound to a MachineTimingModel,
+/// under the historical single-object API (tests and the runtime construct
+/// one per machine and call the ISA on it directly).
+class OStructureManager {
+ public:
+  /// The manager registers itself as the machine's L1 drop observer (for
+  /// compressed-line coherence); create at most one per machine.
+  explicit OStructureManager(Machine& m)
+      : timing_(m),
+        store_(m.config().ostruct, m.num_cores(), m.metrics(), timing_) {
+    timing_.bind(&store_);
+  }
+
+  /// The backend-independent semantic engine (checker attachment, tools).
+  VersionStore& store() { return store_; }
+  const VersionStore& store() const { return store_; }
+
+  // ---- O-structure allocation (the OS/runtime interface) ----
+  OAddr alloc(std::size_t slots = 1) { return store_.alloc(slots); }
+  void release(OAddr base, std::size_t slots = 1) {
+    store_.release(base, slots);
+  }
+
+  // ---- The versioned ISA (call only from a core fiber) ----
+  std::uint64_t load_version(OAddr a, Ver v, OpFlags f = {}) {
+    return store_.load_version(a, v, f);
+  }
+  std::uint64_t load_latest(OAddr a, Ver cap, Ver* found = nullptr,
+                            OpFlags f = {}) {
+    return store_.load_latest(a, cap, found, f);
+  }
+  void store_version(OAddr a, Ver v, std::uint64_t data, OpFlags f = {}) {
+    store_.store_version(a, v, data, f);
+  }
+  std::uint64_t lock_load_version(OAddr a, Ver v, TaskId locker,
+                                  OpFlags f = {}) {
+    return store_.lock_load_version(a, v, locker, f);
+  }
+  std::uint64_t lock_load_latest(OAddr a, Ver cap, TaskId locker,
+                                 Ver* found = nullptr, OpFlags f = {}) {
+    return store_.lock_load_latest(a, cap, locker, found, f);
+  }
+  void unlock_version(OAddr a, Ver locked_v, TaskId owner,
+                      std::optional<Ver> rename_to = std::nullopt,
+                      OpFlags f = {}) {
+    store_.unlock_version(a, locked_v, owner, rename_to, f);
+  }
+
+  void task_created(TaskId t) { store_.task_created(t); }
+  void task_begin(TaskId t) { store_.task_begin(t); }
+  void task_end(TaskId t) { store_.task_end(t); }
+
+  // ---- Protection ----
+  bool is_versioned_addr(Addr a) const { return store_.is_versioned_addr(a); }
+  void check_conventional(Addr a) const { store_.check_conventional(a); }
+
+  // ---- Host-side inspection (no timing; tests and tools) ----
+  std::optional<std::uint64_t> peek_version(OAddr a, Ver v) const {
+    return store_.peek_version(a, v);
+  }
+  std::optional<Ver> newest_version(OAddr a) const {
+    return store_.newest_version(a);
+  }
+  std::optional<TaskId> lock_holder(OAddr a, Ver v) const {
+    return store_.lock_holder(a, v);
+  }
+  int version_count(OAddr a) const { return store_.version_count(a); }
+  std::size_t free_blocks() const { return store_.free_blocks(); }
+
+  GarbageCollector& gc() { return store_.gc(); }
+  BlockPool& pool() { return store_.pool(); }
+  const OStructConfig& config() const { return store_.config(); }
+  const telemetry::RingSink& trace() const { return store_.trace(); }
+  telemetry::Tracer& tracer() { return store_.tracer(); }
+
+ private:
+  /// Declared before store_: the engine's constructor takes the model by
+  /// reference and keeps it for life.
+  MachineTimingModel timing_;
+  VersionStore store_;
 };
 
 }  // namespace osim

@@ -1,0 +1,131 @@
+// The seam between O-structure *semantics* and *timing*.
+//
+// core/version_store.hpp decides every operation's semantic effect (which
+// version is read, which block is locked, where an insert lands) against the
+// authoritative version lists, then reports what it did through this
+// interface. An implementation charges whatever those effects cost on its
+// machine model:
+//
+//   * the cycle-accurate backend (MachineTimingModel in
+//     core/ostructure_manager.hpp) walks the version-block addresses through
+//     the simulated cache hierarchy, maintains per-core compressed lines,
+//     parks fibers on wait lists, and stamps block lifetimes;
+//   * the functional backend (runtime/functional.hpp) advances a logical
+//     op counter and treats a would-block condition as a fault, executing
+//     the same ISA at host speed.
+//
+// Hook placement is part of the architectural contract: the engine calls a
+// hook exactly where the old interleaved implementation charged the
+// corresponding cost, and a timing implementation may *yield to other cores*
+// inside any charged hook. The engine therefore never holds references to
+// its own slot/pool state across a hook call.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/compressed_line.hpp"
+#include "core/types.hpp"
+#include "core/version_block.hpp"
+#include "core/version_list.hpp"
+
+namespace osim {
+
+/// Hot-path state of a timing model whose cost hooks are all no-ops. A
+/// model that exposes one (fast_path() below) promises that every charged
+/// hook does nothing, now()/core() read exactly these fields, and
+/// op_serialize() is exactly `++clock` — so the engine may bypass virtual
+/// dispatch for the entire per-operation framing. wait_on_slot() is still
+/// dispatched virtually (the functional model faults there).
+struct TimingFastPath {
+  Cycles clock = 0;
+  CoreId core = 0;
+};
+
+class TimingModel {
+ public:
+  virtual ~TimingModel() = default;
+
+  /// Non-null iff this model is a pure no-cost model as described on
+  /// TimingFastPath. The cycle-accurate backend returns nullptr.
+  virtual TimingFastPath* fast_path() { return nullptr; }
+
+  // ---- Clock and execution context ----
+
+  /// True while the caller runs in a context whose clock is valid (a core
+  /// fiber on the timed backend; always on the functional backend). Events
+  /// emitted outside carry time 0 / core 0.
+  virtual bool in_op_context() const = 0;
+  /// Current time for event stamping; only called while in_op_context().
+  virtual Cycles now() const = 0;
+  /// Executing core id; only called while in_op_context().
+  virtual CoreId core() const = 0;
+
+  // ---- Per-operation framing ----
+
+  /// Serialize this operation into the global memory-event order (the timed
+  /// backend yields until its core is the earliest runnable one).
+  virtual void op_serialize() = 0;
+  /// Charge OStructConfig::injected_latency (called only when nonzero).
+  virtual void op_overhead() = 0;
+  /// Charge the TASK-BEGIN / TASK-END instruction itself.
+  virtual void task_instr() = 0;
+
+  // ---- Blocking semantics ----
+
+  /// Park the caller until `slot` changes (a store or unlock wakes it). The
+  /// functional backend cannot block: it faults instead, which is exactly
+  /// the deadlock the timed backend would report for an in-order schedule.
+  virtual void wait_on_slot(std::uint64_t slot) = 0;
+  /// Wake everything parked on `slot`. Safe to call with no waiters, and
+  /// from host context (where it is a no-op on the timed backend).
+  virtual void wake_slot(std::uint64_t slot) = 0;
+
+  // ---- Charged semantic effects ----
+  // `fr`/`ir` are the authoritative list-operation results; implementations
+  // may re-walk the (possibly already mutated) current list for addresses
+  // but must bound themselves by the reported walk lengths.
+
+  /// A satisfied lookup: LOAD/LOCK-LOAD resolved `key` on `slot` at block
+  /// fr.block. `exclusive` marks lock variants (read-for-ownership);
+  /// `probe_locked_by` is the lock state a compressed probe should expect
+  /// (lock ops apply their semantic effect first and pass the pre-lock
+  /// state).
+  virtual void lookup_done(std::uint64_t slot, const FindResult& fr,
+                           bool exact, Ver key, bool exclusive,
+                           std::optional<TaskId> probe_locked_by) = 0;
+  /// A lock was taken on version `v` of `slot` (after lookup_done).
+  virtual void lock_applied(std::uint64_t slot, Ver v, TaskId locker) = 0;
+  /// Version `v` (block `b`) of `slot` was unlocked.
+  virtual void unlock_applied(std::uint64_t slot, BlockIndex b, Ver v) = 0;
+
+  /// One pop from the executing core's bank of the hardware free list.
+  virtual void free_list_access() = 0;
+  /// This operation's allocation started a GC phase.
+  virtual void gc_triggered() = 0;
+  /// Free-list exhaustion: the OS trap grew the pool.
+  virtual void os_trapped() = 0;
+  /// Block `b` left the free list for an insert.
+  virtual void block_allocated(BlockIndex b) = 0;
+
+  /// STORE-VERSION committed: walk to the insertion point and the insertion
+  /// protocol's two exclusive line acquisitions (new block `nb` plus
+  /// predecessor or root). May yield; the engine's new block is already
+  /// linked and authoritative.
+  virtual void store_charged(std::uint64_t slot, const InsertResult& ir,
+                             BlockIndex nb) = 0;
+  /// Block `b` became shadowed (stamp for the reclaim-lag distribution).
+  virtual void block_shadowed(BlockIndex b) = 0;
+  /// Store bookkeeping after the charges: `snap` is the committed entry
+  /// (compressed-line install + remote discard/patch on the timed backend).
+  virtual void store_installed(std::uint64_t slot,
+                               const CompressedLine::Entry& snap) = 0;
+
+  /// GC reclaimed version `v` (block `b`) of `slot`: scrub any cached
+  /// per-core state and record lifetime/lag distributions.
+  virtual void block_reclaimed(BlockIndex b, std::uint64_t slot, Ver v) = 0;
+  /// The slot was released back to conventional memory.
+  virtual void slot_released(std::uint64_t slot) = 0;
+};
+
+}  // namespace osim

@@ -1,0 +1,35 @@
+// Basic system-wide types: cycle counts, addresses, core identifiers.
+//
+// This is the bottom-most header of the repo: core, telemetry, analysis and
+// sim all build on it, and it depends on nothing but <cstdint>.
+#pragma once
+
+#include <cstdint>
+
+namespace osim {
+
+/// Simulated clock cycles (the machine runs at MachineConfig::ghz).
+using Cycles = std::uint64_t;
+
+/// A simulated address. For workload data this is the host address of the
+/// object (execution-driven simulation); for version blocks and O-structure
+/// roots it is a synthetic address in a reserved region (see address_map.hpp).
+using Addr = std::uint64_t;
+
+/// Core identifier, dense in [0, num_cores).
+using CoreId = int;
+
+/// Task identifier in the task-parallel runtime. Task IDs double as version
+/// numbers (GC rule #1 in the paper: access versions with the task ID).
+using TaskId = std::uint64_t;
+
+/// Version identifier of an O-structure version.
+using Ver = std::uint64_t;
+
+inline constexpr int kLineBytes = 64;       ///< cache line size (Table II)
+inline constexpr Addr kLineMask = ~static_cast<Addr>(kLineBytes - 1);
+
+/// Round an address down to its cache-line base.
+constexpr Addr line_of(Addr a) { return a & kLineMask; }
+
+}  // namespace osim

@@ -13,7 +13,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "sim/types.hpp"
+#include "core/types.hpp"
 
 namespace osim {
 

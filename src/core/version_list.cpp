@@ -6,68 +6,14 @@
 
 namespace osim {
 
-namespace {
+namespace detail {
 
-void check_head_bit(const BlockPool& pool, BlockIndex head) {
-  if (head != kNullBlock && !pool[head].head) {
-    throw OFault(FaultKind::kNotListHead,
-                 "version block list entered past its head");
-  }
+void fault_not_list_head() {
+  throw OFault(FaultKind::kNotListHead,
+               "version block list entered past its head");
 }
 
-}  // namespace
-
-FindResult find_exact(const BlockPool& pool, BlockIndex head, Ver v,
-                      bool sorted) {
-  check_head_bit(pool, head);
-  FindResult r;
-  BlockIndex prev = kNullBlock;
-  for (BlockIndex b = head; b != kNullBlock; prev = b, b = pool[b].next) {
-    ++r.blocks_walked;
-    const VersionBlock& vb = pool[b];
-    if (vb.version == v) {
-      r.block = b;
-      if (sorted) {
-        r.is_head = (prev == kNullBlock);
-        if (prev != kNullBlock) {
-          r.has_newer = true;
-          r.newer = pool[prev].version;
-        }
-      }
-      return r;
-    }
-    // Sorted newest-first: once we pass below v, it cannot exist.
-    if (sorted && vb.version < v) return r;
-  }
-  return r;
-}
-
-FindResult find_latest(const BlockPool& pool, BlockIndex head, Ver cap,
-                       bool sorted) {
-  check_head_bit(pool, head);
-  FindResult r;
-  BlockIndex best = kNullBlock;
-  BlockIndex prev = kNullBlock;
-  for (BlockIndex b = head; b != kNullBlock; prev = b, b = pool[b].next) {
-    ++r.blocks_walked;
-    const VersionBlock& vb = pool[b];
-    if (vb.version <= cap) {
-      if (sorted) {
-        // First block at or below the cap is the highest such version.
-        r.block = b;
-        r.is_head = (prev == kNullBlock);
-        if (prev != kNullBlock) {
-          r.has_newer = true;
-          r.newer = pool[prev].version;
-        }
-        return r;
-      }
-      if (best == kNullBlock || vb.version > pool[best].version) best = b;
-    }
-  }
-  r.block = best;  // unsorted: adjacency unknown, leave is_head/has_newer off
-  return r;
-}
+}  // namespace detail
 
 int list_length(const BlockPool& pool, BlockIndex head) {
   int n = 0;
@@ -77,7 +23,7 @@ int list_length(const BlockPool& pool, BlockIndex head) {
 
 InsertResult list_insert(BlockPool& pool, BlockIndex* root, BlockIndex fresh,
                          bool sorted) {
-  check_head_bit(pool, *root);
+  detail::check_head_bit(pool, *root);
   InsertResult r;
   r.block = fresh;
   VersionBlock& nb = pool[fresh];

@@ -40,17 +40,78 @@ struct InsertResult {
   bool order_kept = true;
 };
 
+namespace detail {
+/// Out-of-line throw of OFault(kNotListHead) — keeps the (cold) string
+/// construction away from the inlined walks below.
+[[noreturn]] void fault_not_list_head();
+
+/// The paper's protection rule: a lookup may only enter a list at a block
+/// whose head bit is set.
+inline void check_head_bit(const BlockPool& pool, BlockIndex head) {
+  if (head != kNullBlock && !pool[head].head) fault_not_list_head();
+}
+}  // namespace detail
+
+// The two lookup walks run once per versioned load — every pointer chased
+// by every workload goes through one of them — so they are defined inline.
+
 /// Find the block holding exactly version `v`. Checks the head bit of the
 /// first block (the paper's protection rule) and throws OFault(kNotListHead)
 /// on violation. Early-terminates on sorted lists.
-FindResult find_exact(const BlockPool& pool, BlockIndex head, Ver v,
-                      bool sorted);
+inline FindResult find_exact(const BlockPool& pool, BlockIndex head, Ver v,
+                             bool sorted) {
+  detail::check_head_bit(pool, head);
+  FindResult r;
+  BlockIndex prev = kNullBlock;
+  for (BlockIndex b = head; b != kNullBlock; prev = b, b = pool[b].next) {
+    ++r.blocks_walked;
+    const VersionBlock& vb = pool[b];
+    if (vb.version == v) {
+      r.block = b;
+      if (sorted) {
+        r.is_head = (prev == kNullBlock);
+        if (prev != kNullBlock) {
+          r.has_newer = true;
+          r.newer = pool[prev].version;
+        }
+      }
+      return r;
+    }
+    // Sorted newest-first: once we pass below v, it cannot exist.
+    if (sorted && vb.version < v) return r;
+  }
+  return r;
+}
 
 /// Find the block holding the highest version <= `cap` (LOAD-LATEST). On a
 /// sorted list this is the first block with version <= cap; unsorted lists
 /// require a full scan.
-FindResult find_latest(const BlockPool& pool, BlockIndex head, Ver cap,
-                       bool sorted);
+inline FindResult find_latest(const BlockPool& pool, BlockIndex head,
+                              Ver cap, bool sorted) {
+  detail::check_head_bit(pool, head);
+  FindResult r;
+  BlockIndex best = kNullBlock;
+  BlockIndex prev = kNullBlock;
+  for (BlockIndex b = head; b != kNullBlock; prev = b, b = pool[b].next) {
+    ++r.blocks_walked;
+    const VersionBlock& vb = pool[b];
+    if (vb.version <= cap) {
+      if (sorted) {
+        // First block at or below the cap is the highest such version.
+        r.block = b;
+        r.is_head = (prev == kNullBlock);
+        if (prev != kNullBlock) {
+          r.has_newer = true;
+          r.newer = pool[prev].version;
+        }
+        return r;
+      }
+      if (best == kNullBlock || vb.version > pool[best].version) best = b;
+    }
+  }
+  r.block = best;  // unsorted: adjacency unknown, leave is_head/has_newer off
+  return r;
+}
 
 /// Number of blocks in the list (test/GC helper).
 int list_length(const BlockPool& pool, BlockIndex head);

@@ -1,0 +1,296 @@
+// VersionStore: the semantic engine of the O-structure architecture
+// (paper Sec. III), independent of any machine model.
+//
+// The engine owns everything that defines what the versioned ISA *does*:
+// the version lists and their block pool, the hardware free list, lock
+// bits, waiter semantics, protection faults, and the 3-list GC lifecycle
+// (live -> shadowed -> pending -> free). Every operation's semantic effect
+// (which version is read, which block is locked, where an insert lands) is
+// decided and applied atomically at the operation's start, against the
+// authoritative version lists.
+//
+// What the engine does *not* know is what any of it costs. Each semantic
+// step is reported through a TimingModel (core/timing_model.hpp) at exactly
+// the point where the cost is incurred; the cycle-accurate backend
+// (core/ostructure_manager.hpp) turns those reports into cache-hierarchy
+// traffic and fiber scheduling, while the functional backend
+// (runtime/functional.hpp) executes them at host speed. A timing hook may
+// yield to other operations, so the engine re-fetches its own state after
+// every charged call — the discipline that makes the timed backend
+// bit-identical to the historical interleaved implementation.
+//
+// This header has no "sim/..." dependencies, transitively: it builds on
+// core/ and telemetry/ only.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/address_map.hpp"
+#include "core/compressed_line.hpp"
+#include "core/flat_map.hpp"
+#include "core/gc.hpp"
+#include "core/isa.hpp"
+#include "core/ostruct_config.hpp"
+#include "core/timing_model.hpp"
+#include "core/types.hpp"
+#include "core/version_block.hpp"
+#include "core/version_list.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace osim {
+
+/// User-visible address of an O-structure slot (8-byte granularity inside
+/// the versioned region).
+using OAddr = Addr;
+
+struct OpFlags {
+  /// Workload-level "root of the data structure" access; feeds the
+  /// root-stall statistics of Sec. IV-D.
+  bool root = false;
+};
+
+class VersionStore {
+ public:
+  /// Per-core operation counters, packed so one versioned op touches a
+  /// single cache line of counter state (an op bumps 2-4 of these).
+  /// Registered with the registry as external-storage counter vectors;
+  /// timing models bump the lookup-path fields through counters().
+  struct PerCoreCounters {
+    std::uint64_t versioned_ops = 0, root_loads = 0, root_stalls = 0;
+    std::uint64_t direct_hits = 0, full_lookups = 0, walk_blocks = 0;
+    std::uint64_t stalls = 0, tasks_executed = 0;
+  };
+
+  /// Registers the engine's metrics in `reg` (which must outlive it) and
+  /// reports all charged effects through `timing` (likewise).
+  VersionStore(const OStructConfig& cfg, int num_cores,
+               telemetry::MetricRegistry& reg, TimingModel& timing);
+
+  VersionStore(const VersionStore&) = delete;
+  VersionStore& operator=(const VersionStore&) = delete;
+
+  // ---- O-structure allocation (the OS/runtime interface) ----
+
+  /// Allocate `slots` contiguous O-structure slots; their pages get the
+  /// versioned bit. Returns the address of the first slot.
+  OAddr alloc(std::size_t slots = 1);
+
+  /// Convert the slots back to conventional memory. All their versions are
+  /// discarded. The caller must guarantee no unfinished task touches them
+  /// (paper Sec. III-C); parked waiters are woken and will fault.
+  void release(OAddr base, std::size_t slots = 1);
+
+  // ---- The versioned ISA ----
+
+  /// LOAD-VERSION: value of exactly version `v`; blocks until it exists and
+  /// is unlocked (locks on *other* versions are ignored).
+  std::uint64_t load_version(OAddr a, Ver v, OpFlags f = {});
+
+  /// LOAD-LATEST: value of the highest version <= `cap`; blocks while no
+  /// such version exists or the candidate is locked. The version actually
+  /// read is reported through `found` if non-null.
+  std::uint64_t load_latest(OAddr a, Ver cap, Ver* found = nullptr,
+                            OpFlags f = {});
+
+  /// STORE-VERSION: create version `v` holding `data`. Faults if `v`
+  /// already exists (versions are immutable once created).
+  void store_version(OAddr a, Ver v, std::uint64_t data, OpFlags f = {});
+
+  /// LOCK-LOAD-VERSION: LOAD-VERSION + lock; blocks while locked by others.
+  std::uint64_t lock_load_version(OAddr a, Ver v, TaskId locker,
+                                  OpFlags f = {});
+
+  /// LOCK-LOAD-LATEST: LOAD-LATEST + lock of the version that was read.
+  std::uint64_t lock_load_latest(OAddr a, Ver cap, TaskId locker,
+                                 Ver* found = nullptr, OpFlags f = {});
+
+  /// UNLOCK-VERSION: release `locked_v` (held by `owner`), optionally
+  /// renaming: creating unlocked version `rename_to` with the same value.
+  void unlock_version(OAddr a, Ver locked_v, TaskId owner,
+                      std::optional<Ver> rename_to = std::nullopt,
+                      OpFlags f = {});
+
+  /// Task creation announcement (GC rule #3 check point). Host-context
+  /// safe; charges nothing — creation belongs to the spawning program.
+  void task_created(TaskId t);
+  /// TASK-BEGIN / TASK-END: GC progress reports (rules #2-#3).
+  void task_begin(TaskId t);
+  void task_end(TaskId t);
+
+  // ---- Protection ----
+  // Inline: the conventional check runs on every ld()/st() a workload
+  // issues, which is most of what the functional backend executes.
+
+  /// True if `a` falls on an allocated O-structure slot.
+  bool is_versioned_addr(Addr a) const {
+    if (a < kOStructBase || (a - kOStructBase) % 8 != 0) return false;
+    const std::uint64_t slot = (a - kOStructBase) / 8;
+    return slot < slots_.size() && slots_[slot].allocated;
+  }
+  /// Fault check for conventional loads/stores (versioned-bit protection).
+  void check_conventional(Addr a) const {
+    if (is_versioned_addr(a)) fault_conventional(a);
+  }
+
+  // ---- Host-side inspection (no timing; tests and tools) ----
+  std::optional<std::uint64_t> peek_version(OAddr a, Ver v) const;
+  std::optional<Ver> newest_version(OAddr a) const;
+  std::optional<TaskId> lock_holder(OAddr a, Ver v) const;
+  int version_count(OAddr a) const;
+  std::size_t free_blocks() const { return pool_.free_count(); }
+
+  GarbageCollector& gc() { return gc_; }
+  BlockPool& pool() { return pool_; }
+  const BlockPool& pool() const { return pool_; }
+  const OStructConfig& config() const { return cfg_; }
+  /// Architectural ring trace of the last N versioned operations (enabled
+  /// via OStructConfig::trace_capacity; ISA-op events only).
+  const telemetry::RingSink& trace() const { return ring_; }
+  /// Event-trace dispatcher: attach extra sinks (lifecycle analysis, tests)
+  /// before running; all version-lifecycle events flow through it.
+  telemetry::Tracer& tracer() { return tracer_; }
+
+  // ---- State the timing layer reads while charging ----
+  // A charged hook may run while the semantic state has already moved on
+  // (that is the point: semantics commit first); these accessors expose the
+  // *current* authoritative state for bounded re-walks and cache updates.
+
+  /// Head of `slot`'s version list right now (kNullBlock when empty).
+  BlockIndex root_of(std::uint64_t slot) const { return slots_[slot].root; }
+  /// Live version count of `slot` right now.
+  int nversions(std::uint64_t slot) const { return slots_[slot].nversions; }
+  /// This core's packed counter line (timing models bump the lookup stats).
+  PerCoreCounters& counters(CoreId core) {
+    return core_counters_[static_cast<std::size_t>(core)];
+  }
+  /// Distribution handles the timing layer observes into (registered here
+  /// so the registry's dump order is independent of the backend).
+  telemetry::Histogram& walk_length_hist() { return walk_length_; }
+  telemetry::Histogram& version_lifetime_hist() { return version_lifetime_; }
+  telemetry::Histogram& reclaim_lag_hist() { return reclaim_lag_; }
+  telemetry::Counter& compressed_installs_counter() {
+    return compressed_installs_;
+  }
+  telemetry::Counter& compressed_discards_counter() {
+    return compressed_discards_;
+  }
+  telemetry::Counter& compress_overflows_counter() {
+    return compress_overflows_;
+  }
+
+ private:
+  struct SlotMeta {
+    BlockIndex root = kNullBlock;
+    bool allocated = false;
+    /// Live version count; steers the compressed/uncompressed choice (the
+    /// paper's caches "can store both compressed and uncompressed versions
+    /// of an O-structure at the same time" — packing into a compressed
+    /// line only pays once a slot holds more than one version).
+    int nversions = 0;
+    /// Unsorted mode: set once an out-of-order insert breaks the de-facto
+    /// descending order; until then lookups may still early-terminate.
+    bool order_broken = false;
+  };
+
+  /// Whether lookups on this slot may use sorted-order early termination.
+  bool effective_sorted(const SlotMeta& sm) const {
+    return cfg_.sorted_lists || !sm.order_broken;
+  }
+
+  /// Resolve an O-structure address to its allocated slot; faults on
+  /// anything outside the versioned region. Inline: one call per ISA op.
+  std::uint64_t slot_of(OAddr a) const {
+    if (a < kOStructBase || (a - kOStructBase) % 8 != 0) fault_unversioned(a);
+    const std::uint64_t slot = (a - kOStructBase) / 8;
+    if (slot >= slots_.size() || !slots_[slot].allocated) {
+      fault_unversioned(a);
+    }
+    return slot;
+  }
+  [[noreturn]] void fault_unversioned(OAddr a) const;
+
+  /// True when cost hooks must be dispatched (no TimingFastPath). The
+  /// functional backend's hooks are all no-ops; skipping their virtual
+  /// calls is what keeps that backend at host speed.
+  bool charges() const { return fp_ == nullptr; }
+  /// Devirtualized op_serialize() / core() for fast-path models.
+  void tick() {
+    if (fp_ != nullptr) {
+      ++fp_->clock;
+    } else {
+      t_.op_serialize();
+    }
+  }
+  CoreId cur_core() const { return fp_ != nullptr ? fp_->core : t_.core(); }
+
+  [[noreturn]] void fault_conventional(Addr a) const;
+
+  /// Per-attempt preamble: global ordering, injected latency, stats, and
+  /// the architectural trace (recorded at first issue only). Inline: runs
+  /// once per versioned op on both backends.
+  void begin_attempt(const OpFlags& f, int attempt, OpCode op, OAddr a,
+                     Ver v) {
+    tick();
+    if (attempt == 0) {
+      const CoreId core = cur_core();
+      PerCoreCounters& pc = core_counters_[static_cast<std::size_t>(core)];
+      pc.versioned_ops++;
+      if (f.root) pc.root_loads++;
+      if (tracer_.enabled()) {
+        tracer_.emit({t_.now(), core, telemetry::EventType::kIsaOp, op, a, v,
+                      0});
+      }
+    }
+    if (cfg_.injected_latency != 0) t_.op_overhead();
+  }
+  /// First-stall accounting, then park on the slot's wait list.
+  void stall(const OpFlags& f, std::uint64_t slot, int attempt);
+
+  /// Allocate a version block, growing the pool via the OS trap if needed
+  /// and kicking the GC at the watermark. Charges free-list access.
+  BlockIndex alloc_block();
+  /// GC reclaim callback: unlink, report to the timing layer, free.
+  void reclaim(BlockIndex b);
+
+  /// Emit a lifecycle event stamped with the running core's time (host
+  /// context emits time 0 / core 0). One inlined branch when tracing is
+  /// off; the build/dispatch cost lives out of line.
+  void emit_event(telemetry::EventType type, OAddr addr, Ver version,
+                  std::uint64_t arg) {
+    if (tracer_.enabled()) emit_event_slow(type, addr, version, arg);
+  }
+  void emit_event_slow(telemetry::EventType type, OAddr addr, Ver version,
+                       std::uint64_t arg);
+
+  /// Shared implementation of STORE-VERSION and the renaming half of
+  /// UNLOCK-VERSION (assumes begin_attempt already ran).
+  void store_impl(std::uint64_t slot, Ver v, std::uint64_t data);
+
+  OStructConfig cfg_;
+  TimingModel& t_;
+  TimingFastPath* fp_;  ///< non-null iff t_ is a pure no-cost model
+  BlockPool pool_;
+  GarbageCollector gc_;
+  std::vector<SlotMeta> slots_;
+  /// Released slot runs, keyed by run length, for reuse by alloc().
+  FlatMap<std::uint64_t, std::vector<std::uint64_t>> slot_free_;
+
+  // ---- Telemetry ----
+  std::vector<PerCoreCounters> core_counters_;  ///< fixed; registry reads it
+  // Machine-wide counters.
+  telemetry::Counter blocks_allocated_, blocks_freed_, os_traps_;
+  telemetry::Counter compressed_installs_, compressed_discards_;
+  telemetry::Counter compress_overflows_;
+  // Distributions (observed off the hot path: walks, reclaims).
+  telemetry::Histogram walk_length_;       ///< blocks touched per full lookup
+  telemetry::Histogram version_lifetime_;  ///< alloc -> reclaim, cycles
+  telemetry::Histogram reclaim_lag_;       ///< shadowed -> reclaim, cycles
+  /// Event fan-out; the config-driven ring and file sinks attach here.
+  telemetry::Tracer tracer_;
+  telemetry::RingSink ring_;  ///< ISA-op ring (OStructConfig::trace_capacity)
+};
+
+}  // namespace osim

@@ -1,10 +1,21 @@
-// Env: the software runtime's view of one simulated machine — the Machine,
-// its O-structure manager, and timed conventional-access helpers.
+// Env: the software runtime's view of one execution backend — the semantic
+// VersionStore engine plus whichever machine model MachineConfig::backend
+// selects:
+//
+//   * BackendKind::kTimed      — the cycle-accurate fiber Machine with cache
+//                                models (OStructureManager); results are
+//                                deterministic simulated cycles.
+//   * BackendKind::kFunctional — host-speed in-order execution with no
+//                                fibers or cache models; results are values,
+//                                faults and logical op counts.
 //
 // Workload code is execution-driven: data structures live in host memory and
-// every modelled access goes through ld()/st(), which charge the memory
-// hierarchy and enforce the versioned-bit protection (conventional accesses
-// to O-structure pages fault, paper Sec. III).
+// every modelled access goes through ld()/st(), which enforce the
+// versioned-bit protection (conventional accesses to O-structure pages
+// fault, paper Sec. III) and, on the timed backend, charge the memory
+// hierarchy. Code written against Env, versioned<T> and TaskRuntime runs on
+// either backend unchanged; only backend-specific callers (sw_ostructures,
+// rwlock, raw fiber tests) reach through machine().
 #pragma once
 
 #include <cstdint>
@@ -16,6 +27,7 @@
 #include "analysis/checker.hpp"
 #include "core/ostructure_manager.hpp"
 #include "runtime/arena.hpp"
+#include "runtime/functional.hpp"
 #include "sim/flat_map.hpp"
 #include "sim/machine.hpp"
 
@@ -23,7 +35,13 @@ namespace osim {
 
 class Env {
  public:
-  explicit Env(const MachineConfig& cfg) : m_(cfg), osm_(m_) {
+  explicit Env(const MachineConfig& cfg) : cfg_(cfg) {
+    if (cfg.backend == BackendKind::kFunctional) {
+      fb_ = std::make_unique<FunctionalBackend>(cfg);
+    } else {
+      m_ = std::make_unique<Machine>(cfg);
+      osm_ = std::make_unique<OStructureManager>(*m_);
+    }
     // Online protocol checking (osim-check): attach the checker as a trace
     // sink so it validates the event stream as the run produces it. It
     // charges no simulated cycles — checked runs stay bit-identical.
@@ -33,41 +51,71 @@ class Env {
       auto sink =
           std::make_unique<analysis::CheckerSink>(cfg.num_cores, opt);
       checker_ = &sink->checker();
-      osm_.tracer().add_sink(std::move(sink));
+      store().tracer().add_sink(std::move(sink));
     }
   }
 
   Env(const Env&) = delete;
   Env& operator=(const Env&) = delete;
 
-  Machine& machine() { return m_; }
-  OStructureManager& osm() { return osm_; }
+  /// Whether this Env runs the cycle-accurate machine (vs. functional).
+  bool timed() const { return m_ != nullptr; }
+
+  /// The simulated machine; timed backend only.
+  Machine& machine() {
+    if (m_ == nullptr) {
+      throw SimError("machine(): the functional backend has no machine");
+    }
+    return *m_;
+  }
+  /// The timed O-structure backend; timed backend only.
+  OStructureManager& osm() {
+    if (osm_ == nullptr) {
+      throw SimError("osm(): the functional backend has no manager");
+    }
+    return *osm_;
+  }
+  /// The backend-independent semantic engine: the versioned ISA, allocation,
+  /// protection, inspection and the event tracer — on either backend.
+  VersionStore& store() { return m_ != nullptr ? osm_->store() : fb_->store(); }
+
   /// The online protocol checker, when OStructConfig::check_mode enabled
-  /// one for this machine; nullptr otherwise.
+  /// one for this backend; nullptr otherwise.
   analysis::Checker* checker() { return checker_; }
   /// Snapshot of the legacy aggregate view (built from the registry).
-  MachineStats stats() const { return m_.stats(); }
-  telemetry::MetricRegistry& metrics() { return m_.metrics(); }
-  const MachineConfig& config() const { return m_.config(); }
-  Cycles elapsed() const { return m_.elapsed(); }
+  MachineStats stats() const { return stats_snapshot(metrics()); }
+  telemetry::MetricRegistry& metrics() {
+    return m_ != nullptr ? m_->metrics() : fb_->metrics();
+  }
+  const telemetry::MetricRegistry& metrics() const {
+    return m_ != nullptr ? m_->metrics() : fb_->metrics();
+  }
+  const MachineConfig& config() const { return cfg_; }
+  Cycles elapsed() const {
+    return m_ != nullptr ? m_->elapsed() : fb_->elapsed();
+  }
+  /// Current time from inside a running body: the core's clock on the timed
+  /// backend (call only from a fiber), the logical op clock on functional.
+  Cycles now() const { return m_ != nullptr ? m_->now() : fb_->elapsed(); }
 
-  /// Timed conventional load of a host object (call from a core fiber).
+  /// Conventional load of a host object (timed when the backend is; call
+  /// from a core fiber on the timed backend).
   template <typename T>
   T ld(const T& ref) {
     static_assert(std::is_trivially_copyable_v<T>);
     const Addr a = reinterpret_cast<Addr>(&ref);
-    osm_.check_conventional(a);
-    m_.mem_access(translate(a), AccessType::kRead);
+    store().check_conventional(a);
+    if (m_ != nullptr) m_->mem_access(translate(a), AccessType::kRead);
     return ref;
   }
 
-  /// Timed conventional store to a host object.
+  /// Conventional store to a host object.
   template <typename T>
   void st(T& ref, T val) {
     static_assert(std::is_trivially_copyable_v<T>);
     const Addr a = reinterpret_cast<Addr>(&ref);
-    osm_.check_conventional(a);
-    m_.mem_access(translate(a), AccessType::kWrite);
+    store().check_conventional(a);
+    if (m_ != nullptr) m_->mem_access(translate(a), AccessType::kWrite);
     ref = val;
   }
 
@@ -82,8 +130,10 @@ class Env {
     return kConventionalBase + mapped * kLineBytes + (host - line);
   }
 
-  /// Charge `n` non-memory instructions.
-  void exec(std::uint64_t n) { m_.exec(n); }
+  /// Charge `n` non-memory instructions (free on the functional backend).
+  void exec(std::uint64_t n) {
+    if (m_ != nullptr) m_->exec(n);
+  }
 
   /// Arena for simulator-visible host objects (nodes, matrices, lock
   /// words). Anything whose address reaches ld()/st() must come from here:
@@ -104,15 +154,26 @@ class Env {
     return arena_.array_of<T>(n);
   }
 
-  /// Install a program on a core (forwarding to the machine).
+  /// Install a program on a core. The timed backend runs one fiber per
+  /// core; the functional backend runs the bodies to completion in spawn
+  /// order on the host thread.
   void spawn(CoreId core, std::function<void()> body) {
-    m_.spawn(core, std::move(body));
+    if (m_ != nullptr) {
+      m_->spawn(core, std::move(body));
+    } else {
+      fb_->spawn(core, std::move(body));
+    }
   }
 
-  /// Run the machine to completion and return elapsed cycles.
+  /// Run the backend to completion and return elapsed cycles (simulated
+  /// cycles on timed; the logical op clock on functional).
   Cycles run() {
-    m_.run();
-    return m_.elapsed();
+    if (m_ != nullptr) {
+      m_->run();
+      return m_->elapsed();
+    }
+    fb_->run();
+    return fb_->elapsed();
   }
 
   /// Convenience: run `body` on core 0 only.
@@ -122,8 +183,10 @@ class Env {
   }
 
  private:
-  Machine m_;
-  OStructureManager osm_;
+  MachineConfig cfg_;
+  std::unique_ptr<Machine> m_;                // timed backend…
+  std::unique_ptr<OStructureManager> osm_;    // …and its engine binding
+  std::unique_ptr<FunctionalBackend> fb_;     // functional backend
   analysis::Checker* checker_ = nullptr;  // owned by the tracer's sink list
   FlatMap<Addr, Addr> line_map_;
   Addr next_line_ = 0;

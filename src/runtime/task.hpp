@@ -5,9 +5,15 @@
 // a minimal runtime overhead, but neglects load imbalance") and each worker
 // executes its tasks in creation order, bracketing them with
 // TASK-BEGIN/TASK-END (GC rule #2).
+//
+// On the functional backend there are no worker fibers: tasks execute to
+// completion in creation order on the host thread. The root-ticket protocol
+// gives tasks forward-only dependencies, so this schedule never blocks; an
+// op that would is a protocol violation and faults (kWouldBlock).
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -23,27 +29,40 @@ class TaskRuntime {
   /// Instructions charged per task for dispatch (queue pop, argument setup).
   static constexpr std::uint64_t kDispatchInstructions = 24;
 
-  TaskRuntime(Env& env, int workers)
-      : env_(env), queues_(static_cast<std::size_t>(workers)) {}
+  TaskRuntime(Env& env, int workers) : env_(env), workers_(workers) {}
 
-  int workers() const { return static_cast<int>(queues_.size()); }
+  int workers() const { return workers_; }
 
   /// Enqueue a task. Must be called before run(); assignment is static.
   /// Announces the task to the GC (rule #3 is checked at creation).
   void create_task(TaskId tid, TaskFn fn) {
-    env_.osm().task_created(tid);
-    queues_[tid % queues_.size()].emplace_back(tid, std::move(fn));
+    env_.store().task_created(tid);
+    tasks_.emplace_back(tid, std::move(fn));
   }
 
   /// Unmeasured setup run on core 0 before any task starts; the other
   /// workers wait on a start gate. Optional.
   void set_setup(std::function<void()> fn) { setup_ = std::move(fn); }
 
-  /// Spawn one worker fiber per core and run the machine to completion.
-  /// Returns the *measured* cycles: setup completion to last task finish.
+  /// Run every task to completion. Returns the *measured* cycles: setup
+  /// completion to last task finish (the logical op count on functional).
   Cycles run() {
-    for (std::size_t c = 0; c < queues_.size(); ++c) {
-      env_.spawn(static_cast<CoreId>(c), [this, c] {
+    return env_.timed() ? run_timed() : run_functional();
+  }
+
+  /// Clock value at which the measured phase began.
+  Cycles setup_end() const { return setup_end_; }
+
+ private:
+  /// One worker fiber per core; worker c drains the tasks with tid % c.
+  Cycles run_timed() {
+    std::vector<std::vector<std::pair<TaskId, TaskFn>*>> queues(
+        static_cast<std::size_t>(workers_));
+    for (auto& t : tasks_) {
+      queues[t.first % queues.size()].push_back(&t);
+    }
+    for (std::size_t c = 0; c < queues.size(); ++c) {
+      env_.spawn(static_cast<CoreId>(c), [this, c, &queues] {
         Machine& m = env_.machine();
         if (c == 0) {
           if (setup_) setup_();
@@ -53,11 +72,11 @@ class TaskRuntime {
         } else if (!started_) {
           m.block_on(gate_);
         }
-        for (auto& [tid, fn] : queues_[c]) {
+        for (auto* t : queues[c]) {
           env_.exec(kDispatchInstructions);
-          env_.osm().task_begin(tid);
-          fn(tid);
-          env_.osm().task_end(tid);
+          env_.store().task_begin(t->first);
+          t->second(t->first);
+          env_.store().task_end(t->first);
         }
       });
     }
@@ -65,12 +84,29 @@ class TaskRuntime {
     return total - setup_end_;
   }
 
-  /// Clock value at which the measured phase began.
-  Cycles setup_end() const { return setup_end_; }
+  /// Creation-order in-order execution. Faults abort the run as SimErrors,
+  /// matching what the timed machine reports when a fault escapes a fiber.
+  Cycles run_functional() {
+    try {
+      if (setup_) setup_();
+      setup_end_ = env_.now();
+      for (auto& [tid, fn] : tasks_) {
+        env_.store().task_begin(tid);
+        fn(tid);
+        env_.store().task_end(tid);
+      }
+    } catch (const SimError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw SimError(e.what());
+    }
+    return env_.now() - setup_end_;
+  }
 
- private:
   Env& env_;
-  std::vector<std::vector<std::pair<TaskId, TaskFn>>> queues_;
+  int workers_;
+  /// All tasks in creation order; run_timed() partitions by tid % workers.
+  std::vector<std::pair<TaskId, TaskFn>> tasks_;
   std::function<void()> setup_;
   WaitList gate_;
   Cycles setup_end_ = 0;

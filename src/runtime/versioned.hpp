@@ -31,13 +31,13 @@ class versioned {
 
   void bind(Env& env) {
     env_ = &env;
-    addr_ = env.osm().alloc(1);
+    addr_ = env.store().alloc(1);
   }
 
   /// Convert the slot back to conventional memory (all versions dropped).
   void free() {
     if (env_ != nullptr) {
-      env_->osm().release(addr_, 1);
+      env_->store().release(addr_, 1);
       env_ = nullptr;
     }
   }
@@ -50,34 +50,34 @@ class versioned {
   void mark_root(bool is_root = true) { flags_.root = is_root; }
 
   T load_ver(Ver v) const {
-    return from_word(env_->osm().load_version(addr_, v, flags_));
+    return from_word(env_->store().load_version(addr_, v, flags_));
   }
 
   T load_latest(Ver cap, Ver* got = nullptr) const {
-    return from_word(env_->osm().load_latest(addr_, cap, got, flags_));
+    return from_word(env_->store().load_latest(addr_, cap, got, flags_));
   }
 
   T lock_load_ver(Ver v, TaskId locker) const {
-    return from_word(env_->osm().lock_load_version(addr_, v, locker, flags_));
+    return from_word(env_->store().lock_load_version(addr_, v, locker, flags_));
   }
 
   T lock_load_last(Ver cap, TaskId locker, Ver* got = nullptr) const {
     return from_word(
-        env_->osm().lock_load_latest(addr_, cap, locker, got, flags_));
+        env_->store().lock_load_latest(addr_, cap, locker, got, flags_));
   }
 
   void store_ver(T val, Ver v) {
-    env_->osm().store_version(addr_, v, to_word(val), flags_);
+    env_->store().store_version(addr_, v, to_word(val), flags_);
   }
 
   void unlock_ver(Ver locked, TaskId owner,
                   std::optional<Ver> rename_to = std::nullopt) {
-    env_->osm().unlock_version(addr_, locked, owner, rename_to, flags_);
+    env_->store().unlock_version(addr_, locked, owner, rename_to, flags_);
   }
 
   /// Host-side (untimed) peek, for verification code in tests/benches.
   std::optional<T> peek(Ver v) const {
-    auto w = env_->osm().peek_version(addr_, v);
+    auto w = env_->store().peek_version(addr_, v);
     if (!w) return std::nullopt;
     return from_word(*w);
   }

@@ -9,7 +9,8 @@
 #include <cstdint>
 #include <string>
 
-#include "sim/types.hpp"
+#include "core/ostruct_config.hpp"
+#include "core/types.hpp"
 
 namespace osim {
 
@@ -25,60 +26,17 @@ struct CacheConfig {
   }
 };
 
-/// O-structure subsystem parameters (Sec. III of the paper).
-struct OStructConfig {
-  /// Initial number of version blocks carved into the free list.
-  std::size_t initial_pool_blocks = 1 << 20;
-  /// Blocks added per OS trap when the free list is exhausted (paper: the
-  /// runtime "simply allocates more memory, carves it up into version
-  /// blocks, and adds them to the free-list").
-  std::size_t trap_grow_blocks = 1 << 16;
-  /// GC phase auto-trigger: start a collection when free blocks drop below
-  /// this watermark (paper Sec. III-B "Operation").
-  std::size_t gc_watermark = 1 << 12;
-  /// Fixed latency injected into every versioned operation, on top of the
-  /// modelled cache latencies. 0 in the baseline; swept 2..10 for Fig. 10.
-  Cycles injected_latency = 0;
-  /// Cost charged to the core whose allocation triggers a GC phase
-  /// transition (the collector itself runs in background hardware).
-  Cycles gc_trigger_latency = 10;
-  /// Cycles to deliver a wakeup to a core stalled on a versioned access.
-  Cycles wake_latency = 8;
-  /// Cost of the OS trap taken when the free list is exhausted (the runtime
-  /// allocates memory, carves version blocks, fixes the page table).
-  Cycles os_trap_latency = 2000;
-  /// Whether the version block list is kept sorted (paper Sec. IV-F compares
-  /// against a no-sorting configuration; sorted is the architected default).
-  bool sorted_lists = true;
+/// Which execution backend an Env builds around the VersionStore engine.
+///   kTimed       the cycle-accurate fiber machine with cache models; every
+///                result is deterministic simulated cycles.
+///   kFunctional  host-speed in-order execution of the same versioned ISA
+///                with no fibers and no cache models; results are values,
+///                faults, and logical op counts — not cycles.
+enum class BackendKind { kTimed, kFunctional };
 
-  // ---- Ablation / future-work switches -------------------------------
-
-  /// Compressed version blocks in L1 (paper Sec. III-A). Disabling forces
-  /// every versioned access down the full-lookup path.
-  bool enable_compression = true;
-  /// Cache-pollution avoidance: blocks passed over during a version-list
-  /// walk are not installed in L1 (paper Sec. III-A). Disabling installs
-  /// every walked block.
-  bool pollution_avoidance = true;
-  /// Future work evaluated (paper Sec. III-A: "sophisticated approaches
-  /// that modify compressed version blocks in situ"): instead of discarding
-  /// remote compressed lines on a mutation, patch them in place through the
-  /// extended coherence message.
-  bool inplace_comp_update = false;
-
-  /// Keep the last N versioned operations in an architectural trace ring
-  /// (telemetry::RingSink, masked to ISA-op events). 0 disables the ring.
-  std::size_t trace_capacity = 0;
-  /// Stream the full version-lifecycle event trace to this binary file
-  /// (telemetry::FileSink; read back with tools/osim-report or
-  /// telemetry::read_trace_file). Empty disables the file sink.
-  std::string trace_path;
-  /// Online protocol checking (src/analysis): 0 = off, 1 = on, 2 = strict
-  /// (advisory findings become errors). When on, the runtime Env attaches
-  /// an analysis::CheckerSink to the manager's tracer; checking charges no
-  /// simulated cycles, so results stay bit-identical.
-  int check_mode = 0;
-};
+inline const char* to_string(BackendKind b) {
+  return b == BackendKind::kFunctional ? "functional" : "timed";
+}
 
 /// Whole-machine configuration (Table II defaults).
 struct MachineConfig {
@@ -103,6 +61,9 @@ struct MachineConfig {
   Cycles invalidate_latency = 20;
 
   std::size_t fiber_stack_bytes = 512 * 1024;
+
+  /// Execution backend; Env dispatches on this (see runtime/env.hpp).
+  BackendKind backend = BackendKind::kTimed;
 
   OStructConfig ostruct{};
 

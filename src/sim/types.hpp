@@ -1,32 +1,6 @@
-// Basic simulator-wide types: cycle counts, addresses, core identifiers.
+// Forwarding header: the basic types moved to core/types.hpp when the
+// semantic engine (core/version_store.hpp) was split from the simulator.
+// Kept so existing includes of "sim/types.hpp" continue to work.
 #pragma once
 
-#include <cstdint>
-
-namespace osim {
-
-/// Simulated clock cycles (the machine runs at MachineConfig::ghz).
-using Cycles = std::uint64_t;
-
-/// A simulated address. For workload data this is the host address of the
-/// object (execution-driven simulation); for version blocks and O-structure
-/// roots it is a synthetic address in a reserved region (see address_map.hpp).
-using Addr = std::uint64_t;
-
-/// Core identifier, dense in [0, num_cores).
-using CoreId = int;
-
-/// Task identifier in the task-parallel runtime. Task IDs double as version
-/// numbers (GC rule #1 in the paper: access versions with the task ID).
-using TaskId = std::uint64_t;
-
-/// Version identifier of an O-structure version.
-using Ver = std::uint64_t;
-
-inline constexpr int kLineBytes = 64;       ///< cache line size (Table II)
-inline constexpr Addr kLineMask = ~static_cast<Addr>(kLineBytes - 1);
-
-/// Round an address down to its cache-line base.
-constexpr Addr line_of(Addr a) { return a & kLineMask; }
-
-}  // namespace osim
+#include "core/types.hpp"

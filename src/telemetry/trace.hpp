@@ -21,7 +21,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/types.hpp"
+#include "core/types.hpp"
 
 namespace osim {
 // The ISA opcode of kIsaOp events. Opaque here: telemetry sits below the

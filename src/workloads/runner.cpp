@@ -19,9 +19,9 @@ RunResult run_sequential(Env& env, std::function<void()> setup,
   RunResult result;
   env.spawn(0, [&] {
     setup();
-    const Cycles t0 = mach().now();
+    const Cycles t0 = env.now();
     result.checksum = ops();
-    result.cycles = mach().now() - t0;
+    result.cycles = env.now() - t0;
   });
   env.run();
   return result;

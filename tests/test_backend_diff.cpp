@@ -1,0 +1,371 @@
+// Differential test: the functional backend must agree with the
+// cycle-accurate machine on everything semantic. Random versioned-op
+// streams (and the opgen-driven structure workloads) run on both backends;
+// every read value, the final latest-version map of every slot, the
+// sequence of protocol faults, and the osim-check strict verdict must be
+// identical — only the clocks may differ.
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/env.hpp"
+#include "runtime/task.hpp"
+#include "workloads/binary_tree.hpp"
+#include "workloads/hash_table.hpp"
+#include "workloads/linked_list.hpp"
+#include "workloads/rb_tree.hpp"
+#include "workloads/runner.hpp"
+
+namespace osim {
+namespace {
+
+std::uint64_t splitmix(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// One planned versioned-ISA operation. Streams are generated host-side so
+// that every operation is determinate under ANY legal schedule: exact
+// loads/locks only target versions some earlier task publishes (they block
+// until it exists), and the deliberate fault ops are constructed so their
+// outcome cannot depend on cross-task timing (see each kind).
+struct PlannedOp {
+  enum Kind {
+    kStore,             // publish version tid on a slot
+    kLoad,              // exact load of an earlier task's version
+    kLockRename,        // lock an earlier version, unlock-rename to tid
+    kLoadLatestSetup,   // LOAD-LATEST capped at the setup version
+    kDupStore,          // second store of tid by the same task -> fault
+    kWrongOwnerUnlock,  // unlock of a never-locked version -> fault
+    kUnlockNonexistent, // unlock of a version nobody stores -> fault
+    kBadVersionedAddr,  // versioned op outside the allocation -> fault
+    kBadConventional,   // conventional access to a slot -> fault
+  };
+  Kind kind;
+  std::uint32_t slot = 0;
+  Ver ver = 0;
+};
+
+struct Stream {
+  int slots;
+  int tasks;
+  std::vector<std::vector<PlannedOp>> ops;  // per task, executed in order
+};
+
+/// Never-stored version used by kUnlockNonexistent.
+constexpr Ver kGhostVersion = 999999999;
+
+// `unlock_violations` adds unlock ops that break the locking protocol.
+// osim-check (correctly) reports those as LK-UNHELD errors, so streams
+// containing them cannot expect a clean strict verdict — instead the test
+// asserts both backends produce the SAME verdict. Streams without them
+// must be strict-clean everywhere.
+Stream make_stream(int slots, int tasks, std::uint64_t seed,
+                   bool unlock_violations) {
+  Stream st;
+  st.slots = slots;
+  st.tasks = tasks;
+  st.ops.resize(static_cast<std::size_t>(tasks));
+  // Published (version) list per slot, in creation order. Slot s is
+  // "lockable" iff s < slots/2: lock ops stay on the lockable half, so the
+  // setup versions of the other half are never locked and a wrong-owner
+  // unlock there has exactly one possible outcome.
+  std::vector<std::vector<Ver>> published(static_cast<std::size_t>(slots));
+  for (int s = 0; s < slots; ++s) published[s].push_back(kSetupVersion);
+  const int lockable = slots / 2;
+
+  for (int i = 0; i < tasks; ++i) {
+    const TaskId tid = kFirstTaskId + static_cast<TaskId>(i);
+    auto& ops = st.ops[static_cast<std::size_t>(i)];
+    bool stored = false;
+    // At most one publishing op per task (versions are task ids).
+    if (splitmix(seed) % 10 < 6) {
+      const auto s =
+          static_cast<std::uint32_t>(splitmix(seed) %
+                                     static_cast<std::uint64_t>(slots));
+      if (s < static_cast<std::uint32_t>(lockable) &&
+          splitmix(seed) % 2 == 0) {
+        const auto& pub = published[s];
+        const Ver from = pub[splitmix(seed) % pub.size()];
+        ops.push_back({PlannedOp::kLockRename, s, from});
+      } else {
+        ops.push_back({PlannedOp::kStore, s, tid});
+        stored = true;
+      }
+      published[s].push_back(tid);
+    }
+    const std::uint64_t reads = splitmix(seed) % 3;
+    for (std::uint64_t r = 0; r < reads; ++r) {
+      const auto s =
+          static_cast<std::uint32_t>(splitmix(seed) %
+                                     static_cast<std::uint64_t>(slots));
+      if (splitmix(seed) % 5 == 0) {
+        ops.push_back({PlannedOp::kLoadLatestSetup, s, kSetupVersion});
+      } else {
+        // Exact read of a version published by this or an earlier task; the
+        // op blocks until the version exists, so the value is determined.
+        const auto& pub = published[s];
+        ops.push_back({PlannedOp::kLoad, s,
+                       pub[splitmix(seed) % pub.size()]});
+      }
+    }
+    if (splitmix(seed) % 7 == 0) {
+      switch (splitmix(seed) % 5) {
+        case 0:
+          if (stored) {
+            ops.push_back({PlannedOp::kDupStore,
+                           ops.front().slot, tid});
+            break;
+          }
+          [[fallthrough]];
+        case 1:
+          if (unlock_violations) {
+            ops.push_back(
+                {PlannedOp::kWrongOwnerUnlock,
+                 static_cast<std::uint32_t>(
+                     lockable +
+                     static_cast<int>(splitmix(seed) %
+                                      static_cast<std::uint64_t>(
+                                          slots - lockable))),
+                 kSetupVersion});
+            break;
+          }
+          [[fallthrough]];
+        case 2:
+          if (unlock_violations) {
+            ops.push_back({PlannedOp::kUnlockNonexistent,
+                           static_cast<std::uint32_t>(
+                               splitmix(seed) %
+                               static_cast<std::uint64_t>(slots)),
+                           kGhostVersion});
+            break;
+          }
+          [[fallthrough]];
+        case 3:
+          ops.push_back({PlannedOp::kBadVersionedAddr, 0, kSetupVersion});
+          break;
+        default:
+          ops.push_back({PlannedOp::kBadConventional,
+                         static_cast<std::uint32_t>(
+                             splitmix(seed) %
+                             static_cast<std::uint64_t>(slots)),
+                         0});
+      }
+    }
+  }
+  return st;
+}
+
+/// Everything a backend run observes, flattened in task-creation order so
+/// the comparison is schedule-independent.
+struct Observed {
+  std::vector<std::uint64_t> reads;
+  std::vector<int> faults;  // FaultKind per caught fault
+  std::vector<std::pair<std::optional<Ver>, std::optional<std::uint64_t>>>
+      latest;  // per slot: newest version and its value
+  bool check_clean = false;
+  std::uint64_t check_errors = 0, check_warnings = 0;
+
+  bool operator==(const Observed& o) const {
+    return reads == o.reads && faults == o.faults && latest == o.latest &&
+           check_clean == o.check_clean && check_errors == o.check_errors &&
+           check_warnings == o.check_warnings;
+  }
+};
+
+Observed run_stream(const Stream& st, BackendKind backend, int cores) {
+  MachineConfig cfg;
+  cfg.num_cores = cores;
+  cfg.backend = backend;
+  cfg.ostruct.check_mode = 2;  // strict osim-check, online
+  Env env(cfg);
+
+  std::vector<std::vector<std::uint64_t>> reads(
+      static_cast<std::size_t>(st.tasks));
+  std::vector<std::vector<int>> faults(static_cast<std::size_t>(st.tasks));
+
+  OAddr base = 0;
+  {
+    TaskRuntime rt(env, cores);
+    base = env.store().alloc(static_cast<std::size_t>(st.slots));
+    rt.set_setup([&] {
+      for (int s = 0; s < st.slots; ++s) {
+        env.store().store_version(base + 8 * static_cast<OAddr>(s),
+                                  kSetupVersion,
+                                  5000 + static_cast<std::uint64_t>(s));
+      }
+    });
+    for (int i = 0; i < st.tasks; ++i) {
+      const TaskId tid = kFirstTaskId + static_cast<TaskId>(i);
+      rt.create_task(tid, [&, i, tid](TaskId) {
+        for (const PlannedOp& op : st.ops[static_cast<std::size_t>(i)]) {
+          const OAddr a = base + 8 * static_cast<OAddr>(op.slot);
+          try {
+            switch (op.kind) {
+              case PlannedOp::kStore:
+                env.store().store_version(a, tid, tid * 7 + op.slot);
+                break;
+              case PlannedOp::kLoad:
+                reads[i].push_back(env.store().load_version(a, op.ver));
+                break;
+              case PlannedOp::kLockRename: {
+                const std::uint64_t v =
+                    env.store().lock_load_version(a, op.ver, tid);
+                reads[i].push_back(v);
+                env.store().unlock_version(a, op.ver, tid, tid);
+                break;
+              }
+              case PlannedOp::kLoadLatestSetup: {
+                Ver got = 0;
+                reads[i].push_back(
+                    env.store().load_latest(a, kSetupVersion, &got));
+                reads[i].push_back(got);
+                break;
+              }
+              case PlannedOp::kDupStore:
+                env.store().store_version(a, tid, 1);
+                break;
+              case PlannedOp::kWrongOwnerUnlock:
+              case PlannedOp::kUnlockNonexistent:
+                env.store().unlock_version(a, op.ver, tid);
+                break;
+              case PlannedOp::kBadVersionedAddr:
+                env.store().load_version(
+                    base + 8 * static_cast<OAddr>(st.slots + 100), op.ver);
+                break;
+              case PlannedOp::kBadConventional:
+                env.store().check_conventional(a);
+                break;
+            }
+          } catch (const OFault& f) {
+            faults[i].push_back(static_cast<int>(f.kind()));
+          }
+        }
+      });
+    }
+    rt.run();
+  }
+
+  Observed o;
+  for (int i = 0; i < st.tasks; ++i) {
+    o.reads.insert(o.reads.end(), reads[i].begin(), reads[i].end());
+    o.faults.insert(o.faults.end(), faults[i].begin(), faults[i].end());
+  }
+  for (int s = 0; s < st.slots; ++s) {
+    const OAddr a = base + 8 * static_cast<OAddr>(s);
+    const std::optional<Ver> newest = env.store().newest_version(a);
+    std::optional<std::uint64_t> val;
+    if (newest.has_value()) val = env.store().peek_version(a, *newest);
+    o.latest.emplace_back(newest, val);
+  }
+  env.checker()->finish();
+  o.check_clean = env.checker()->clean();
+  o.check_errors = env.checker()->error_count();
+  o.check_warnings = env.checker()->warning_count();
+  return o;
+}
+
+TEST(BackendDiff, RandomStreamsAgreeAndCheckClean) {
+  for (std::uint64_t seed : {11ull, 23ull, 47ull}) {
+    const Stream st = make_stream(/*slots=*/24, /*tasks=*/400, seed,
+                                  /*unlock_violations=*/false);
+    const Observed timed = run_stream(st, BackendKind::kTimed, /*cores=*/4);
+    const Observed func =
+        run_stream(st, BackendKind::kFunctional, /*cores=*/4);
+    EXPECT_FALSE(timed.reads.empty());
+    EXPECT_FALSE(timed.faults.empty());
+    EXPECT_TRUE(timed.check_clean) << "seed " << seed;
+    EXPECT_TRUE(func.check_clean) << "seed " << seed;
+    EXPECT_EQ(timed.reads, func.reads) << "seed " << seed;
+    EXPECT_EQ(timed.faults, func.faults) << "seed " << seed;
+    EXPECT_EQ(timed.latest, func.latest) << "seed " << seed;
+  }
+}
+
+// Unlock protocol violations fault at the ISA level AND get reported by the
+// strict checker; both backends must fault identically and the checker must
+// reach the same (non-clean) verdict on each.
+TEST(BackendDiff, UnlockViolationsFlaggedIdentically) {
+  const Stream st = make_stream(/*slots=*/24, /*tasks=*/400, /*seed=*/31,
+                                /*unlock_violations=*/true);
+  const Observed timed = run_stream(st, BackendKind::kTimed, /*cores=*/4);
+  const Observed func = run_stream(st, BackendKind::kFunctional, /*cores=*/4);
+  EXPECT_FALSE(timed.check_clean);
+  EXPECT_GT(timed.check_errors, 0u);
+  EXPECT_EQ(timed.reads, func.reads);
+  EXPECT_EQ(timed.faults, func.faults);
+  EXPECT_EQ(timed.latest, func.latest);
+  EXPECT_EQ(timed.check_errors, func.check_errors);
+  EXPECT_EQ(timed.check_warnings, func.check_warnings);
+}
+
+TEST(BackendDiff, StreamsAgreeAcrossCoreCounts) {
+  const Stream st = make_stream(/*slots=*/16, /*tasks=*/250, /*seed=*/5,
+                                /*unlock_violations=*/false);
+  const Observed func = run_stream(st, BackendKind::kFunctional, 1);
+  for (int cores : {1, 3, 8}) {
+    EXPECT_TRUE(run_stream(st, BackendKind::kTimed, cores) == func)
+        << cores << " cores";
+  }
+}
+
+// An op no earlier task can ever satisfy is a deadlock on the timed
+// backend; the functional backend reports it synchronously as kWouldBlock.
+TEST(BackendDiff, FunctionalWouldBlockFault) {
+  MachineConfig cfg;
+  cfg.num_cores = 2;
+  cfg.backend = BackendKind::kFunctional;
+  Env env(cfg);
+  TaskRuntime rt(env, 2);
+  const OAddr a = env.store().alloc(1);
+  bool faulted = false;
+  rt.create_task(kFirstTaskId, [&](TaskId) {
+    try {
+      env.store().load_version(a, /*v=*/kGhostVersion);
+    } catch (const OFault& f) {
+      faulted = f.kind() == FaultKind::kWouldBlock;
+    }
+  });
+  rt.run();
+  EXPECT_TRUE(faulted);
+}
+
+// The opgen-driven structure workloads must produce bit-identical
+// checksums on both backends, with a clean strict check verdict.
+TEST(BackendDiff, WorkloadChecksumsAgree) {
+  DsSpec spec;
+  spec.initial_size = 60;
+  spec.ops = 600;
+  spec.reads_per_write = 2;
+  using Fn = RunResult (*)(Env&, const DsSpec&, int);
+  const std::pair<const char*, Fn> workloads[] = {
+      {"linked_list", linked_list_versioned},
+      {"hash_table", hash_table_versioned},
+      {"binary_tree", binary_tree_versioned},
+      {"rb_tree", rb_tree_versioned},
+  };
+  for (const auto& [name, fn] : workloads) {
+    std::uint64_t sums[2];
+    for (BackendKind b : {BackendKind::kTimed, BackendKind::kFunctional}) {
+      MachineConfig cfg;
+      cfg.num_cores = 4;
+      cfg.backend = b;
+      cfg.ostruct.check_mode = 2;
+      Env env(cfg);
+      sums[b == BackendKind::kFunctional] = fn(env, spec, 4).checksum;
+      env.checker()->finish();
+      EXPECT_TRUE(env.checker()->clean())
+          << name << " on " << to_string(b);
+    }
+    EXPECT_EQ(sums[0], sums[1]) << name;
+  }
+}
+
+}  // namespace
+}  // namespace osim

@@ -36,6 +36,9 @@ using osim::telemetry::TraceEvent;
 
 struct Cell {
   std::string name;
+  /// Backend that produced the cell. Older result files predate the field;
+  /// they could only have come from the cycle-accurate backend.
+  std::string backend = "timed";
   std::uint64_t cycles = 0;
   std::uint64_t checksum = 0;
   const Json* metrics = nullptr;  ///< owned by the file's Json root
@@ -125,11 +128,26 @@ bool load_results(const std::string& path, ResultFile& out) {
       }
       Cell c;
       c.name = cn->as_string();
+      if (const Json* cb = jc.find("backend")) c.backend = cb->as_string();
       c.cycles = cy->as_u64();
       c.checksum = ck->as_u64();
       c.metrics = jc.find("metrics");
       c.check = jc.find("check");
       b.cells.push_back(std::move(c));
+    }
+    // A figure table mixes cycle counts from different backends only by
+    // mistake (a functional rerun merged over a timed one, or vice versa) —
+    // refuse it. backend_throughput is the one bench whose whole point is
+    // the side-by-side comparison.
+    if (name.find("backend_throughput") == std::string::npos) {
+      for (const Cell& c : b.cells) {
+        if (c.backend != b.cells.front().backend) {
+          fail(path + ": bench '" + name + "' mixes backends ('" +
+               b.cells.front().backend + "' and '" + c.backend +
+               "'); rerun the bench with one --backend");
+          break;
+        }
+      }
     }
     out.benches.emplace_back(name, std::move(b));
   }

@@ -5,9 +5,9 @@
 #
 # The simulated cores are cooperative fibers on hand-rolled stack switches
 # (src/sim/fiber_switch.S); ASan and UBSan handle that fine, but TSan's
-# shadow state does not follow custom context switches, so the TSan leg
-# runs only the genuinely multi-threaded host-side tests (the experiment
-# driver's thread pool).
+# shadow state does not follow custom context switches, so the TSan legs
+# run only fiber-free code: the host-side thread-pool tests and the
+# functional backend (which executes tasks inline, no fibers).
 #
 # Usage: tools/run-sanitizers.sh [JOBS]
 set -euo pipefail
@@ -30,12 +30,30 @@ ctest --test-dir build-asan-ubsan --output-on-failure -j "$jobs" \
   -LE bench_smoke
 
 echo
+echo "== ASan+UBSan: functional backend, bench path =="
+# The unit suite above already runs the backend differential tests; this
+# adds the driver->Env->FunctionalBackend bench path under strict checking.
+cmake --build --preset asan-ubsan -j "$jobs" --target bench_gc_overhead
+./build-asan-ubsan/bench/bench_gc_overhead --quick --threads 2 \
+  --check=strict --backend=functional
+
+echo
 echo "== TSan: host thread pool =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" --target test_host_pool
 # Run the binary directly: only this target is built, so ctest's
 # discovered test lists for the rest of the tree don't exist here.
 ./build-tsan/tests/test_host_pool
+
+echo
+echo "== TSan: functional engine under the driver's thread pool =="
+# The functional backend has no fibers — tasks run inline on the calling
+# host thread — so unlike the cycle-accurate machine it CAN run under
+# TSan. The experiment driver fans cells out across real host threads, so
+# this leg checks the functional engine for host-level races end to end.
+cmake --build --preset tsan -j "$jobs" --target bench_gc_overhead
+./build-tsan/bench/bench_gc_overhead --quick --threads 2 \
+  --check=strict --backend=functional
 
 echo
 echo "sanitizer gate: PASS"
