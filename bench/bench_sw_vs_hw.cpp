@@ -117,6 +117,7 @@ int main(int argc, char** argv) {
   using namespace osim;
   using namespace osim::bench;
   const Options opt = Options::parse(argc, argv);
+  require_inline_exec(opt, argv[0]);
   if (opt.backend != BackendKind::kTimed) {
     std::fprintf(stderr,
                  "sw_vs_hw: this figure is about simulated per-op cost; "

@@ -103,6 +103,7 @@ int main(int argc, char** argv) {
   using namespace osim;
   using namespace osim::bench;
   const Options opt = Options::parse(argc, argv);
+  require_inline_exec(opt, argv[0]);
   if (opt.backend != BackendKind::kTimed) {
     std::fprintf(stderr,
                  "table2_platform: latency probes drive the simulated "

@@ -52,12 +52,19 @@ struct Options {
   /// speed. Benches whose figures are *about* simulated time reject
   /// kFunctional after parsing.
   BackendKind backend = BackendKind::kTimed;
+  /// How the functional backend executes: inline (default; deterministic
+  /// in-order) or concurrent (real host threads on the thread-safe
+  /// engine). Only benches built for it accept --exec=concurrent, and it
+  /// requires --backend=functional; everyone else rejects it after parsing
+  /// (require_inline_exec).
+  ExecKind exec = ExecKind::kInline;
 
   [[noreturn]] static void usage(const char* argv0, int exit_code) {
     std::fprintf(
         stderr,
         "usage: %s [--quick | --full] [--threads N] [--json PATH] "
         "[--trace PATH] [--check[=strict]] [--backend=timed|functional]\n"
+        "          [--exec=inline|concurrent]\n"
         "  --quick      smoke-test scale (0.25x ops)\n"
         "  --full       paper-sized runs (4x ops)\n"
         "  --threads N  run experiment cells on N host threads\n"
@@ -73,7 +80,12 @@ struct Options {
         "  --check=strict  as --check, but advisory findings also fail\n"
         "  --backend=timed       cycle-accurate simulation (default)\n"
         "  --backend=functional  host-speed semantic execution; cells\n"
-        "               report logical op counts instead of cycles\n",
+        "               report logical op counts instead of cycles\n"
+        "  --exec=inline      in-order execution on one host thread\n"
+        "               (default)\n"
+        "  --exec=concurrent  truly parallel execution on real host\n"
+        "               threads (requires --backend=functional; only\n"
+        "               benches built for it accept the flag)\n",
         argv0);
     std::exit(exit_code);
   }
@@ -124,6 +136,16 @@ struct Options {
                      "--backend=functional)\n",
                      argv[0], a);
         usage(argv[0], 2);
+      } else if (std::strcmp(a, "--exec=inline") == 0) {
+        o.exec = ExecKind::kInline;
+      } else if (std::strcmp(a, "--exec=concurrent") == 0) {
+        o.exec = ExecKind::kConcurrent;
+      } else if (std::strncmp(a, "--exec", 6) == 0) {
+        std::fprintf(stderr,
+                     "%s: bad exec mode '%s' (use --exec=inline or "
+                     "--exec=concurrent)\n",
+                     argv[0], a);
+        usage(argv[0], 2);
       } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
         usage(argv[0], 0);
       } else {
@@ -134,6 +156,20 @@ struct Options {
     return o;
   }
 };
+
+/// Reject --exec=concurrent on a bench that has no concurrent section.
+/// Called by every bench main right after parse; the two benches that *do*
+/// run concurrently skip it and validate the backend pairing themselves.
+inline void require_inline_exec(const Options& o, const char* argv0) {
+  if (o.exec != ExecKind::kInline) {
+    std::fprintf(stderr,
+                 "%s: this bench is timed-only; --exec=concurrent is only "
+                 "accepted by benches with a concurrent section "
+                 "(bench_backend_throughput)\n",
+                 argv0);
+    std::exit(2);
+  }
+}
 
 namespace detail {
 /// Trace file for the experiment cell running on this host thread

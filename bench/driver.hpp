@@ -36,6 +36,15 @@ struct CellResult {
   /// records the cell Env's own backend, so mixed-backend benches label
   /// each cell correctly. Empty = fall back to the bench-wide --backend.
   std::string backend;
+  /// Execution mode of the cell ("inline" / "concurrent"); empty = inline.
+  std::string exec;
+  /// Concurrent cells: versioned ISA ops executed, measured host seconds of
+  /// the parallel section, and worker-thread count. ops/work_seconds is the
+  /// throughput the scaling tables report; wall_seconds also covers cell
+  /// setup, so it is not the number to divide by.
+  std::uint64_t ops = 0;
+  double work_seconds = 0.0;
+  int conc_threads = 0;
   /// Registry snapshot for the cell's machine (counters by "component/name",
   /// per-core vectors, histograms); lands in the JSON cell record.
   Json metrics;

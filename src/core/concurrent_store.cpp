@@ -1,0 +1,955 @@
+#include "core/concurrent_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "core/fault.hpp"
+
+namespace osim {
+
+namespace {
+
+/// Thread-local registration: one ctx id per (thread, store) pair. Stores
+/// are distinguished by a process-unique serial, never by address (a new
+/// store may reuse a destroyed one's address).
+struct TlsBinding {
+  std::uint64_t serial;
+  int id;
+};
+thread_local std::vector<TlsBinding> t_bindings;
+std::atomic<std::uint64_t> g_store_serial{1};
+
+}  // namespace
+
+ConcurrentVersionStore::ConcurrentVersionStore(const ConcurrencyConfig& cfg)
+    : cfg_(cfg), serial_(g_store_serial.fetch_add(1)) {
+  int n = 1;
+  while (n < cfg_.shards) n <<= 1;
+  nshards_ = n;
+  shard_mask_ = static_cast<std::uint64_t>(n - 1);
+  shards_ = std::make_unique<Shard[]>(static_cast<std::size_t>(n));
+  if (cfg_.max_threads < 1) cfg_.max_threads = 1;
+  ctxs_ = std::make_unique<ThreadCtx[]>(
+      static_cast<std::size_t>(cfg_.max_threads));
+}
+
+ConcurrentVersionStore::~ConcurrentVersionStore() {
+  for (int i = 0; i < nshards_; ++i) {
+    Shard& sh = shards_[i];
+    const std::uint32_t nc = sh.nchunks.load(std::memory_order_relaxed);
+    for (std::uint32_t c = 0; c < nc; ++c) {
+      delete[] sh.chunk[c].load(std::memory_order_relaxed);
+    }
+  }
+  const std::uint64_t slots = slot_count_.load(std::memory_order_relaxed);
+  const std::uint64_t nchunks =
+      (slots + kSlotChunkSize - 1) >> kSlotChunkBits;
+  for (std::uint64_t c = 0; c < nchunks; ++c) {
+    delete[] slot_chunk_[c].load(std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread registration and epochs
+
+int ConcurrentVersionStore::ctx_id() {
+  for (const TlsBinding& b : t_bindings) {
+    if (b.serial == serial_) return b.id;
+  }
+  const int id = nctx_.fetch_add(1, std::memory_order_acq_rel);
+  if (id >= cfg_.max_threads) {
+    throw std::runtime_error(
+        "ConcurrentVersionStore: thread registrations exceed "
+        "ConcurrencyConfig::max_threads (" +
+        std::to_string(cfg_.max_threads) + ")");
+  }
+  t_bindings.push_back({serial_, id});
+  return id;
+}
+
+ConcurrentVersionStore::ThreadCtx& ConcurrentVersionStore::ctx() {
+  return ctxs_[static_cast<std::size_t>(ctx_id())];
+}
+
+/// RAII epoch pin for an optimistic walk. The store-then-confirm loop makes
+/// the pin "sticky": once the loop exits, any reclaimer that later advances
+/// the global epoch is guaranteed to observe this pin (both sides use
+/// seq_cst, so pin-store and epoch-read cannot pass each other) and will
+/// not recycle a block retired at an epoch <= the pinned one. Parked
+/// waiters drop their pin first — a blocked reader must not block
+/// reclamation.
+struct ConcurrentVersionStore::EpochPin {
+  ThreadCtx& c;
+  EpochPin(const ConcurrentVersionStore& s, ThreadCtx& tc) : c(tc) {
+    std::uint64_t e;
+    do {
+      e = s.global_epoch_.load(std::memory_order_seq_cst);
+      c.epoch.store(e, std::memory_order_seq_cst);
+    } while (s.global_epoch_.load(std::memory_order_seq_cst) != e);
+  }
+  ~EpochPin() { c.epoch.store(kIdleEpoch, std::memory_order_release); }
+};
+
+std::uint64_t ConcurrentVersionStore::min_active_epoch() const {
+  std::uint64_t m = kIdleEpoch;
+  const int n = nctx_.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    m = std::min(m, ctxs_[i].epoch.load(std::memory_order_seq_cst));
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Slot table
+
+ConcurrentVersionStore::CSlot* ConcurrentVersionStore::slot_ptr(
+    std::uint64_t slot) const {
+  if (slot >= slot_count_.load(std::memory_order_acquire)) return nullptr;
+  CSlot* chunk =
+      slot_chunk_[slot >> kSlotChunkBits].load(std::memory_order_acquire);
+  if (chunk == nullptr) return nullptr;
+  return &chunk[slot & (kSlotChunkSize - 1)];
+}
+
+std::uint64_t ConcurrentVersionStore::slot_of(OAddr a) const {
+  if (a < kOStructBase || (a - kOStructBase) % 8 != 0) fault_unversioned(a);
+  const std::uint64_t slot = (a - kOStructBase) / 8;
+  const CSlot* sp = slot_ptr(slot);
+  if (sp == nullptr || sp->allocated.load(std::memory_order_acquire) == 0) {
+    fault_unversioned(a);
+  }
+  return slot;
+}
+
+void ConcurrentVersionStore::fault_unversioned(OAddr a) const {
+  if (a < kOStructBase || (a - kOStructBase) % 8 != 0) {
+    throw OFault(FaultKind::kVersionedAccessToUnversionedPage,
+                 "address " + std::to_string(a) +
+                     " is outside the versioned region");
+  }
+  throw OFault(FaultKind::kVersionedAccessToUnversionedPage,
+               "slot " + std::to_string((a - kOStructBase) / 8) +
+                   " is not allocated");
+}
+
+bool ConcurrentVersionStore::is_versioned_addr(Addr a) const {
+  if (a < kOStructBase || (a - kOStructBase) % 8 != 0) return false;
+  const CSlot* sp = slot_ptr((a - kOStructBase) / 8);
+  return sp != nullptr && sp->allocated.load(std::memory_order_acquire) != 0;
+}
+
+void ConcurrentVersionStore::check_conventional(Addr a) const {
+  if (is_versioned_addr(a)) {
+    throw OFault(FaultKind::kConventionalAccessToVersionedPage,
+                 "slot " + std::to_string((a - kOStructBase) / 8));
+  }
+}
+
+OAddr ConcurrentVersionStore::alloc(std::size_t slots) {
+  if (slots == 0) throw OFault(FaultKind::kInvalidAddress, "zero-slot alloc");
+  std::lock_guard<std::mutex> g(alloc_mu_);
+  auto& freed = slot_free_[static_cast<std::uint64_t>(slots)];
+  std::uint64_t base;
+  if (!freed.empty()) {
+    base = freed.back();
+    freed.pop_back();
+  } else {
+    base = slot_count_.load(std::memory_order_relaxed);
+  }
+  const std::uint64_t end = base + slots;
+  if (end > kMaxSlotChunks * kSlotChunkSize) {
+    throw std::runtime_error("ConcurrentVersionStore: slot table exhausted");
+  }
+  for (std::uint64_t c = base >> kSlotChunkBits; c <= (end - 1) >> kSlotChunkBits;
+       ++c) {
+    if (slot_chunk_[c].load(std::memory_order_relaxed) == nullptr) {
+      slot_chunk_[c].store(new CSlot[kSlotChunkSize],
+                           std::memory_order_release);
+    }
+  }
+  for (std::uint64_t s = base; s < end; ++s) {
+    CSlot& sl = slot_chunk_[s >> kSlotChunkBits].load(
+        std::memory_order_relaxed)[s & (kSlotChunkSize - 1)];
+    assert(sl.head.load(std::memory_order_relaxed) == kNil);
+    sl.allocated.store(1, std::memory_order_release);
+  }
+  if (end > slot_count_.load(std::memory_order_relaxed)) {
+    slot_count_.store(end, std::memory_order_release);
+  }
+  return ostruct_addr(base);
+}
+
+void ConcurrentVersionStore::release(OAddr base, std::size_t slots) {
+  const std::uint64_t first = slot_of(base);
+  for (std::uint64_t s = first; s < first + slots; ++s) {
+    CSlot* sp = slot_ptr(s);
+    if (sp == nullptr) fault_unversioned(ostruct_addr(s));
+    CSlot& sl = *sp;
+    Shard& sh = shard_of(s);
+    {
+      std::lock_guard<std::mutex> g(sh.writer_mu);
+      const std::uint64_t epoch = global_epoch_.load(std::memory_order_relaxed);
+      // Seqlock write: empty the chain and clear the versioned bit in one
+      // atomic-looking step (readers racing with release retry, then fault
+      // on the cleared bit).
+      const std::uint32_t sq = sl.seq.load(std::memory_order_relaxed);
+      sl.seq.store(sq + 1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_release);
+      std::uint32_t b = sl.head.load(std::memory_order_relaxed);
+      sl.head.store(kNil, std::memory_order_relaxed);
+      sl.nversions.store(0, std::memory_order_relaxed);
+      sl.allocated.store(0, std::memory_order_relaxed);
+      sl.seq.store(sq + 2, std::memory_order_release);
+      while (b != kNil) {
+        CBlock& cb = block(sh, b);
+        if (tracing()) {
+          emit(telemetry::EventType::kBlockFreed, OpCode{}, ostruct_addr(s),
+               cb.version.load(std::memory_order_relaxed), trace_id(sh, b));
+        }
+        const std::uint32_t nx = cb.next.load(std::memory_order_relaxed);
+        sh.limbo.push_back({b, epoch});
+        b = nx;
+      }
+      // Shadow-registry entries for this slot point into the chain just
+      // retired; drop them so a later reclaim pass does not retire twice.
+      sh.shadowed.erase(
+          std::remove_if(sh.shadowed.begin(), sh.shadowed.end(),
+                         [s](const Shadowed& x) { return x.slot == s; }),
+          sh.shadowed.end());
+    }
+    global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+    // Parked waiters re-check and fault on the cleared versioned bit.
+    wake(sh);
+  }
+  std::lock_guard<std::mutex> g(alloc_mu_);
+  slot_free_[static_cast<std::uint64_t>(slots)].push_back(first);
+}
+
+// ---------------------------------------------------------------------------
+// Block pool and reclamation
+
+std::uint32_t ConcurrentVersionStore::trace_id(Shard& sh, std::uint32_t b) {
+  if (sh.trace_ids.size() <= b) sh.trace_ids.resize(b + 1, kNil);
+  if (sh.trace_ids[b] == kNil) {
+    sh.trace_ids[b] = next_trace_block_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return sh.trace_ids[b];
+}
+
+std::uint32_t ConcurrentVersionStore::alloc_block(Shard& sh) {
+  if (sh.shadowed.size() >= cfg_.reclaim_threshold) maybe_reclaim(sh);
+  if (sh.free_list.empty() && !sh.limbo.empty()) {
+    // Harvest limbo blocks whose grace period has passed: no active reader
+    // pinned an epoch at or before the retirement epoch, so no optimistic
+    // walk can still reach them.
+    const std::uint64_t min_epoch = min_active_epoch();
+    auto safe = [min_epoch](const Retired& r) { return r.epoch < min_epoch; };
+    for (const Retired& r : sh.limbo) {
+      if (safe(r)) sh.free_list.push_back(r.block);
+    }
+    sh.limbo.erase(std::remove_if(sh.limbo.begin(), sh.limbo.end(), safe),
+                   sh.limbo.end());
+  }
+  if (!sh.free_list.empty()) {
+    const std::uint32_t b = sh.free_list.back();
+    sh.free_list.pop_back();
+    ++sh.allocated;
+    return b;
+  }
+  const std::uint32_t nc = sh.nchunks.load(std::memory_order_relaxed);
+  if (sh.next_fresh == nc * kBlockChunkSize) {
+    if (nc == kMaxBlockChunks) {
+      throw std::runtime_error("ConcurrentVersionStore: block pool exhausted");
+    }
+    sh.chunk[nc].store(new CBlock[kBlockChunkSize],
+                       std::memory_order_release);
+    sh.nchunks.store(nc + 1, std::memory_order_release);
+  }
+  ++sh.allocated;
+  return sh.next_fresh++;
+}
+
+void ConcurrentVersionStore::maybe_reclaim(Shard& sh) {
+  // The paper's fence rule: a shadowed block can only be named by tasks
+  // older than its shadower, so once every task below the floor has
+  // finished (floor = oldest unfinished task id), blocks whose shadower is
+  // <= floor are unreachable *semantically*. They are unlinked here (under
+  // the shard writer lock, inside a seqlock write window) and then parked
+  // in limbo until the epoch grace period also rules out in-flight
+  // optimistic readers.
+  const TaskId floor = task_floor_.load(std::memory_order_acquire);
+  const std::uint64_t epoch = global_epoch_.load(std::memory_order_relaxed);
+  std::vector<Shadowed> keep;
+  keep.reserve(sh.shadowed.size());
+  std::size_t retired = 0;
+  Ver max_shadower = 0;
+  for (const Shadowed& sd : sh.shadowed) {
+    CBlock& cb = block(sh, sd.block);
+    if (sd.shadower > floor ||
+        cb.locked_by.load(std::memory_order_relaxed) != kNoTask) {
+      keep.push_back(sd);
+      continue;
+    }
+    CSlot* sp = slot_ptr(sd.slot);
+    if (sp == nullptr) {
+      continue;  // slot released; release() already retired the chain
+    }
+    CSlot& sl = *sp;
+    // Unlink under a seqlock write window.
+    std::uint32_t pred = kNil;
+    std::uint32_t cur = sl.head.load(std::memory_order_relaxed);
+    while (cur != kNil && cur != sd.block) {
+      pred = cur;
+      cur = block(sh, cur).next.load(std::memory_order_relaxed);
+    }
+    if (cur == kNil) continue;  // already gone (released + reallocated slot)
+    const std::uint32_t sq = sl.seq.load(std::memory_order_relaxed);
+    sl.seq.store(sq + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    const std::uint32_t nx = cb.next.load(std::memory_order_relaxed);
+    if (pred == kNil) {
+      sl.head.store(nx, std::memory_order_relaxed);
+    } else {
+      block(sh, pred).next.store(nx, std::memory_order_relaxed);
+    }
+    sl.nversions.fetch_sub(1, std::memory_order_relaxed);
+    sl.seq.store(sq + 2, std::memory_order_release);
+    if (tracing()) {
+      emit(telemetry::EventType::kBlockFreed, OpCode{}, ostruct_addr(sd.slot),
+           cb.version.load(std::memory_order_relaxed),
+           trace_id(sh, sd.block));
+    }
+    sh.limbo.push_back({sd.block, epoch});
+    max_shadower = std::max(max_shadower, sd.shadower);
+    ++retired;
+  }
+  sh.shadowed.swap(keep);
+  sh.reclaimed += retired;
+  if (retired != 0) {
+    // Serial GC floor rule (core/gc.cpp finalize): readers of a version
+    // shadowed by f have ids < f, so after reclaiming under fence f no
+    // task with id <= f-1 may ever be created.
+    const TaskId want = max_shadower == 0 ? 0 : max_shadower - 1;
+    TaskId cur = gc_floor_.load(std::memory_order_relaxed);
+    while (cur < want && !gc_floor_.compare_exchange_weak(
+                             cur, want, std::memory_order_acq_rel)) {
+    }
+    // Advance the epoch so the retired batch's grace period can end once
+    // every reader active right now has unpinned.
+    global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking
+
+void ConcurrentVersionStore::wait_change(Shard& sh, CSlot& sl,
+                                         std::uint32_t seq_seen, OpCode op,
+                                         OAddr a, Ver v) {
+  ThreadCtx& c = ctx();
+  for (int i = 0; i < cfg_.spin_iters; ++i) {
+    if (sl.seq.load(std::memory_order_acquire) != seq_seen) {
+      ++c.local.spin_waits;
+      return;
+    }
+    // On an oversubscribed host a blocked op's best move is handing the
+    // core to whoever will publish the version it needs.
+    std::this_thread::yield();
+  }
+  ++c.local.parks;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(cfg_.deadlock_timeout_ms);
+  bool timed_out = false;
+  bool stopped = false;
+  sh.nwaiters.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::unique_lock<std::mutex> lk(sh.park_mu);
+    for (;;) {
+      if (sl.seq.load(std::memory_order_acquire) != seq_seen) break;
+      if (stop_.load(std::memory_order_acquire)) {
+        stopped = true;
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        timed_out = true;
+        break;
+      }
+      // Timed slices bound the cost of wake()'s relaxed waiter-count fast
+      // path: a theoretically missed notify only delays us one slice.
+      sh.park_cv.wait_for(lk, std::chrono::microseconds(cfg_.park_slice_us));
+    }
+  }
+  sh.nwaiters.fetch_sub(1, std::memory_order_seq_cst);
+  if (stopped) {
+    throw OFault(FaultKind::kWouldBlock,
+                 "run aborted while " + std::string(to_string(op)) +
+                     " of version " + std::to_string(v) + " by task " +
+                     std::to_string(c.cur_task) + " was parked");
+  }
+  if (timed_out) {
+    throw OFault(FaultKind::kWouldBlock,
+                 "deadlock: " + std::string(to_string(op)) + " of version " +
+                     std::to_string(v) + " at address " + std::to_string(a) +
+                     " by task " + std::to_string(c.cur_task) +
+                     " still blocked after " +
+                     std::to_string(cfg_.deadlock_timeout_ms) + "ms");
+  }
+}
+
+void ConcurrentVersionStore::wake(Shard& sh) {
+  // Relaxed fast path: a waiter that registers just after this load also
+  // re-checks the slot sequence *after* registering, and its wait is
+  // timed — worst case it oversleeps one park slice, it cannot hang.
+  if (sh.nwaiters.load(std::memory_order_relaxed) == 0) return;
+  { std::lock_guard<std::mutex> g(sh.park_mu); }
+  sh.park_cv.notify_all();
+}
+
+void ConcurrentVersionStore::request_stop() {
+  stop_.store(true, std::memory_order_release);
+  for (int i = 0; i < nshards_; ++i) {
+    Shard& sh = shards_[i];
+    { std::lock_guard<std::mutex> g(sh.park_mu); }
+    sh.park_cv.notify_all();
+  }
+}
+
+void ConcurrentVersionStore::reset_stop() {
+  stop_.store(false, std::memory_order_release);
+}
+
+void ConcurrentVersionStore::attach_tracer(telemetry::Tracer* tracer) {
+  tracer_ = tracer;
+}
+
+void ConcurrentVersionStore::emit(telemetry::EventType type, OpCode op,
+                                  OAddr addr, Ver version,
+                                  std::uint64_t arg) {
+  std::lock_guard<std::mutex> g(trace_mu_);
+  telemetry::TraceEvent e;
+  e.time = ++trace_clock_;
+  e.core = static_cast<CoreId>(ctx_id());
+  e.type = type;
+  e.op = op;
+  e.addr = addr;
+  e.version = version;
+  e.arg = arg;
+  tracer_->emit(e);
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+
+ConcurrentVersionStore::ReadOutcome ConcurrentVersionStore::try_read(
+    Shard& sh, CSlot& sl, bool exact, Ver key) {
+  ThreadCtx& c = ctx();
+  EpochPin pin(*this, c);
+  for (;;) {
+    // Seqlock read side (snippet 1's mem_read): take the sequence, walk,
+    // fence, re-check. An odd sequence means a writer is mid-flight.
+    const std::uint32_t s1 = sl.seq.load(std::memory_order_acquire);
+    if ((s1 & 1u) != 0) {
+      ++c.local.seq_retries;
+      std::this_thread::yield();
+      continue;
+    }
+    bool found = false;
+    bool locked = false;
+    bool overflow = false;
+    Ver got = 0;
+    std::uint64_t data = 0;
+    std::size_t walked = 0;
+    for (std::uint32_t b = sl.head.load(std::memory_order_acquire);
+         b != kNil;) {
+      if (++walked > cfg_.walk_limit) {
+        overflow = true;  // transiently inconsistent chain; retry
+        break;
+      }
+      CBlock& cb = block(sh, b);
+      const Ver v = cb.version.load(std::memory_order_acquire);
+      if (exact) {
+        if (v == key) {
+          found = true;
+        } else if (v < key) {
+          break;  // sorted newest-first: key is absent
+        }
+      } else if (v <= key) {
+        found = true;  // newest version <= cap
+      }
+      if (found) {
+        got = v;
+        data = cb.data.load(std::memory_order_relaxed);
+        locked = cb.locked_by.load(std::memory_order_relaxed) != kNoTask;
+        break;
+      }
+      b = cb.next.load(std::memory_order_acquire);
+    }
+    // Read-side validation: the acquire fence orders every load above
+    // before the sequence re-check, pairing with the writer's release
+    // fence (see store_locked). If the sequence moved, some write window
+    // overlapped the walk and any combination of values we saw may be
+    // torn — retry.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (!overflow && sl.seq.load(std::memory_order_relaxed) == s1) {
+      ReadOutcome out;
+      out.seq = s1;
+      if (found && !locked) {
+        out.ok = true;
+        out.got = got;
+        out.data = data;
+      }
+      return out;
+    }
+    ++c.local.seq_retries;
+  }
+}
+
+ConcurrentVersionStore::ReadOutcome ConcurrentVersionStore::read_serialized(
+    Shard& sh, CSlot& sl, bool exact, Ver key, OpCode op, OAddr a) {
+  std::lock_guard<std::mutex> g(sh.writer_mu);
+  ReadOutcome out;
+  out.seq = sl.seq.load(std::memory_order_relaxed);
+  for (std::uint32_t b = sl.head.load(std::memory_order_relaxed);
+       b != kNil;) {
+    CBlock& cb = block(sh, b);
+    const Ver v = cb.version.load(std::memory_order_relaxed);
+    const bool match = exact ? v == key : v <= key;
+    if (match) {
+      if (cb.locked_by.load(std::memory_order_relaxed) == kNoTask) {
+        out.ok = true;
+        out.got = v;
+        out.data = cb.data.load(std::memory_order_relaxed);
+        // Semantic point of the read, still inside the writer lock: the
+        // event stream interleaves store < read for any version this read
+        // observed, which is what the checker's dataflow joins need.
+        emit(telemetry::EventType::kVersionRead, op, a, v, key);
+      }
+      return out;
+    }
+    if (exact && v < key) return out;
+    b = cb.next.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::uint64_t ConcurrentVersionStore::load_common(OAddr a, bool exact,
+                                                  Ver key, Ver* found,
+                                                  OpCode op) {
+  ThreadCtx& c = ctx();
+  ++c.local.ops;
+  ++c.local.loads;
+  std::uint64_t slot = slot_of(a);
+  CSlot& sl = *slot_ptr(slot);
+  Shard& sh = shard_of(slot);
+  if (tracing()) emit(telemetry::EventType::kIsaOp, op, a, key, 0);
+  for (;;) {
+    ReadOutcome r = tracing() ? read_serialized(sh, sl, exact, key, op, a)
+                              : try_read(sh, sl, exact, key);
+    if (r.ok) {
+      if (found != nullptr) *found = r.got;
+      return r.data;
+    }
+    wait_change(sh, sl, r.seq, op, a, key);
+    // The wait may have been a release(): re-validate the versioned bit so
+    // a parked op faults instead of spinning on a dead slot.
+    slot = slot_of(a);
+  }
+}
+
+std::uint64_t ConcurrentVersionStore::load_version(OAddr a, Ver v) {
+  return load_common(a, /*exact=*/true, v, nullptr, OpCode::kLoadVersion);
+}
+
+std::uint64_t ConcurrentVersionStore::load_latest(OAddr a, Ver cap,
+                                                  Ver* found) {
+  return load_common(a, /*exact=*/false, cap, found, OpCode::kLoadLatest);
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+
+void ConcurrentVersionStore::store_locked(Shard& sh, CSlot& sl,
+                                          std::uint64_t slot, Ver v,
+                                          std::uint64_t data) {
+  // Walk to the insertion point. We hold the shard writer lock, so plain
+  // relaxed loads are exact; lists are kept sorted newest-first.
+  std::uint32_t pred = kNil;
+  std::uint32_t cur = sl.head.load(std::memory_order_relaxed);
+  while (cur != kNil) {
+    CBlock& cb = block(sh, cur);
+    const Ver cv = cb.version.load(std::memory_order_relaxed);
+    if (cv == v) {
+      throw OFault(FaultKind::kVersionAlreadyExists,
+                   "version " + std::to_string(v) + " already exists");
+    }
+    if (cv < v) break;
+    pred = cur;
+    cur = cb.next.load(std::memory_order_relaxed);
+  }
+  const std::uint32_t nb = alloc_block(sh);
+  CBlock& b = block(sh, nb);
+  b.version.store(v, std::memory_order_relaxed);
+  b.data.store(data, std::memory_order_relaxed);
+  b.locked_by.store(kNoTask, std::memory_order_relaxed);
+  b.next.store(cur, std::memory_order_relaxed);
+
+  // Seqlock write side, following snippet 1's discipline. The snippet's
+  // point about barrier placement: the release fence must sit *between*
+  // the odd sequence store and the data writes ("the barrier should be
+  // added right after the actual write"), so that any reader that
+  // observes a data write also observes the odd sequence when it
+  // re-checks — without the fence the link-in below could become visible
+  // before the odd sequence and a reader would validate a torn walk. The
+  // closing store is itself a release so the whole window is ordered
+  // before any subsequent even sequence a reader can see.
+  const std::uint32_t sq = sl.seq.load(std::memory_order_relaxed);
+  sl.seq.store(sq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  if (pred == kNil) {
+    sl.head.store(nb, std::memory_order_relaxed);
+  } else {
+    block(sh, pred).next.store(nb, std::memory_order_relaxed);
+  }
+  sl.nversions.fetch_add(1, std::memory_order_relaxed);
+  sl.seq.store(sq + 2, std::memory_order_release);
+
+  ++ctx().local.blocks_allocated;
+
+  // Shadow registration (paper Sec. III-B): a head insert shadows the old
+  // head with the new version; a mid-list insert is itself born shadowed
+  // by its immediately-newer neighbour.
+  std::uint32_t shadowed = kNil;
+  Ver shadower = 0;
+  if (pred == kNil) {
+    if (cur != kNil) {
+      shadowed = cur;
+      shadower = v;
+    }
+  } else {
+    shadowed = nb;
+    shadower = block(sh, pred).version.load(std::memory_order_relaxed);
+  }
+  if (shadowed != kNil) sh.shadowed.push_back({shadowed, shadower, slot});
+
+  if (tracing()) {
+    const OAddr a = ostruct_addr(slot);
+    emit(telemetry::EventType::kBlockAlloc, OpCode{}, 0, 0, trace_id(sh, nb));
+    emit(telemetry::EventType::kVersionStore, OpCode{}, a, v,
+         trace_id(sh, nb));
+    if (shadowed != kNil) {
+      emit(telemetry::EventType::kBlockShadowed, OpCode{}, a, shadower,
+           trace_id(sh, shadowed));
+    }
+  }
+}
+
+void ConcurrentVersionStore::store_version(OAddr a, Ver v,
+                                           std::uint64_t data) {
+  ThreadCtx& c = ctx();
+  ++c.local.ops;
+  ++c.local.stores;
+  const std::uint64_t slot = slot_of(a);
+  CSlot& sl = *slot_ptr(slot);
+  Shard& sh = shard_of(slot);
+  if (tracing()) emit(telemetry::EventType::kIsaOp, OpCode::kStoreVersion, a, v, 0);
+  {
+    std::lock_guard<std::mutex> g(sh.writer_mu);
+    store_locked(sh, sl, slot, v, data);
+  }
+  wake(sh);
+}
+
+std::uint64_t ConcurrentVersionStore::lock_load_common(OAddr a, bool exact,
+                                                       Ver key, TaskId locker,
+                                                       Ver* found, OpCode op) {
+  ThreadCtx& c = ctx();
+  ++c.local.ops;
+  ++c.local.lock_ops;
+  std::uint64_t slot = slot_of(a);
+  CSlot& sl = *slot_ptr(slot);
+  Shard& sh = shard_of(slot);
+  if (tracing()) emit(telemetry::EventType::kIsaOp, op, a, key, 0);
+  for (;;) {
+    std::uint32_t seq_seen;
+    {
+      std::lock_guard<std::mutex> g(sh.writer_mu);
+      std::uint32_t cand = kNil;
+      for (std::uint32_t b = sl.head.load(std::memory_order_relaxed);
+           b != kNil;) {
+        CBlock& cb = block(sh, b);
+        const Ver v = cb.version.load(std::memory_order_relaxed);
+        if (exact ? v == key : v <= key) {
+          cand = b;
+          break;
+        }
+        if (exact && v < key) break;
+        b = cb.next.load(std::memory_order_relaxed);
+      }
+      if (cand != kNil) {
+        CBlock& cb = block(sh, cand);
+        if (cb.locked_by.load(std::memory_order_relaxed) == kNoTask) {
+          // Taking the lock needs no seqlock window: optimistic readers
+          // that read the pre-lock state linearize before the acquisition
+          // (versions are immutable, so the value they return is the value
+          // under the lock too).
+          cb.locked_by.store(locker, std::memory_order_relaxed);
+          const Ver got = cb.version.load(std::memory_order_relaxed);
+          const std::uint64_t data = cb.data.load(std::memory_order_relaxed);
+          if (tracing()) {
+            emit(telemetry::EventType::kVersionRead, op, a, got, key);
+            emit(telemetry::EventType::kLockAcquire, OpCode{}, a, got,
+                 locker);
+          }
+          if (found != nullptr) *found = got;
+          return data;
+        }
+      }
+      seq_seen = sl.seq.load(std::memory_order_relaxed);
+    }
+    wait_change(sh, sl, seq_seen, op, a, key);
+    slot = slot_of(a);  // re-validate after a potential release()
+  }
+}
+
+std::uint64_t ConcurrentVersionStore::lock_load_version(OAddr a, Ver v,
+                                                        TaskId locker) {
+  return lock_load_common(a, /*exact=*/true, v, locker, nullptr,
+                          OpCode::kLockLoadVersion);
+}
+
+std::uint64_t ConcurrentVersionStore::lock_load_latest(OAddr a, Ver cap,
+                                                       TaskId locker,
+                                                       Ver* found) {
+  return lock_load_common(a, /*exact=*/false, cap, locker, found,
+                          OpCode::kLockLoadLatest);
+}
+
+void ConcurrentVersionStore::unlock_version(OAddr a, Ver locked_v,
+                                            TaskId owner,
+                                            std::optional<Ver> rename_to) {
+  ThreadCtx& c = ctx();
+  ++c.local.ops;
+  ++c.local.lock_ops;
+  const std::uint64_t slot = slot_of(a);
+  CSlot& sl = *slot_ptr(slot);
+  Shard& sh = shard_of(slot);
+  if (tracing()) {
+    emit(telemetry::EventType::kIsaOp, OpCode::kUnlockVersion, a, locked_v, 0);
+  }
+  {
+    std::lock_guard<std::mutex> g(sh.writer_mu);
+    std::uint32_t target = kNil;
+    bool rename_exists = false;
+    for (std::uint32_t b = sl.head.load(std::memory_order_relaxed);
+         b != kNil;) {
+      CBlock& cb = block(sh, b);
+      const Ver v = cb.version.load(std::memory_order_relaxed);
+      if (v == locked_v) target = b;
+      if (rename_to.has_value() && v == *rename_to) rename_exists = true;
+      b = cb.next.load(std::memory_order_relaxed);
+    }
+    if (target == kNil) {
+      throw OFault(FaultKind::kNotLockOwner,
+                   "unlock of nonexistent version " +
+                       std::to_string(locked_v));
+    }
+    CBlock& cb = block(sh, target);
+    const TaskId holder = cb.locked_by.load(std::memory_order_relaxed);
+    if (holder != owner) {
+      throw OFault(FaultKind::kNotLockOwner,
+                   "version " + std::to_string(locked_v) + " locked by " +
+                       std::to_string(holder) + ", unlock by " +
+                       std::to_string(owner));
+    }
+    if (rename_exists) {
+      throw OFault(FaultKind::kRenameTargetExists,
+                   std::to_string(*rename_to));
+    }
+    const std::uint64_t data = cb.data.load(std::memory_order_relaxed);
+    // The unlock is a slot mutation parked readers wait for, so it runs
+    // inside a seqlock window (the sequence change is their wake signal;
+    // the fence discipline matches store_locked).
+    const std::uint32_t sq = sl.seq.load(std::memory_order_relaxed);
+    sl.seq.store(sq + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    cb.locked_by.store(kNoTask, std::memory_order_relaxed);
+    sl.seq.store(sq + 2, std::memory_order_release);
+    if (tracing()) {
+      emit(telemetry::EventType::kLockRelease, OpCode{}, a, locked_v, owner);
+    }
+    if (rename_to.has_value()) {
+      // Renaming: materialize the same value as a new, unlocked version.
+      store_locked(sh, sl, slot, *rename_to, data);
+    }
+  }
+  wake(sh);
+}
+
+// ---------------------------------------------------------------------------
+// Task lifecycle (GC rules #1-#3)
+
+void ConcurrentVersionStore::task_created(TaskId t) {
+  {
+    std::lock_guard<std::mutex> g(task_mu_);
+    create_task_locked(t);
+  }
+  if (tracing()) {
+    emit(telemetry::EventType::kTaskCreated, OpCode{}, 0, t, 0);
+  }
+}
+
+void ConcurrentVersionStore::create_task_locked(TaskId t) {
+  // Rules #1 and #3, with the serial engine's exact diagnostics
+  // (core/gc.cpp): creation order must respect age, and a task below the
+  // floor could name an already-reclaimed version.
+  if (!unfinished_.empty() && t < unfinished_.begin()->first) {
+    throw OFault(FaultKind::kTaskOrderViolation,
+                 "task " + std::to_string(t) +
+                     " is older than the oldest unfinished task " +
+                     std::to_string(unfinished_.begin()->first));
+  }
+  const TaskId floor = gc_floor_.load(std::memory_order_acquire);
+  if (t <= floor) {
+    throw OFault(FaultKind::kTaskOrderViolation,
+                 "task " + std::to_string(t) +
+                     " is not above the GC floor " + std::to_string(floor));
+  }
+  unfinished_[t]++;
+  max_task_ = std::max(max_task_, t);
+}
+
+void ConcurrentVersionStore::task_begin(TaskId t) {
+  if (tracing()) {
+    emit(telemetry::EventType::kIsaOp, OpCode::kTaskBegin, 0, t, 0);
+  }
+  {
+    std::lock_guard<std::mutex> g(task_mu_);
+    if (unfinished_.find(t) == unfinished_.end()) create_task_locked(t);
+  }
+  ctx().cur_task = t;
+}
+
+void ConcurrentVersionStore::task_end(TaskId t) {
+  if (tracing()) {
+    emit(telemetry::EventType::kIsaOp, OpCode::kTaskEnd, 0, t, 0);
+  }
+  ctx().cur_task = kNoTask;
+  std::lock_guard<std::mutex> g(task_mu_);
+  auto it = unfinished_.find(t);
+  if (it == unfinished_.end()) {
+    throw OFault(FaultKind::kTaskOrderViolation,
+                 "TASK-END for task " + std::to_string(t) +
+                     " which is not running");
+  }
+  if (--it->second == 0) unfinished_.erase(it);
+  // Floor: every task strictly below it has finished. With tasks still
+  // unfinished that is the smallest of them; otherwise everything created
+  // so far is done.
+  const TaskId floor =
+      unfinished_.empty() ? max_task_ + 1 : unfinished_.begin()->first;
+  task_floor_.store(floor, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Host-side inspection
+
+std::optional<std::uint64_t> ConcurrentVersionStore::peek_version(OAddr a,
+                                                                  Ver v) {
+  const std::uint64_t slot = slot_of(a);
+  Shard& sh = shard_of(slot);
+  CSlot& sl = *slot_ptr(slot);
+  std::lock_guard<std::mutex> g(sh.writer_mu);
+  for (std::uint32_t b = sl.head.load(std::memory_order_relaxed);
+       b != kNil;) {
+    CBlock& cb = block(sh, b);
+    const Ver cv = cb.version.load(std::memory_order_relaxed);
+    if (cv == v) return cb.data.load(std::memory_order_relaxed);
+    if (cv < v) return std::nullopt;
+    b = cb.next.load(std::memory_order_relaxed);
+  }
+  return std::nullopt;
+}
+
+std::optional<Ver> ConcurrentVersionStore::newest_version(OAddr a) {
+  const std::uint64_t slot = slot_of(a);
+  Shard& sh = shard_of(slot);
+  CSlot& sl = *slot_ptr(slot);
+  std::lock_guard<std::mutex> g(sh.writer_mu);
+  const std::uint32_t b = sl.head.load(std::memory_order_relaxed);
+  if (b == kNil) return std::nullopt;
+  return block(sh, b).version.load(std::memory_order_relaxed);
+}
+
+std::optional<TaskId> ConcurrentVersionStore::lock_holder(OAddr a, Ver v) {
+  const std::uint64_t slot = slot_of(a);
+  Shard& sh = shard_of(slot);
+  CSlot& sl = *slot_ptr(slot);
+  std::lock_guard<std::mutex> g(sh.writer_mu);
+  for (std::uint32_t b = sl.head.load(std::memory_order_relaxed);
+       b != kNil;) {
+    CBlock& cb = block(sh, b);
+    const Ver cv = cb.version.load(std::memory_order_relaxed);
+    if (cv == v) {
+      const TaskId l = cb.locked_by.load(std::memory_order_relaxed);
+      return l == kNoTask ? std::nullopt : std::optional<TaskId>(l);
+    }
+    if (cv < v) break;
+    b = cb.next.load(std::memory_order_relaxed);
+  }
+  return std::nullopt;
+}
+
+int ConcurrentVersionStore::version_count(OAddr a) {
+  const std::uint64_t slot = slot_of(a);
+  Shard& sh = shard_of(slot);
+  CSlot& sl = *slot_ptr(slot);
+  std::lock_guard<std::mutex> g(sh.writer_mu);
+  return static_cast<int>(sl.nversions.load(std::memory_order_relaxed));
+}
+
+std::vector<std::pair<Ver, std::uint64_t>>
+ConcurrentVersionStore::slot_versions(OAddr a) {
+  const std::uint64_t slot = slot_of(a);
+  Shard& sh = shard_of(slot);
+  CSlot& sl = *slot_ptr(slot);
+  std::lock_guard<std::mutex> g(sh.writer_mu);
+  std::vector<std::pair<Ver, std::uint64_t>> out;
+  for (std::uint32_t b = sl.head.load(std::memory_order_relaxed);
+       b != kNil;) {
+    CBlock& cb = block(sh, b);
+    out.emplace_back(cb.version.load(std::memory_order_relaxed),
+                     cb.data.load(std::memory_order_relaxed));
+    b = cb.next.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+ConcurrentVersionStore::Stats ConcurrentVersionStore::stats() const {
+  // Quiescent-only: per-thread counters are owner-written plain fields;
+  // call after a run has joined (the pool's join provides the
+  // happens-before edge).
+  Stats s;
+  const int n = nctx_.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    const Stats& l = ctxs_[i].local;
+    s.ops += l.ops;
+    s.loads += l.loads;
+    s.stores += l.stores;
+    s.lock_ops += l.lock_ops;
+    s.seq_retries += l.seq_retries;
+    s.spin_waits += l.spin_waits;
+    s.parks += l.parks;
+    s.blocks_allocated += l.blocks_allocated;
+  }
+  for (int i = 0; i < nshards_; ++i) {
+    s.blocks_reclaimed += shards_[i].reclaimed;
+  }
+  return s;
+}
+
+}  // namespace osim

@@ -1,0 +1,334 @@
+// ConcurrentVersionStore: the thread-safe sibling of the semantic engine.
+//
+// The serial VersionStore (core/version_store.hpp) is single-threaded by
+// contract — both the cycle-accurate machine (cooperative fibers) and the
+// functional backend (inline spawn-order execution) drive it from one host
+// thread, which is what keeps the timed backend bit-identical. This engine
+// implements the *same versioned ISA semantics* for genuinely concurrent
+// callers on real host threads:
+//
+//   * the slot table is lock-striped into N power-of-two shards; every
+//     mutation (STORE-VERSION, LOCK-LOAD, UNLOCK) runs under its shard's
+//     writer mutex,
+//   * every slot carries a seqlock so LOAD-VERSION / LOAD-LATEST are
+//     optimistic lock-free walks that retry on an odd or changed sequence
+//     (memory-order discipline per SNIPPETS.md snippet 1,
+//     cyfdecyf/mem-order/mem-record-seqlock.c — see the write-side comment
+//     in concurrent_store.cpp),
+//   * a blocked operation (version not yet stored, candidate locked) does a
+//     bounded spin then parks on the shard's condition variable instead of
+//     faulting; a store/unlock on the shard wakes it. A park that outlives
+//     the deadlock timeout faults kWouldBlock with the task id and op —
+//     the concurrent analogue of the functional backend's instant fault,
+//   * shadowed blocks are reclaimed with the paper's fence rule (a shadowed
+//     block is unreachable once every task older than its shadower has
+//     finished) *and* an epoch-based grace period so a block is never
+//     recycled while an optimistic reader may still walk through it.
+//
+// Everything is TSan-followable: all fields shared with lock-free readers
+// are std::atomic, and the seqlock's fences pair acquire/release exactly as
+// snippet 1 prescribes. tools/run-sanitizers.sh runs the stress test under
+// TSan.
+//
+// Like the serial engine this header has no "sim/..." dependencies; it
+// builds on core/ and telemetry/ only. It does not implement TimingModel —
+// concurrency *is* its timing model; there are no cycles to charge.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/address_map.hpp"
+#include "core/isa.hpp"
+#include "core/types.hpp"
+#include "core/version_block.hpp"
+#include "telemetry/trace.hpp"
+
+namespace osim {
+
+/// User-visible O-structure address (same alias as core/version_store.hpp;
+/// redeclaring a type alias to the same type is well-formed).
+using OAddr = Addr;
+
+/// Host-side tuning of the concurrent engine. Defaults favour throughput;
+/// tests shrink the timeout (deadlock reports) and the reclaim threshold
+/// (GC coverage).
+struct ConcurrencyConfig {
+  /// Lock stripes; rounded up to a power of two.
+  int shards = 64;
+  /// Registration slots for host threads (workers + the owning thread).
+  int max_threads = 64;
+  /// Optimistic spins on a blocked op before parking on the shard CV.
+  int spin_iters = 128;
+  /// One timed park slice; bounds the staleness of a missed wakeup (the
+  /// wake fast path reads the waiter count relaxed, see wake()).
+  std::uint64_t park_slice_us = 200;
+  /// Total blocked time after which a parked op faults kWouldBlock — the
+  /// concurrent engine's deadlock report.
+  std::uint64_t deadlock_timeout_ms = 2000;
+  /// Shadowed blocks per shard that trigger a reclaim pass. The default is
+  /// effectively "never", matching the serial engine at test scale where
+  /// checked runs must see identical event vocabularies.
+  std::size_t reclaim_threshold = std::size_t{1} << 62;
+  /// Optimistic walk bound; exceeding it forces a seqlock retry (belt and
+  /// braces against a transiently inconsistent chain).
+  std::size_t walk_limit = std::size_t{1} << 20;
+};
+
+/// The concurrent semantic engine. Public ISA surface mirrors VersionStore;
+/// threads self-register on first use (bounded by max_threads).
+class ConcurrentVersionStore {
+ public:
+  struct Stats {
+    std::uint64_t ops = 0;           ///< versioned ISA ops executed
+    std::uint64_t loads = 0;         ///< LOAD-VERSION / LOAD-LATEST
+    std::uint64_t stores = 0;        ///< STORE-VERSION (incl. renames)
+    std::uint64_t lock_ops = 0;      ///< LOCK-LOAD / UNLOCK
+    std::uint64_t seq_retries = 0;   ///< optimistic reads that re-ran
+    std::uint64_t spin_waits = 0;    ///< blocked ops resolved while spinning
+    std::uint64_t parks = 0;         ///< blocked ops that slept on the CV
+    std::uint64_t blocks_allocated = 0;
+    std::uint64_t blocks_reclaimed = 0;  ///< shadowed blocks recycled
+  };
+
+  explicit ConcurrentVersionStore(const ConcurrencyConfig& cfg = {});
+  ~ConcurrentVersionStore();
+
+  ConcurrentVersionStore(const ConcurrentVersionStore&) = delete;
+  ConcurrentVersionStore& operator=(const ConcurrentVersionStore&) = delete;
+
+  // ---- O-structure allocation (host interface; not thread-safe against
+  // concurrent ISA ops on the same slots, like the serial engine) ----
+  OAddr alloc(std::size_t slots = 1);
+  void release(OAddr base, std::size_t slots = 1);
+
+  // ---- The versioned ISA (thread-safe) ----
+  std::uint64_t load_version(OAddr a, Ver v);
+  std::uint64_t load_latest(OAddr a, Ver cap, Ver* found = nullptr);
+  void store_version(OAddr a, Ver v, std::uint64_t data);
+  std::uint64_t lock_load_version(OAddr a, Ver v, TaskId locker);
+  std::uint64_t lock_load_latest(OAddr a, Ver cap, TaskId locker,
+                                 Ver* found = nullptr);
+  void unlock_version(OAddr a, Ver locked_v, TaskId owner,
+                      std::optional<Ver> rename_to = std::nullopt);
+
+  // ---- Task lifecycle (GC rules #1-#3; thread-safe) ----
+  void task_created(TaskId t);
+  void task_begin(TaskId t);
+  void task_end(TaskId t);
+
+ private:
+  /// Checked registration shared by task_created and an implicitly-creating
+  /// task_begin (task_mu_ held). Mirrors core/gc.cpp's diagnostics.
+  void create_task_locked(TaskId t);
+
+ public:
+
+  // ---- Protection ----
+  bool is_versioned_addr(Addr a) const;
+  void check_conventional(Addr a) const;
+
+  /// Abort every parked waiter (they fault kWouldBlock). Used by the task
+  /// pool to unwind a run after a worker error.
+  void request_stop();
+  /// Re-arm after request_stop() so the store can run another batch.
+  void reset_stop();
+
+  /// Attach a tracer for lifecycle events (protocol checking). Emission is
+  /// serialized on an internal mutex and reads additionally take the shard
+  /// writer lock, so attached runs are slower but produce a linearized
+  /// event stream the osim-check invariants understand. Call before any
+  /// ISA op; `num cores` reported to the checker should be max_threads.
+  void attach_tracer(telemetry::Tracer* tracer);
+
+  // ---- Host-side inspection (takes shard locks; any thread) ----
+  std::optional<std::uint64_t> peek_version(OAddr a, Ver v);
+  std::optional<Ver> newest_version(OAddr a);
+  std::optional<TaskId> lock_holder(OAddr a, Ver v);
+  int version_count(OAddr a);
+  /// All live versions of a slot, newest first (stress-test comparisons).
+  std::vector<std::pair<Ver, std::uint64_t>> slot_versions(OAddr a);
+
+  Stats stats() const;
+  const ConcurrencyConfig& config() const { return cfg_; }
+
+ private:
+  // ---- Geometry ----
+  // Blocks and slots live in chunked tables whose chunk pointers are
+  // atomic: growth appends chunks and publishes the pointer, so readers
+  // never observe a reallocation (unlike std::vector growth).
+  static constexpr std::uint32_t kBlockChunkBits = 10;  // 1024 blocks/chunk
+  static constexpr std::uint32_t kBlockChunkSize = 1u << kBlockChunkBits;
+  static constexpr std::uint32_t kMaxBlockChunks = 4096;  // 4M blocks/shard
+  static constexpr std::uint64_t kSlotChunkBits = 12;  // 4096 slots/chunk
+  static constexpr std::uint64_t kSlotChunkSize = 1ull << kSlotChunkBits;
+  static constexpr std::uint64_t kMaxSlotChunks = 4096;  // 16M slots
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::uint64_t kIdleEpoch = ~std::uint64_t{0};
+
+  /// One version block. Every field is atomic because lock-free readers
+  /// walk the chain while a (serialized) writer mutates it; the seqlock
+  /// validation makes torn *combinations* impossible, atomics make each
+  /// individual access data-race-free (what TSan checks).
+  struct CBlock {
+    std::atomic<std::uint32_t> next{kNil};
+    std::atomic<Ver> version{0};
+    std::atomic<std::uint64_t> data{0};
+    std::atomic<TaskId> locked_by{kNoTask};
+  };
+
+  /// One O-structure slot, padded to a cache line so Zipfian-hot neighbours
+  /// don't false-share their seqlock sequence words.
+  struct alignas(64) CSlot {
+    std::atomic<std::uint32_t> seq{0};   ///< seqlock: odd = write in flight
+    std::atomic<std::uint32_t> head{kNil};
+    std::atomic<std::uint32_t> nversions{0};
+    std::atomic<std::uint8_t> allocated{0};
+  };
+
+  struct Retired {
+    std::uint32_t block;
+    std::uint64_t epoch;  ///< global epoch when the block was unlinked
+  };
+  struct Shadowed {
+    std::uint32_t block;
+    Ver shadower;
+    std::uint64_t slot;  ///< owning slot, for the unlink at reclaim time
+  };
+
+  struct alignas(64) Shard {
+    std::mutex writer_mu;
+    // Block pool (chunks appended under writer_mu; pointers atomic for the
+    // readers that chase `next` through them).
+    std::array<std::atomic<CBlock*>, kMaxBlockChunks> chunk{};
+    std::atomic<std::uint32_t> nchunks{0};
+    std::uint32_t next_fresh = 0;          // bump cursor (writer_mu)
+    std::vector<std::uint32_t> free_list;  // recycled blocks (writer_mu)
+    std::vector<Shadowed> shadowed;        // awaiting the fence (writer_mu)
+    std::vector<Retired> limbo;            // unlinked, in grace (writer_mu)
+    std::uint64_t reclaimed = 0;           // writer_mu
+    std::uint64_t allocated = 0;           // writer_mu
+    // Dense trace-wide block ids for checker runs (local ids repeat across
+    // shards; the lifecycle checker needs one id space). Lazy, writer_mu.
+    std::vector<std::uint32_t> trace_ids;
+    // Park/wake for blocked ops.
+    std::mutex park_mu;
+    std::condition_variable park_cv;
+    std::atomic<std::uint32_t> nwaiters{0};
+  };
+
+  /// Per-registered-thread state, cache-line padded: the epoch pin is read
+  /// by reclaimers, the counters and task id are owner-only.
+  struct alignas(64) ThreadCtx {
+    std::atomic<std::uint64_t> epoch{kIdleEpoch};  ///< kIdleEpoch = not reading
+    TaskId cur_task = kNoTask;
+    Stats local;
+  };
+
+  // ---- Thread registration ----
+  ThreadCtx& ctx();
+  int ctx_id();
+
+  // ---- Layout helpers ----
+  Shard& shard_of(std::uint64_t slot) { return shards_[slot & shard_mask_]; }
+  CBlock& block(Shard& sh, std::uint32_t idx) {
+    return sh.chunk[idx >> kBlockChunkBits].load(std::memory_order_acquire)
+        [idx & (kBlockChunkSize - 1)];
+  }
+  CSlot* slot_ptr(std::uint64_t slot) const;
+  std::uint64_t slot_of(OAddr a) const;  // faults on unversioned addresses
+  [[noreturn]] void fault_unversioned(OAddr a) const;
+
+  // ---- Epoch-based reclamation ----
+  struct EpochPin;  // RAII pin defined in the .cpp
+  std::uint64_t min_active_epoch() const;
+
+  // ---- Block pool (writer_mu held) ----
+  std::uint32_t alloc_block(Shard& sh);
+  void maybe_reclaim(Shard& sh);
+
+  // ---- Reads ----
+  struct ReadOutcome {
+    bool ok = false;        ///< unlocked candidate found
+    std::uint32_t seq = 0;  ///< slot sequence observed when !ok
+    Ver got = 0;
+    std::uint64_t data = 0;
+  };
+  /// One consistent optimistic walk (seqlock read + epoch pin).
+  ReadOutcome try_read(Shard& sh, CSlot& sl, bool exact, Ver key);
+  /// Pessimistic walk under the shard writer lock; used when a tracer is
+  /// attached so read events interleave linearizably with store events.
+  ReadOutcome read_serialized(Shard& sh, CSlot& sl, bool exact, Ver key,
+                              OpCode op, OAddr a);
+  /// Shared LOAD-VERSION / LOAD-LATEST driver.
+  std::uint64_t load_common(OAddr a, bool exact, Ver key, Ver* found,
+                            OpCode op);
+  /// Shared LOCK-LOAD driver (lock taken under the shard writer lock).
+  std::uint64_t lock_load_common(OAddr a, bool exact, Ver key, TaskId locker,
+                                 Ver* found, OpCode op);
+
+  // ---- Blocking ----
+  /// Wait until `sl`'s sequence moves past `seq_seen`; spin first, then
+  /// park. Throws OFault(kWouldBlock) after the deadlock timeout or when
+  /// request_stop() fires.
+  void wait_change(Shard& sh, CSlot& sl, std::uint32_t seq_seen, OpCode op,
+                   OAddr a, Ver v);
+  void wake(Shard& sh);
+
+  // ---- Serialized store/unlock internals (writer_mu held) ----
+  void store_locked(Shard& sh, CSlot& sl, std::uint64_t slot, Ver v,
+                    std::uint64_t data);
+  std::uint32_t trace_id(Shard& sh, std::uint32_t b);
+
+  // ---- Tracing (trace_mu_ held inside) ----
+  bool tracing() const { return tracer_ != nullptr; }
+  void emit(telemetry::EventType type, OpCode op, OAddr addr, Ver version,
+            std::uint64_t arg);
+
+  ConcurrencyConfig cfg_;
+  std::uint64_t shard_mask_ = 0;
+  std::unique_ptr<Shard[]> shards_;
+  int nshards_ = 0;
+
+  // Slot table.
+  std::array<std::atomic<CSlot*>, kMaxSlotChunks> slot_chunk_{};
+  std::atomic<std::uint64_t> slot_count_{0};
+  std::mutex alloc_mu_;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> slot_free_;
+
+  // Thread registry.
+  std::unique_ptr<ThreadCtx[]> ctxs_;
+  std::atomic<int> nctx_{0};
+  const std::uint64_t serial_;  ///< distinguishes stores in thread-local maps
+
+  // Reclamation epoch.
+  std::atomic<std::uint64_t> global_epoch_{1};
+
+  // Task tracker (GC fence). task_begin/end are rare next to ISA ops, so a
+  // small mutex-protected map with a lock-free mirror of the floor is fine.
+  std::mutex task_mu_;
+  std::map<TaskId, int> unfinished_;  ///< created/begun, not yet ended
+  TaskId max_task_ = kNoTask;
+  std::atomic<TaskId> task_floor_{0};  ///< all tasks < floor have finished
+  /// Mirror of the serial GC floor: once blocks shadowed by version f are
+  /// reclaimed, creating a task with id <= f-1 faults (it could legally
+  /// name a reclaimed version).
+  std::atomic<TaskId> gc_floor_{0};
+
+  std::atomic<bool> stop_{false};
+
+  telemetry::Tracer* tracer_ = nullptr;
+  std::mutex trace_mu_;
+  std::uint64_t trace_clock_ = 0;  // trace_mu_
+  std::atomic<std::uint32_t> next_trace_block_{0};
+};
+
+}  // namespace osim

@@ -56,7 +56,7 @@ class MachineTimingModel final : public TimingModel {
   void op_overhead() override { m_.advance(cfg_.injected_latency); }
   void task_instr() override { m_.exec(1); }
 
-  void wait_on_slot(std::uint64_t slot) override { m_.block_on(wl(slot)); }
+  void wait_on_slot(const WaitContext& w) override { m_.block_on(wl(w.slot)); }
   void wake_slot(std::uint64_t slot) override;
 
   void lookup_done(std::uint64_t slot, const FindResult& fr, bool exact,

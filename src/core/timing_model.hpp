@@ -25,11 +25,23 @@
 #include <optional>
 
 #include "core/compressed_line.hpp"
+#include "core/isa.hpp"
 #include "core/types.hpp"
 #include "core/version_block.hpp"
 #include "core/version_list.hpp"
 
 namespace osim {
+
+/// Everything a blocked operation knows about itself, handed to
+/// wait_on_slot() so backends that cannot (or will not) block can say
+/// *which* operation of *which* task deadlocked, not just which slot.
+struct WaitContext {
+  std::uint64_t slot = 0;
+  OpCode op = OpCode::kLoadVersion;
+  Addr addr = 0;          ///< the O-structure address the op named
+  Ver version = 0;        ///< version / cap argument of the op
+  TaskId task = kNoTask;  ///< running task (kNoTask outside any task)
+};
 
 /// Hot-path state of a timing model whose cost hooks are all no-ops. A
 /// model that exposes one (fast_path() below) promises that every charged
@@ -73,10 +85,11 @@ class TimingModel {
 
   // ---- Blocking semantics ----
 
-  /// Park the caller until `slot` changes (a store or unlock wakes it). The
-  /// functional backend cannot block: it faults instead, which is exactly
-  /// the deadlock the timed backend would report for an in-order schedule.
-  virtual void wait_on_slot(std::uint64_t slot) = 0;
+  /// Park the caller until `w.slot` changes (a store or unlock wakes it).
+  /// The functional backend cannot block: it faults instead, which is
+  /// exactly the deadlock the timed backend would report for an in-order
+  /// schedule; the context makes that report name the task and op.
+  virtual void wait_on_slot(const WaitContext& w) = 0;
   /// Wake everything parked on `slot`. Safe to call with no waiters, and
   /// from host context (where it is a no-op on the timed backend).
   virtual void wake_slot(std::uint64_t slot) = 0;

@@ -23,6 +23,7 @@ VersionStore::VersionStore(const OStructConfig& cfg, int num_cores,
                                                          : 0;
             emit_event(t, a, v, arg);
           }),
+      cur_task_(static_cast<std::size_t>(num_cores), kNoTask),
       core_counters_(static_cast<std::size_t>(num_cores)),
       blocks_allocated_(
           reg.counter(telemetry::Component::kOsm, "blocks_allocated")),
@@ -155,14 +156,21 @@ void VersionStore::emit_event_slow(telemetry::EventType type, OAddr addr,
   tracer_.emit(e);
 }
 
-void VersionStore::stall(const OpFlags& f, std::uint64_t slot, int attempt) {
+void VersionStore::stall(const OpFlags& f, std::uint64_t slot, int attempt,
+                         OpCode op, OAddr a, Ver v) {
   if (attempt == 0) {
     PerCoreCounters& pc =
         core_counters_[static_cast<std::size_t>(cur_core())];
     pc.stalls++;
     if (f.root) pc.root_stalls++;
   }
-  t_.wait_on_slot(slot);
+  WaitContext w;
+  w.slot = slot;
+  w.op = op;
+  w.addr = a;
+  w.version = v;
+  w.task = cur_task_[static_cast<std::size_t>(cur_core())];
+  t_.wait_on_slot(w);
 }
 
 // ---------------------------------------------------------------------------
@@ -235,7 +243,7 @@ std::uint64_t VersionStore::load_version(OAddr a, Ver v, OpFlags f) {
       }
       return data;
     }
-    stall(f, slot, attempt);
+    stall(f, slot, attempt, OpCode::kLoadVersion, a, v);
   }
 }
 
@@ -262,7 +270,7 @@ std::uint64_t VersionStore::load_latest(OAddr a, Ver cap, Ver* found,
       if (found != nullptr) *found = got;
       return data;
     }
-    stall(f, slot, attempt);
+    stall(f, slot, attempt, OpCode::kLoadLatest, a, cap);
   }
 }
 
@@ -297,7 +305,7 @@ std::uint64_t VersionStore::lock_load_version(OAddr a, Ver v, TaskId locker,
       }
       return data;
     }
-    stall(f, slot, attempt);
+    stall(f, slot, attempt, OpCode::kLockLoadVersion, a, v);
   }
 }
 
@@ -328,7 +336,7 @@ std::uint64_t VersionStore::lock_load_latest(OAddr a, Ver cap, TaskId locker,
       if (found != nullptr) *found = got;
       return data;
     }
-    stall(f, slot, attempt);
+    stall(f, slot, attempt, OpCode::kLockLoadLatest, a, cap);
   }
 }
 
@@ -456,6 +464,7 @@ void VersionStore::task_begin(TaskId t) {
                   OpCode::kTaskBegin, 0, t, 0});
   }
   gc_.task_begin(t);
+  cur_task_[static_cast<std::size_t>(cur_core())] = t;
 }
 
 void VersionStore::task_end(TaskId t) {
@@ -466,6 +475,7 @@ void VersionStore::task_end(TaskId t) {
                   OpCode::kTaskEnd, 0, t, 0});
   }
   gc_.task_end(t);
+  cur_task_[static_cast<std::size_t>(cur_core())] = kNoTask;
   core_counters_[static_cast<std::size_t>(cur_core())].tasks_executed++;
 }
 

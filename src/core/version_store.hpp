@@ -55,14 +55,22 @@ struct OpFlags {
 class VersionStore {
  public:
   /// Per-core operation counters, packed so one versioned op touches a
-  /// single cache line of counter state (an op bumps 2-4 of these).
-  /// Registered with the registry as external-storage counter vectors;
-  /// timing models bump the lookup-path fields through counters().
-  struct PerCoreCounters {
+  /// single cache line of counter state (an op bumps 2-4 of these), and
+  /// aligned to a cache line so adjacent cores' counters never share one —
+  /// the single-threaded backends mask false sharing, but the concurrent
+  /// engine (core/concurrent_store.hpp) and any host-parallel driver bump
+  /// these from real threads. Registered with the registry as
+  /// external-storage counter vectors; timing models bump the lookup-path
+  /// fields through counters().
+  struct alignas(64) PerCoreCounters {
     std::uint64_t versioned_ops = 0, root_loads = 0, root_stalls = 0;
     std::uint64_t direct_hits = 0, full_lookups = 0, walk_blocks = 0;
     std::uint64_t stalls = 0, tasks_executed = 0;
   };
+  static_assert(sizeof(PerCoreCounters) == 64,
+                "one cache line exactly: 8 dense uint64 counters, no pad");
+  static_assert(alignof(PerCoreCounters) == 64,
+                "cache-line aligned so per-core lines never false-share");
 
   /// Registers the engine's metrics in `reg` (which must outlive it) and
   /// reports all charged effects through `timing` (likewise).
@@ -246,8 +254,11 @@ class VersionStore {
     }
     if (cfg_.injected_latency != 0) t_.op_overhead();
   }
-  /// First-stall accounting, then park on the slot's wait list.
-  void stall(const OpFlags& f, std::uint64_t slot, int attempt);
+  /// First-stall accounting, then park on the slot's wait list. `op`, `a`
+  /// and `v` describe the blocked operation for the backend's would-block
+  /// report (the functional backend faults with them).
+  void stall(const OpFlags& f, std::uint64_t slot, int attempt, OpCode op,
+             OAddr a, Ver v);
 
   /// Allocate a version block, growing the pool via the OS trap if needed
   /// and kicking the GC at the watermark. Charges free-list access.
@@ -277,6 +288,9 @@ class VersionStore {
   std::vector<SlotMeta> slots_;
   /// Released slot runs, keyed by run length, for reuse by alloc().
   FlatMap<std::uint64_t, std::vector<std::uint64_t>> slot_free_;
+  /// Task currently running on each core (TASK-BEGIN..TASK-END), for the
+  /// WaitContext of a blocked op; kNoTask outside any task.
+  std::vector<TaskId> cur_task_;
 
   // ---- Telemetry ----
   std::vector<PerCoreCounters> core_counters_;  ///< fixed; registry reads it

@@ -48,9 +48,12 @@ class FunctionalTiming final : public TimingModel {
   void op_overhead() override {}
   void task_instr() override {}
 
-  void wait_on_slot(std::uint64_t slot) override {
+  void wait_on_slot(const WaitContext& w) override {
     throw OFault(FaultKind::kWouldBlock,
-                 "slot " + std::to_string(slot) +
+                 std::string(to_string(w.op)) + " of version " +
+                     std::to_string(w.version) + " on slot " +
+                     std::to_string(w.slot) + " by task " +
+                     std::to_string(w.task) +
                      " cannot be satisfied by any earlier operation");
   }
   void wake_slot(std::uint64_t) override {}

@@ -1,16 +1,21 @@
 // Differential test: the functional backend must agree with the
 // cycle-accurate machine on everything semantic. Random versioned-op
-// streams (and the opgen-driven structure workloads) run on both backends;
-// every read value, the final latest-version map of every slot, the
-// sequence of protocol faults, and the osim-check strict verdict must be
-// identical — only the clocks may differ.
+// streams (and the opgen-driven structure workloads) run on both backends —
+// including the truly concurrent engine on real host threads — and every
+// read value, the final latest-version map of every slot, the multiset of
+// protocol faults, and the osim-check strict verdict must be identical —
+// only the clocks may differ.
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "analysis/checker.hpp"
+#include "core/concurrent_store.hpp"
+#include "runtime/concurrent.hpp"
 #include "runtime/env.hpp"
 #include "runtime/task.hpp"
 #include "workloads/binary_tree.hpp"
@@ -271,6 +276,104 @@ Observed run_stream(const Stream& st, BackendKind backend, int cores) {
   return o;
 }
 
+/// The same planned stream on the concurrent engine (--exec=concurrent's
+/// machinery): ConcurrentVersionStore driven by a work-stealing pool of
+/// real host threads, with the strict checker riding the store's tracer.
+/// Streams are determinate under any legal schedule (see PlannedOp), so the
+/// observation must match the timed backend's exactly.
+Observed run_stream_concurrent(const Stream& st, int threads) {
+  ConcurrencyConfig ccfg;
+  // A blocked op may legally wait for a store by a much-later task on an
+  // oversubscribed host; give real room before declaring deadlock.
+  ccfg.deadlock_timeout_ms = 20000;
+  ConcurrentVersionStore store(ccfg);
+  telemetry::Tracer tracer;
+  analysis::CheckerOptions copt;
+  copt.strict = true;
+  auto sink = std::make_unique<analysis::CheckerSink>(threads + 1, copt);
+  analysis::CheckerSink* checker = sink.get();
+  tracer.add_sink(std::move(sink));
+  store.attach_tracer(&tracer);
+
+  const OAddr base = store.alloc(static_cast<std::size_t>(st.slots));
+  for (int s = 0; s < st.slots; ++s) {
+    store.store_version(base + 8 * static_cast<OAddr>(s), kSetupVersion,
+                        5000 + static_cast<std::uint64_t>(s));
+  }
+
+  std::vector<std::vector<std::uint64_t>> reads(
+      static_cast<std::size_t>(st.tasks));
+  std::vector<std::vector<int>> faults(static_cast<std::size_t>(st.tasks));
+
+  ConcurrentTaskPool pool(store, threads);
+  for (int i = 0; i < st.tasks; ++i) {
+    const TaskId tid = kFirstTaskId + static_cast<TaskId>(i);
+    pool.create_task(tid, [&, i, tid](TaskId) {
+      for (const PlannedOp& op : st.ops[static_cast<std::size_t>(i)]) {
+        const OAddr a = base + 8 * static_cast<OAddr>(op.slot);
+        try {
+          switch (op.kind) {
+            case PlannedOp::kStore:
+              store.store_version(a, tid, tid * 7 + op.slot);
+              break;
+            case PlannedOp::kLoad:
+              reads[i].push_back(store.load_version(a, op.ver));
+              break;
+            case PlannedOp::kLockRename: {
+              const std::uint64_t v =
+                  store.lock_load_version(a, op.ver, tid);
+              reads[i].push_back(v);
+              store.unlock_version(a, op.ver, tid, tid);
+              break;
+            }
+            case PlannedOp::kLoadLatestSetup: {
+              Ver got = 0;
+              reads[i].push_back(store.load_latest(a, kSetupVersion, &got));
+              reads[i].push_back(got);
+              break;
+            }
+            case PlannedOp::kDupStore:
+              store.store_version(a, tid, 1);
+              break;
+            case PlannedOp::kWrongOwnerUnlock:
+            case PlannedOp::kUnlockNonexistent:
+              store.unlock_version(a, op.ver, tid);
+              break;
+            case PlannedOp::kBadVersionedAddr:
+              store.load_version(
+                  base + 8 * static_cast<OAddr>(st.slots + 100), op.ver);
+              break;
+            case PlannedOp::kBadConventional:
+              store.check_conventional(a);
+              break;
+          }
+        } catch (const OFault& f) {
+          faults[i].push_back(static_cast<int>(f.kind()));
+        }
+      }
+    });
+  }
+  pool.run();
+
+  Observed o;
+  for (int i = 0; i < st.tasks; ++i) {
+    o.reads.insert(o.reads.end(), reads[i].begin(), reads[i].end());
+    o.faults.insert(o.faults.end(), faults[i].begin(), faults[i].end());
+  }
+  for (int s = 0; s < st.slots; ++s) {
+    const OAddr a = base + 8 * static_cast<OAddr>(s);
+    const std::optional<Ver> newest = store.newest_version(a);
+    std::optional<std::uint64_t> val;
+    if (newest.has_value()) val = store.peek_version(a, *newest);
+    o.latest.emplace_back(newest, val);
+  }
+  checker->checker().finish();
+  o.check_clean = checker->checker().clean();
+  o.check_errors = checker->checker().error_count();
+  o.check_warnings = checker->checker().warning_count();
+  return o;
+}
+
 TEST(BackendDiff, RandomStreamsAgreeAndCheckClean) {
   for (std::uint64_t seed : {11ull, 23ull, 47ull}) {
     const Stream st = make_stream(/*slots=*/24, /*tasks=*/400, seed,
@@ -315,8 +418,47 @@ TEST(BackendDiff, StreamsAgreeAcrossCoreCounts) {
   }
 }
 
+// The concurrent engine on real host threads must observe exactly what the
+// timed machine observes: every read value, every fault, the final
+// latest-version map — and a clean strict checker verdict — regardless of
+// thread count (streams are determinate under any legal schedule).
+TEST(BackendDiff, ConcurrentEngineAgreesWithTimed) {
+  for (std::uint64_t seed : {11ull, 47ull}) {
+    const Stream st = make_stream(/*slots=*/24, /*tasks=*/400, seed,
+                                  /*unlock_violations=*/false);
+    const Observed timed = run_stream(st, BackendKind::kTimed, /*cores=*/4);
+    for (int threads : {1, 4}) {
+      const Observed conc = run_stream_concurrent(st, threads);
+      EXPECT_TRUE(conc.check_clean)
+          << "seed " << seed << ", " << threads << " threads";
+      EXPECT_EQ(timed.reads, conc.reads)
+          << "seed " << seed << ", " << threads << " threads";
+      EXPECT_EQ(timed.faults, conc.faults)
+          << "seed " << seed << ", " << threads << " threads";
+      EXPECT_EQ(timed.latest, conc.latest)
+          << "seed " << seed << ", " << threads << " threads";
+    }
+  }
+}
+
+// Protocol violations fault identically on the concurrent engine and are
+// flagged by the checker with the same error count (each illegal unlock is
+// caught at its ISA event, which is schedule-independent).
+TEST(BackendDiff, ConcurrentEngineFlagsUnlockViolations) {
+  const Stream st = make_stream(/*slots=*/24, /*tasks=*/400, /*seed=*/31,
+                                /*unlock_violations=*/true);
+  const Observed timed = run_stream(st, BackendKind::kTimed, /*cores=*/4);
+  const Observed conc = run_stream_concurrent(st, /*threads=*/4);
+  EXPECT_FALSE(conc.check_clean);
+  EXPECT_EQ(timed.check_errors, conc.check_errors);
+  EXPECT_EQ(timed.reads, conc.reads);
+  EXPECT_EQ(timed.faults, conc.faults);
+  EXPECT_EQ(timed.latest, conc.latest);
+}
+
 // An op no earlier task can ever satisfy is a deadlock on the timed
-// backend; the functional backend reports it synchronously as kWouldBlock.
+// backend; the functional backend reports it synchronously as kWouldBlock,
+// and the report names the op and the blocked task.
 TEST(BackendDiff, FunctionalWouldBlockFault) {
   MachineConfig cfg;
   cfg.num_cores = 2;
@@ -325,15 +467,23 @@ TEST(BackendDiff, FunctionalWouldBlockFault) {
   TaskRuntime rt(env, 2);
   const OAddr a = env.store().alloc(1);
   bool faulted = false;
+  std::string message;
   rt.create_task(kFirstTaskId, [&](TaskId) {
     try {
       env.store().load_version(a, /*v=*/kGhostVersion);
     } catch (const OFault& f) {
       faulted = f.kind() == FaultKind::kWouldBlock;
+      message = f.what();
     }
   });
   rt.run();
   EXPECT_TRUE(faulted);
+  EXPECT_NE(message.find("LOAD-VERSION"), std::string::npos) << message;
+  EXPECT_NE(message.find("task " + std::to_string(kFirstTaskId)),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find(std::to_string(kGhostVersion)), std::string::npos)
+      << message;
 }
 
 // The opgen-driven structure workloads must produce bit-identical

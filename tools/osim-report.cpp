@@ -41,6 +41,13 @@ struct Cell {
   std::string backend = "timed";
   std::uint64_t cycles = 0;
   std::uint64_t checksum = 0;
+  /// Concurrent-execution cells (--exec=concurrent) additionally record
+  /// real-time throughput: host threads, ops executed, and measured wall
+  /// seconds of the parallel section.
+  std::string exec;
+  std::uint64_t ops = 0;
+  double work_seconds = 0.0;
+  std::uint64_t conc_threads = 0;
   const Json* metrics = nullptr;  ///< owned by the file's Json root
   const Json* check = nullptr;    ///< osim-check verdict (--check runs only)
 };
@@ -131,6 +138,14 @@ bool load_results(const std::string& path, ResultFile& out) {
       if (const Json* cb = jc.find("backend")) c.backend = cb->as_string();
       c.cycles = cy->as_u64();
       c.checksum = ck->as_u64();
+      if (const Json* v = jc.find("exec")) c.exec = v->as_string();
+      if (const Json* v = jc.find("ops")) c.ops = v->as_u64();
+      if (const Json* v = jc.find("work_seconds")) {
+        c.work_seconds = v->as_double();
+      }
+      if (const Json* v = jc.find("conc_threads")) {
+        c.conc_threads = v->as_u64();
+      }
       c.metrics = jc.find("metrics");
       c.check = jc.find("check");
       b.cells.push_back(std::move(c));
@@ -472,6 +487,38 @@ void report_ablation(const BenchRecord& b) {
   }
 }
 
+void report_concurrent(const BenchRecord& b) {
+  // Cells: "mix/tN" from --exec=concurrent, each recording real host-thread
+  // throughput (ops / work_seconds). Table shows Mops/s per thread count
+  // and scaling relative to the mix's t1 cell — wall-clock numbers, not
+  // simulated cycles.
+  Grid g = grid_by_last(b);
+  std::vector<std::string> header{"mix"};
+  for (const std::string& c : g.cols) header.push_back(c);
+  md_header(header);
+  for (const std::string& r : g.rows) {
+    const Cell* base = g.cell(r, "t1");
+    const double base_tput =
+        base != nullptr && base->work_seconds > 0.0
+            ? static_cast<double>(base->ops) / base->work_seconds
+            : 0.0;
+    std::vector<std::string> row{r};
+    for (const std::string& c : g.cols) {
+      const Cell* cell = g.cell(r, c);
+      if (cell == nullptr || cell->work_seconds <= 0.0) {
+        row.push_back("");
+        continue;
+      }
+      const double tput =
+          static_cast<double>(cell->ops) / cell->work_seconds;
+      std::string s = fmt(tput / 1e6) + " Mops/s";
+      if (base_tput > 0.0) s += " (" + fmt(tput / base_tput) + "x)";
+      row.push_back(std::move(s));
+    }
+    md_row(row);
+  }
+}
+
 void report_sw_vs_hw(const BenchRecord& b) {
   // Cells: "{hw,sw}/cores=N"; ratio = sw / hw.
   md_header({"cores", "hardware cycles", "software cycles", "sw/hw"});
@@ -509,6 +556,9 @@ const Formatter kFormatters[] = {
     {"ablation", "Ablation — performance relative to baseline",
      report_ablation},
     {"sw_vs_hw", "Hardware vs software O-structures", report_sw_vs_hw},
+    {"backend_throughput_concurrent",
+     "Concurrent engine — real host-thread scaling (wall clock)",
+     report_concurrent},
 };
 
 // ---------------------------------------------------------------------------

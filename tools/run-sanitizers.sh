@@ -56,4 +56,23 @@ cmake --build --preset tsan -j "$jobs" --target bench_gc_overhead
   --check=strict --backend=functional
 
 echo
+echo "== TSan: concurrent engine (seqlock + epoch reclamation) =="
+# The whole point of ConcurrentVersionStore is to be data-race-free at the
+# C++ memory-model level, not merely "works on x86": every field shared
+# with lock-free readers is std::atomic and the seqlock fences pair
+# acquire/release. The stress test hammers optimistic readers against
+# writers, lock hand-offs, and block reclamation on real host threads,
+# which is exactly the code TSan can follow (no fibers anywhere).
+cmake --build --preset tsan -j "$jobs" --target test_concurrent_store
+./build-tsan/tests/test_concurrent_store
+
+echo
+echo "== TSan: concurrent bench path (--exec=concurrent) =="
+# End to end: script generation, the work-stealing pool, the strict
+# checker riding the store's tracer, and the scaling cells.
+cmake --build --preset tsan -j "$jobs" --target bench_backend_throughput
+./build-tsan/bench/bench_backend_throughput --quick --check=strict \
+  --backend=functional --exec=concurrent
+
+echo
 echo "sanitizer gate: PASS"
