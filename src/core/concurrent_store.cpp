@@ -60,12 +60,21 @@ int ConcurrentVersionStore::ctx_id() {
   for (const TlsBinding& b : t_bindings) {
     if (b.serial == serial_) return b.id;
   }
-  const int id = nctx_.fetch_add(1, std::memory_order_acq_rel);
-  if (id >= cfg_.max_threads) {
-    throw std::runtime_error(
-        "ConcurrentVersionStore: thread registrations exceed "
-        "ConcurrencyConfig::max_threads (" +
-        std::to_string(cfg_.max_threads) + ")");
+  // Bounded CAS: nctx_ must never exceed max_threads even transiently —
+  // min_active_epoch() and stats() iterate ctxs_[0..nctx_), so an
+  // over-incremented count would send them past the end of the array.
+  int id = nctx_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (id >= cfg_.max_threads) {
+      throw std::runtime_error(
+          "ConcurrentVersionStore: thread registrations exceed "
+          "ConcurrencyConfig::max_threads (" +
+          std::to_string(cfg_.max_threads) + ")");
+    }
+    if (nctx_.compare_exchange_weak(id, id + 1, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      break;
+    }
   }
   t_bindings.push_back({serial_, id});
   return id;
@@ -285,9 +294,19 @@ void ConcurrentVersionStore::maybe_reclaim(Shard& sh) {
   const std::uint64_t epoch = global_epoch_.load(std::memory_order_relaxed);
   std::vector<Shadowed> keep;
   keep.reserve(sh.shadowed.size());
+  // A block can carry more than one shadow entry: a mid-list insert
+  // registers it at birth, and if reclamation later promotes it to the
+  // chain head, a head insert shadows it a second time. Retiring it via
+  // one entry must purge the others — a stale entry left pending could
+  // outlive the block's trip through limbo and the free list and then
+  // retire a *live* reallocated incarnation of the same block index.
+  std::vector<std::uint32_t> gone;
   std::size_t retired = 0;
   Ver max_shadower = 0;
   for (const Shadowed& sd : sh.shadowed) {
+    if (std::find(gone.begin(), gone.end(), sd.block) != gone.end()) {
+      continue;  // duplicate entry; the block was retired earlier this pass
+    }
     CBlock& cb = block(sh, sd.block);
     if (sd.shadower > floor ||
         cb.locked_by.load(std::memory_order_relaxed) != kNoTask) {
@@ -306,7 +325,16 @@ void ConcurrentVersionStore::maybe_reclaim(Shard& sh) {
       pred = cur;
       cur = block(sh, cur).next.load(std::memory_order_relaxed);
     }
-    if (cur == kNil) continue;  // already gone (released + reallocated slot)
+    if (cur == kNil) {
+      // Unreachable: a block leaves its chain only through release()
+      // (which erases every entry for the slot) or a retire here (which
+      // purges every entry for the block). Keep the entry rather than
+      // drop it — dropping would leak the block index, and pushing it to
+      // limbo without having unlinked it could double-free.
+      assert(false && "shadowed block missing from its slot chain");
+      keep.push_back(sd);
+      continue;
+    }
     const std::uint32_t sq = sl.seq.load(std::memory_order_relaxed);
     sl.seq.store(sq + 1, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_release);
@@ -324,8 +352,19 @@ void ConcurrentVersionStore::maybe_reclaim(Shard& sh) {
            trace_id(sh, sd.block));
     }
     sh.limbo.push_back({sd.block, epoch});
+    gone.push_back(sd.block);
     max_shadower = std::max(max_shadower, sd.shadower);
     ++retired;
+  }
+  if (!gone.empty()) {
+    // Purge duplicates that were kept before their block's retiring entry
+    // was reached (the `gone` check above only catches later ones).
+    keep.erase(std::remove_if(keep.begin(), keep.end(),
+                              [&gone](const Shadowed& x) {
+                                return std::find(gone.begin(), gone.end(),
+                                                 x.block) != gone.end();
+                              }),
+               keep.end());
   }
   sh.shadowed.swap(keep);
   sh.reclaimed += retired;
@@ -576,6 +615,14 @@ std::uint64_t ConcurrentVersionStore::load_latest(OAddr a, Ver cap,
 void ConcurrentVersionStore::store_locked(Shard& sh, CSlot& sl,
                                           std::uint64_t slot, Ver v,
                                           std::uint64_t data) {
+  // Allocate before walking, like the serial store_impl: alloc_block may
+  // run a reclaim pass that unlinks shadowed blocks from this very chain
+  // (possibly the walk's pred or cur), and its limbo harvest could even
+  // hand a just-unlinked block back as nb. The fresh block itself is not
+  // reachable from any chain, so the walk below sees a stable
+  // post-reclaim list.
+  const std::uint32_t nb = alloc_block(sh);
+
   // Walk to the insertion point. We hold the shard writer lock, so plain
   // relaxed loads are exact; lists are kept sorted newest-first.
   std::uint32_t pred = kNil;
@@ -584,6 +631,12 @@ void ConcurrentVersionStore::store_locked(Shard& sh, CSlot& sl,
     CBlock& cb = block(sh, cur);
     const Ver cv = cb.version.load(std::memory_order_relaxed);
     if (cv == v) {
+      // Duplicate version: hand the never-linked block straight back to
+      // the free list before faulting (serial store_impl's recycle). No
+      // trace event — kBlockAlloc is only emitted once the block is
+      // linked, so the checker never saw this one.
+      sh.free_list.push_back(nb);
+      --sh.allocated;
       throw OFault(FaultKind::kVersionAlreadyExists,
                    "version " + std::to_string(v) + " already exists");
     }
@@ -591,7 +644,6 @@ void ConcurrentVersionStore::store_locked(Shard& sh, CSlot& sl,
     pred = cur;
     cur = cb.next.load(std::memory_order_relaxed);
   }
-  const std::uint32_t nb = alloc_block(sh);
   CBlock& b = block(sh, nb);
   b.version.store(v, std::memory_order_relaxed);
   b.data.store(data, std::memory_order_relaxed);
