@@ -349,6 +349,10 @@ int main(int argc, char** argv) {
   using namespace osim;
   using namespace osim::bench;
   const Options opt = Options::parse(argc, argv);
+  // Pinned to the paper collector: the concurrent scripts read *exact*
+  // versions that may lie above the reading task's own id, outside the
+  // read-cap discipline the bounded policy's range rule relies on.
+  require_paper_gc(opt, argv[0]);
   if (opt.exec == ExecKind::kConcurrent) {
     if (opt.backend != BackendKind::kFunctional) {
       std::fprintf(stderr,

@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
   using namespace osim::bench;
   const Options opt = Options::parse(argc, argv);
   require_inline_exec(opt, argv[0]);
+  require_paper_gc(opt, argv[0]);
   const Scale scale = opt.scale;
   Driver driver("fig7_scalability", opt);
 

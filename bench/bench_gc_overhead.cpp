@@ -71,6 +71,24 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Head-to-head GC policy comparison: the tight configuration once under
+  // each policy, pinned explicitly (independent of --gc, which only steers
+  // the three paper-table cells above). Same workload, same pool pressure;
+  // what differs is when shadowed blocks come back.
+  const GcPolicyKind pinned[2] = {GcPolicyKind::kPaper, GcPolicyKind::kBounded};
+  const char* pinned_names[2] = {"tight/gc=paper", "tight/gc=bounded"};
+  std::size_t pinned_handles[2];
+  for (int i = 0; i < 2; ++i) {
+    const GcPolicyKind gc = pinned[i];
+    pinned_handles[i] = driver.add(pinned_names[i], [tight, spec, gc] {
+      MachineConfig config = with_cell_trace(tight);
+      config.ostruct.gc_policy = gc;
+      Env env(config);
+      const RunResult r = linked_list_versioned(env, spec, /*cores=*/1);
+      return bench::cell_result(env, r.cycles, r.checksum);
+    });
+  }
+
   driver.run_all();
 
   const CellResult& t = driver.result(handles[0]);
@@ -106,6 +124,37 @@ int main(int argc, char** argv) {
   std::printf("\noutputs: tight %s ample, ample %s no-sorting\n",
               t.checksum == a.checksum ? "==" : "!=",
               a.checksum == n.checksum ? "==" : "!=");
+
+  // Policy comparison table. "GC runs" is phases for the paper policy and
+  // sweeps for the bounded one — each policy's unit of collection work.
+  const CellResult& pp = driver.result(pinned_handles[0]);
+  const CellResult& pb = driver.result(pinned_handles[1]);
+  std::printf("\nGC policy comparison (tight configuration):\n\n");
+  rule(6, 13);
+  row({"policy", "cycles", "GC runs", "OS traps", "blocks freed",
+       "vs paper"},
+      13);
+  rule(6, 13);
+  const CellResult* pr[2] = {&pp, &pb};
+  for (int i = 0; i < 2; ++i) {
+    const CellResult& r = *pr[i];
+    row({i == 0 ? "paper" : "bounded", std::to_string(r.cycles),
+         std::to_string(metric(r, "gc/phases") + metric(r, "gc/sweeps")),
+         std::to_string(metric(r, "osm/os_traps")),
+         std::to_string(metric(r, "osm/blocks_freed")),
+         i == 0 ? "0.000%"
+                : fmt(100.0 * (static_cast<double>(r.cycles) / pp.cycles -
+                               1.0),
+                      3) +
+                      "%"},
+        13);
+  }
+  rule(6, 13);
+
+  driver.check("gc=paper output matches gc=bounded",
+               pp.checksum == pb.checksum);
+  driver.check("gc=bounded reclaims blocks",
+               metric(pb, "osm/blocks_freed") > 0);
   std::printf(
       "\nPaper reference (Sec. IV-F): 135 GC phases; tight ~0.1%% slower "
       "than\nample; ample ~0.1%% slower than no-sorting.\n");

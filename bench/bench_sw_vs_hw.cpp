@@ -118,6 +118,7 @@ int main(int argc, char** argv) {
   using namespace osim::bench;
   const Options opt = Options::parse(argc, argv);
   require_inline_exec(opt, argv[0]);
+  require_paper_gc(opt, argv[0]);
   if (opt.backend != BackendKind::kTimed) {
     std::fprintf(stderr,
                  "sw_vs_hw: this figure is about simulated per-op cost; "

@@ -104,6 +104,7 @@ int main(int argc, char** argv) {
   using namespace osim::bench;
   const Options opt = Options::parse(argc, argv);
   require_inline_exec(opt, argv[0]);
+  require_paper_gc(opt, argv[0]);
   if (opt.backend != BackendKind::kTimed) {
     std::fprintf(stderr,
                  "table2_platform: latency probes drive the simulated "

@@ -58,13 +58,18 @@ struct Options {
   /// requires --backend=functional; everyone else rejects it after parsing
   /// (require_inline_exec).
   ExecKind exec = ExecKind::kInline;
+  /// Reclamation policy for every cell (the GcPolicy seam,
+  /// core/gc_policy.hpp). Benches whose figures reproduce the paper's
+  /// collector reject kBounded after parsing (require_paper_gc); only the
+  /// policy-comparison bench (bench_gc_overhead) accepts it.
+  GcPolicyKind gc = GcPolicyKind::kPaper;
 
   [[noreturn]] static void usage(const char* argv0, int exit_code) {
     std::fprintf(
         stderr,
         "usage: %s [--quick | --full] [--threads N] [--json PATH] "
         "[--trace PATH] [--check[=strict]] [--backend=timed|functional]\n"
-        "          [--exec=inline|concurrent]\n"
+        "          [--exec=inline|concurrent] [--gc=paper|bounded]\n"
         "  --quick      smoke-test scale (0.25x ops)\n"
         "  --full       paper-sized runs (4x ops)\n"
         "  --threads N  run experiment cells on N host threads\n"
@@ -85,7 +90,12 @@ struct Options {
         "               (default)\n"
         "  --exec=concurrent  truly parallel execution on real host\n"
         "               threads (requires --backend=functional; only\n"
-        "               benches built for it accept the flag)\n",
+        "               benches built for it accept the flag)\n"
+        "  --gc=paper   the paper's watermark/fence collector (default)\n"
+        "  --gc=bounded bounded-space range-tracking reclamation; only\n"
+        "               the policy-comparison bench (bench_gc_overhead)\n"
+        "               accepts it — the figure benches reproduce the\n"
+        "               paper's collector and pin --gc=paper\n",
         argv0);
     std::exit(exit_code);
   }
@@ -146,6 +156,16 @@ struct Options {
                      "--exec=concurrent)\n",
                      argv[0], a);
         usage(argv[0], 2);
+      } else if (std::strcmp(a, "--gc=paper") == 0) {
+        o.gc = GcPolicyKind::kPaper;
+      } else if (std::strcmp(a, "--gc=bounded") == 0) {
+        o.gc = GcPolicyKind::kBounded;
+      } else if (std::strncmp(a, "--gc", 4) == 0) {
+        std::fprintf(stderr,
+                     "%s: bad GC policy '%s' (use --gc=paper or "
+                     "--gc=bounded)\n",
+                     argv[0], a);
+        usage(argv[0], 2);
       } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
         usage(argv[0], 0);
       } else {
@@ -171,6 +191,21 @@ inline void require_inline_exec(const Options& o, const char* argv0) {
   }
 }
 
+/// Reject --gc=bounded on a bench whose figures reproduce the paper's
+/// collector (the simulated cycles are only comparable against the paper
+/// under its GC scheme). bench_gc_overhead — the bench whose *point* is
+/// the policy comparison — is the one bench that skips this.
+inline void require_paper_gc(const Options& o, const char* argv0) {
+  if (o.gc != GcPolicyKind::kPaper) {
+    std::fprintf(stderr,
+                 "%s: this bench reproduces the paper's collector and pins "
+                 "--gc=paper; the policy comparison lives in "
+                 "bench_gc_overhead\n",
+                 argv0);
+    std::exit(2);
+  }
+}
+
 namespace detail {
 /// Trace file for the experiment cell running on this host thread
 /// ("PATH.<cell-index>"; empty = tracing off). The driver sets it around
@@ -185,6 +220,11 @@ inline thread_local int g_cell_check_mode = 0;
 /// backends inside one run (bench_backend_throughput) override it on the
 /// config after make_config.
 inline thread_local BackendKind g_cell_backend = BackendKind::kTimed;
+/// GC policy for the cell running on this host thread (see Options::gc);
+/// driver-set like g_cell_trace_path. Cells that pin a policy regardless of
+/// the flag (bench_gc_overhead's comparison pair) override it on the config
+/// after make_config/with_cell_trace.
+inline thread_local GcPolicyKind g_cell_gc = GcPolicyKind::kPaper;
 }  // namespace detail
 
 inline MachineConfig make_config(int cores) {
@@ -193,16 +233,18 @@ inline MachineConfig make_config(int cores) {
   c.backend = detail::g_cell_backend;
   c.ostruct.trace_path = detail::g_cell_trace_path;
   c.ostruct.check_mode = detail::g_cell_check_mode;
+  c.ostruct.gc_policy = detail::g_cell_gc;
   return c;
 }
 
-/// Re-stamp the cell trace path, check mode and backend onto a config that
-/// was built *outside* the cell (make_config only sees the thread-locals
-/// while the cell runs).
+/// Re-stamp the cell trace path, check mode, backend and GC policy onto a
+/// config that was built *outside* the cell (make_config only sees the
+/// thread-locals while the cell runs).
 inline MachineConfig with_cell_trace(MachineConfig c) {
   c.backend = detail::g_cell_backend;
   c.ostruct.trace_path = detail::g_cell_trace_path;
   c.ostruct.check_mode = detail::g_cell_check_mode;
+  c.ostruct.gc_policy = detail::g_cell_gc;
   return c;
 }
 

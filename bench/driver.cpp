@@ -104,10 +104,11 @@ void Driver::run_all() {
                             ? std::string()
                             : opt_.trace_path + "." + std::to_string(i);
     jobs.push_back([&cell, trace = std::move(trace), check = opt_.check_mode,
-                    backend = opt_.backend] {
+                    backend = opt_.backend, gc = opt_.gc] {
       detail::g_cell_trace_path = trace;
       detail::g_cell_check_mode = check;
       detail::g_cell_backend = backend;
+      detail::g_cell_gc = gc;
       const auto t0 = std::chrono::steady_clock::now();
       cell.result = cell.fn();
       cell.result.wall_seconds = seconds_since(t0);
@@ -115,6 +116,7 @@ void Driver::run_all() {
       detail::g_cell_trace_path.clear();
       detail::g_cell_check_mode = 0;
       detail::g_cell_backend = BackendKind::kTimed;
+      detail::g_cell_gc = GcPolicyKind::kPaper;
     });
   }
   if (jobs.empty()) return;
@@ -222,6 +224,8 @@ int Driver::finish() {
       jc["backend"] = Json::string(c.result.backend.empty()
                                        ? to_string(opt_.backend)
                                        : c.result.backend);
+      jc["gc"] = Json::string(c.result.gc.empty() ? to_string(opt_.gc)
+                                                  : c.result.gc);
       jc["cycles"] = Json::number(static_cast<std::uint64_t>(c.result.cycles));
       jc["checksum"] = Json::number(c.result.checksum);
       jc["wall_seconds"] = Json::number(c.result.wall_seconds);

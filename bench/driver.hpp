@@ -38,6 +38,10 @@ struct CellResult {
   std::string backend;
   /// Execution mode of the cell ("inline" / "concurrent"); empty = inline.
   std::string exec;
+  /// GC policy behind the cell ("paper" / "bounded"); cell_result records
+  /// the cell Env's own policy, so policy-comparison benches label each
+  /// cell correctly. Empty = fall back to the bench-wide --gc.
+  std::string gc;
   /// Concurrent cells: versioned ISA ops executed, measured host seconds of
   /// the parallel section, and worker-thread count. ops/work_seconds is the
   /// throughput the scaling tables report; wall_seconds also covers cell
@@ -74,6 +78,7 @@ inline CellResult cell_result(Env& env, Cycles cycles,
   r.cycles = cycles;
   r.checksum = checksum;
   r.backend = to_string(env.config().backend);
+  r.gc = to_string(env.config().ostruct.gc_policy);
   r.metrics = metrics_json(env.metrics());
   harvest_check(env, r);
   return r;

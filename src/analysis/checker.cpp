@@ -367,21 +367,26 @@ void Checker::on_block_event(const telemetry::TraceEvent& e) {
         report(Severity::kError, Invariant::kDoubleFree, e, cur_task(e.core),
                0, "block " + std::to_string(block) + " freed twice");
       } else if (s == BState::kPending) {
-        // GC safety: a pending block may only be reclaimed once every task
-        // older than its shadower has finished — such a task's progress
-        // report (its own id, used as LOAD-LATEST cap) could still name
-        // the shadowed version.
+        // GC safety: a pending block holding version v and shadowed by s
+        // may only be reclaimed once no unfinished task id lies in the
+        // half-open range [v, s). Task ids double as LOAD-LATEST caps, so
+        // only a task in that range can still name the shadowed version: an
+        // older task's cap resolves below v, a younger task's at or above
+        // s. (This range rule admits both shipped GC policies — the paper's
+        // fence reclamation satisfies it a fortiori, since it waits for
+        // *every* task older than the shadower.)
         auto sh = shadower_.find(block);
-        if (sh != shadower_.end() && !live_tasks_.empty()) {
-          const TaskId oldest = live_tasks_.begin()->first;
-          if (oldest < sh->second) {
+        if (sh != shadower_.end()) {
+          const auto it = live_tasks_.lower_bound(e.version);
+          if (it != live_tasks_.end() && it->first < sh->second) {
             report(Severity::kError, Invariant::kPrematureReclaim, e,
-                   oldest, sh->second,
+                   it->first, sh->second,
                    "block " + std::to_string(block) + " (version " +
                        std::to_string(e.version) +
-                       ") reclaimed while task " + std::to_string(oldest) +
-                       " (older than shadower " +
-                       std::to_string(sh->second) + ") is unfinished");
+                       ") reclaimed while task " + std::to_string(it->first) +
+                       " (a possible reader in [" +
+                       std::to_string(e.version) + ", " +
+                       std::to_string(sh->second) + ")) is unfinished");
           }
         }
       }

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "core/fault.hpp"
+#include "core/gc_policy.hpp"
 
 namespace osim {
 
@@ -283,15 +284,39 @@ std::uint32_t ConcurrentVersionStore::alloc_block(Shard& sh) {
 }
 
 void ConcurrentVersionStore::maybe_reclaim(Shard& sh) {
-  // The paper's fence rule: a shadowed block can only be named by tasks
-  // older than its shadower, so once every task below the floor has
-  // finished (floor = oldest unfinished task id), blocks whose shadower is
-  // <= floor are unreachable *semantically*. They are unlinked here (under
-  // the shard writer lock, inside a seqlock write window) and then parked
-  // in limbo until the epoch grace period also rules out in-flight
-  // optimistic readers.
+  // Reclamation eligibility goes through the GcPolicy seam's predicates
+  // (core/gc_policy.hpp), inlined here under the shard writer lock:
+  //
+  //  * kPaper — the paper's fence rule: a shadowed block can only be named
+  //    by tasks older than its shadower, so once every task below the floor
+  //    has finished (floor = oldest unfinished task id), blocks whose
+  //    shadower is <= floor are unreachable *semantically*.
+  //  * kBounded — the per-block range rule: a block holding version v and
+  //    shadowed by s is unreachable once no unfinished task id lies in
+  //    [v, s) (task ids double as read caps), no matter how old the oldest
+  //    unfinished task is.
+  //
+  // Either way the eligible blocks are unlinked here (inside a seqlock
+  // write window) and then parked in limbo until the epoch grace period
+  // also rules out in-flight optimistic readers.
+  const bool bounded = cfg_.gc_policy == GcPolicyKind::kBounded;
   const TaskId floor = task_floor_.load(std::memory_order_acquire);
   const std::uint64_t epoch = global_epoch_.load(std::memory_order_relaxed);
+  // Bounded mode holds the task tracker's mutex for the whole pass: the
+  // range query needs a stable unfinished set, and the serialization makes
+  // the floor raise at the bottom atomic with the reclaim decision — a task
+  // created after this pass observes the raised gc_floor_ and faults out of
+  // every reclaimed range, while one created before it appears in `live`
+  // and pins its range. (Lock order writer_mu -> task_mu_ -> trace_mu_ is
+  // acyclic: no path acquires task_mu_ before a shard lock, and the task
+  // lifecycle emits trace events outside task_mu_.)
+  std::unique_lock<std::mutex> task_lk;
+  std::vector<TaskId> live;
+  if (bounded) {
+    task_lk = std::unique_lock<std::mutex>(task_mu_);
+    live.reserve(unfinished_.size());
+    for (const auto& [t, n] : unfinished_) live.push_back(t);  // ascending
+  }
   std::vector<Shadowed> keep;
   keep.reserve(sh.shadowed.size());
   // A block can carry more than one shadow entry: a mid-list insert
@@ -308,8 +333,10 @@ void ConcurrentVersionStore::maybe_reclaim(Shard& sh) {
       continue;  // duplicate entry; the block was retired earlier this pass
     }
     CBlock& cb = block(sh, sd.block);
-    if (sd.shadower > floor ||
-        cb.locked_by.load(std::memory_order_relaxed) != kNoTask) {
+    const bool pinned =
+        bounded ? gc_range_has_live_task(live, sd.version, sd.shadower)
+                : sd.shadower > floor;
+    if (pinned || cb.locked_by.load(std::memory_order_relaxed) != kNoTask) {
       keep.push_back(sd);
       continue;
     }
@@ -686,7 +713,11 @@ void ConcurrentVersionStore::store_locked(Shard& sh, CSlot& sl,
     shadowed = nb;
     shadower = block(sh, pred).version.load(std::memory_order_relaxed);
   }
-  if (shadowed != kNil) sh.shadowed.push_back({shadowed, shadower, slot});
+  if (shadowed != kNil) {
+    sh.shadowed.push_back(
+        {shadowed, block(sh, shadowed).version.load(std::memory_order_relaxed),
+         shadower, slot});
+  }
 
   if (tracing()) {
     const OAddr a = ostruct_addr(slot);

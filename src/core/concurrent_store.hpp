@@ -20,10 +20,13 @@
 //     faulting; a store/unlock on the shard wakes it. A park that outlives
 //     the deadlock timeout faults kWouldBlock with the task id and op —
 //     the concurrent analogue of the functional backend's instant fault,
-//   * shadowed blocks are reclaimed with the paper's fence rule (a shadowed
-//     block is unreachable once every task older than its shadower has
-//     finished) *and* an epoch-based grace period so a block is never
-//     recycled while an optimistic reader may still walk through it.
+//   * shadowed blocks are reclaimed under the configured GcPolicy rule
+//     (core/gc_policy.hpp) — the paper's fence rule (a shadowed block is
+//     unreachable once every task older than its shadower has finished) or
+//     the bounded-space range rule (unreachable once no unfinished task id
+//     lies in [version, shadower)) — *and* an epoch-based grace period so a
+//     block is never recycled while an optimistic reader may still walk
+//     through it.
 //
 // Everything is TSan-followable: all fields shared with lock-free readers
 // are std::atomic, and the seqlock's fences pair acquire/release exactly as
@@ -48,6 +51,7 @@
 
 #include "core/address_map.hpp"
 #include "core/isa.hpp"
+#include "core/ostruct_config.hpp"
 #include "core/types.hpp"
 #include "core/version_block.hpp"
 #include "telemetry/trace.hpp"
@@ -81,6 +85,12 @@ struct ConcurrencyConfig {
   /// Optimistic walk bound; exceeding it forces a seqlock retry (belt and
   /// braces against a transiently inconsistent chain).
   std::size_t walk_limit = std::size_t{1} << 20;
+  /// Reclamation policy (the GcPolicy seam, core/gc_policy.hpp). kPaper
+  /// applies the fence rule (shadower <= oldest unfinished task); kBounded
+  /// applies the per-block range rule (no unfinished task in
+  /// [version, shadower)), which keeps the shadow registry bounded even
+  /// under a reader that never finishes.
+  GcPolicyKind gc_policy = GcPolicyKind::kPaper;
 };
 
 /// The concurrent semantic engine. Public ISA surface mirrors VersionStore;
@@ -200,6 +210,7 @@ class ConcurrentVersionStore {
   };
   struct Shadowed {
     std::uint32_t block;
+    Ver version;   ///< the shadowed version the block holds (bounded policy)
     Ver shadower;
     std::uint64_t slot;  ///< owning slot, for the unlink at reclaim time
   };

@@ -10,6 +10,17 @@
 
 namespace osim {
 
+/// Which reclamation policy drives the shadowed -> free block lifecycle
+/// (core/gc_policy.hpp). `kPaper` is the paper's watermark-driven phase
+/// collector (Sec. III-B); `kBounded` is the range-tracking policy that
+/// keeps the count of unreclaimed shadowed blocks bounded by the number of
+/// versions an unfinished task can still reach plus a constant batch.
+enum class GcPolicyKind : std::uint8_t { kPaper, kBounded };
+
+inline const char* to_string(GcPolicyKind k) {
+  return k == GcPolicyKind::kBounded ? "bounded" : "paper";
+}
+
 struct OStructConfig {
   /// Initial number of version blocks carved into the free list.
   std::size_t initial_pool_blocks = 1 << 20;
@@ -20,6 +31,14 @@ struct OStructConfig {
   /// GC phase auto-trigger: start a collection when free blocks drop below
   /// this watermark (paper Sec. III-B "Operation").
   std::size_t gc_watermark = 1 << 12;
+  /// Reclamation policy (see GcPolicyKind). The paper scheme is the
+  /// architected default; every timed figure pins it.
+  GcPolicyKind gc_policy = GcPolicyKind::kPaper;
+  /// BoundedSpacePolicy amortization: a sweep runs once the tracked set
+  /// outgrows the previous sweep's survivors by this many blocks, so the
+  /// policy holds at most (survivors + batch) unreclaimed shadowed blocks
+  /// while keeping the per-shadow bookkeeping O(1) amortized.
+  std::size_t gc_bounded_batch = 64;
   /// Fixed latency injected into every versioned operation, on top of the
   /// modelled cache latencies. 0 in the baseline; swept 2..10 for Fig. 10.
   Cycles injected_latency = 0;

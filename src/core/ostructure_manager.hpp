@@ -207,7 +207,7 @@ class OStructureManager {
   int version_count(OAddr a) const { return store_.version_count(a); }
   std::size_t free_blocks() const { return store_.free_blocks(); }
 
-  GarbageCollector& gc() { return store_.gc(); }
+  GcPolicy& gc() { return store_.gc(); }
   BlockPool& pool() { return store_.pool(); }
   const OStructConfig& config() const { return store_.config(); }
   const telemetry::RingSink& trace() const { return store_.trace(); }

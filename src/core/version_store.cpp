@@ -15,14 +15,11 @@ VersionStore::VersionStore(const OStructConfig& cfg, int num_cores,
       t_(timing),
       fp_(timing.fast_path()),
       pool_(cfg_.initial_pool_blocks),
-      gc_(pool_, reg, [this](BlockIndex b) { reclaim(b); },
-          [this](telemetry::EventType t, std::uint64_t slot, Ver v,
-                 std::uint64_t arg) {
-            const OAddr a =
-                t == telemetry::EventType::kBlockPending ? ostruct_addr(slot)
-                                                         : 0;
-            emit_event(t, a, v, arg);
-          }),
+      // Constructed at this position so the policy's gc/* metrics land at
+      // the same registry index as the historical collector's (dump order
+      // is part of the bit-identical contract). Only the GcOwner reference
+      // escapes here; no virtual call runs during construction.
+      gc_(make_gc_policy(cfg_, pool_, reg, *this)),
       cur_task_(static_cast<std::size_t>(num_cores), kNoTask),
       core_counters_(static_cast<std::size_t>(num_cores)),
       blocks_allocated_(
@@ -183,7 +180,7 @@ BlockIndex VersionStore::alloc_block() {
   BlockIndex b = pool_.alloc();
   if (b == kNullBlock) {
     // Free list exhausted: give the GC a chance, then trap to the OS.
-    if (gc_.start_phase() && charges()) t_.gc_triggered();
+    if (gc_->maybe_collect() && charges()) t_.gc_triggered();
     b = pool_.alloc();
     if (b == kNullBlock) {
       pool_.grow(cfg_.trap_grow_blocks);
@@ -197,7 +194,7 @@ BlockIndex VersionStore::alloc_block() {
   blocks_allocated_.inc();
   if (charges()) t_.block_allocated(b);
   emit_event(telemetry::EventType::kBlockAlloc, 0, 0, b);
-  if (pool_.free_count() < cfg_.gc_watermark && gc_.start_phase() &&
+  if (pool_.free_count() < cfg_.gc_watermark && gc_->maybe_collect() &&
       charges()) {
     t_.gc_triggered();
   }
@@ -395,7 +392,7 @@ void VersionStore::store_impl(std::uint64_t slot, Ver v, std::uint64_t data) {
   if (ir.shadowed != kNullBlock) {
     const Ver shadower = ir.at_head ? v : snap.newer_version;
     if (charges()) t_.block_shadowed(ir.shadowed);
-    gc_.on_shadowed(ir.shadowed, shadower);
+    gc_->on_shadowed(ir.shadowed, shadower);
   }
 
   slots_[slot].nversions++;
@@ -404,6 +401,9 @@ void VersionStore::store_impl(std::uint64_t slot, Ver v, std::uint64_t data) {
     // A new version may satisfy parked LOAD/LOCK attempts.
     t_.wake_slot(slot);
   }
+  // The store is fully installed; a bounded-policy amortized sweep may run
+  // now (no-op for the paper policy).
+  gc_->on_store_complete();
 }
 
 void VersionStore::store_version(OAddr a, Ver v, std::uint64_t data,
@@ -452,7 +452,7 @@ void VersionStore::unlock_version(OAddr a, Ver locked_v, TaskId owner,
 }
 
 void VersionStore::task_created(TaskId t) {
-  gc_.task_created(t);
+  gc_->task_created(t);
   emit_event(telemetry::EventType::kTaskCreated, 0, t, 0);
 }
 
@@ -463,7 +463,7 @@ void VersionStore::task_begin(TaskId t) {
     tracer_.emit({t_.now(), t_.core(), telemetry::EventType::kIsaOp,
                   OpCode::kTaskBegin, 0, t, 0});
   }
-  gc_.task_begin(t);
+  gc_->task_begin(t);
   cur_task_[static_cast<std::size_t>(cur_core())] = t;
 }
 
@@ -474,7 +474,7 @@ void VersionStore::task_end(TaskId t) {
     tracer_.emit({t_.now(), t_.core(), telemetry::EventType::kIsaOp,
                   OpCode::kTaskEnd, 0, t, 0});
   }
-  gc_.task_end(t);
+  gc_->task_end(t);
   cur_task_[static_cast<std::size_t>(cur_core())] = kNoTask;
   core_counters_[static_cast<std::size_t>(cur_core())].tasks_executed++;
 }

@@ -24,13 +24,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/address_map.hpp"
 #include "core/compressed_line.hpp"
 #include "core/flat_map.hpp"
-#include "core/gc.hpp"
+#include "core/gc_policy.hpp"
 #include "core/isa.hpp"
 #include "core/ostruct_config.hpp"
 #include "core/timing_model.hpp"
@@ -52,7 +53,7 @@ struct OpFlags {
   bool root = false;
 };
 
-class VersionStore {
+class VersionStore : private GcOwner {
  public:
   /// Per-core operation counters, packed so one versioned op touches a
   /// single cache line of counter state (an op bumps 2-4 of these), and
@@ -150,7 +151,9 @@ class VersionStore {
   int version_count(OAddr a) const;
   std::size_t free_blocks() const { return pool_.free_count(); }
 
-  GarbageCollector& gc() { return gc_; }
+  /// The reclamation policy behind the GcPolicy seam (selected by
+  /// OStructConfig::gc_policy; core/gc_policy.hpp).
+  GcPolicy& gc() { return *gc_; }
   BlockPool& pool() { return pool_; }
   const BlockPool& pool() const { return pool_; }
   const OStructConfig& config() const { return cfg_; }
@@ -266,6 +269,17 @@ class VersionStore {
   /// GC reclaim callback: unlink, report to the timing layer, free.
   void reclaim(BlockIndex b);
 
+  // ---- GcOwner (the engine-side half of the GcPolicy seam) ----
+  void gc_reclaim(BlockIndex b) override { reclaim(b); }
+  void gc_event(telemetry::EventType type, std::uint64_t slot, Ver v,
+                std::uint64_t arg) override {
+    // kBlockPending names the block's owning slot; phase boundaries carry
+    // no address.
+    const OAddr a =
+        type == telemetry::EventType::kBlockPending ? ostruct_addr(slot) : 0;
+    emit_event(type, a, v, arg);
+  }
+
   /// Emit a lifecycle event stamped with the running core's time (host
   /// context emits time 0 / core 0). One inlined branch when tracing is
   /// off; the build/dispatch cost lives out of line.
@@ -284,7 +298,7 @@ class VersionStore {
   TimingModel& t_;
   TimingFastPath* fp_;  ///< non-null iff t_ is a pure no-cost model
   BlockPool pool_;
-  GarbageCollector gc_;
+  std::unique_ptr<GcPolicy> gc_;
   std::vector<SlotMeta> slots_;
   /// Released slot runs, keyed by run length, for reuse by alloc().
   FlatMap<std::uint64_t, std::vector<std::uint64_t>> slot_free_;

@@ -172,15 +172,44 @@ TEST(CheckerLifecycle, BareRecycleDoesNotPoisonTheVersion) {
 // ---------------------------------------------------------------------------
 // GC reclamation safety
 
-TEST(CheckerGc, ReclaimUnderOlderLiveTaskIsPremature) {
+TEST(CheckerGc, ReclaimUnderLiveReaderInRangeIsPremature) {
   Checker c(1);
-  c.on_event(ev(EventType::kTaskCreated, 0, 0, 2, 0));  // task 2 unfinished
+  // Task 4 lies in [version 3, shadower 5): its LOAD-LATEST cap could still
+  // name version 3 of the reclaimed block.
+  c.on_event(ev(EventType::kTaskCreated, 0, 0, 4, 0));  // task 4 unfinished
   c.on_event(ev(EventType::kBlockAlloc, 0, 0, 0, 7));
   c.on_event(ev(EventType::kVersionStore, 0, 100, 3, 7));
-  c.on_event(ev(EventType::kBlockShadowed, 0, 100, 5, 7));  // shadower 5 > 2
+  c.on_event(ev(EventType::kBlockShadowed, 0, 100, 5, 7));
   c.on_event(ev(EventType::kBlockPending, 0, 100, 3, 7));
   c.on_event(ev(EventType::kBlockFreed, 0, 100, 3, 7));
   EXPECT_TRUE(has(c, Invariant::kPrematureReclaim));
+}
+
+TEST(CheckerGc, ReclaimWithLiveTaskBelowRangeIsSilent) {
+  // A bounded-policy reclaim: task 2's cap resolves below version 3, so it
+  // can never name the reclaimed version even though it is older than the
+  // shadower — the range rule [3, 5) excludes it.
+  Checker c(1);
+  c.on_event(ev(EventType::kTaskCreated, 0, 0, 2, 0));
+  c.on_event(ev(EventType::kBlockAlloc, 0, 0, 0, 7));
+  c.on_event(ev(EventType::kVersionStore, 0, 100, 3, 7));
+  c.on_event(ev(EventType::kBlockShadowed, 0, 100, 5, 7));
+  c.on_event(ev(EventType::kBlockPending, 0, 100, 3, 7));
+  c.on_event(ev(EventType::kBlockFreed, 0, 100, 3, 7));
+  EXPECT_FALSE(has(c, Invariant::kPrematureReclaim));
+}
+
+TEST(CheckerGc, ReclaimWithLiveTaskAboveRangeIsSilent) {
+  // Task 9's cap resolves at or above shadower 5 — it reads the shadowing
+  // version, never the shadowed one.
+  Checker c(1);
+  c.on_event(ev(EventType::kTaskCreated, 0, 0, 9, 0));
+  c.on_event(ev(EventType::kBlockAlloc, 0, 0, 0, 7));
+  c.on_event(ev(EventType::kVersionStore, 0, 100, 3, 7));
+  c.on_event(ev(EventType::kBlockShadowed, 0, 100, 5, 7));
+  c.on_event(ev(EventType::kBlockPending, 0, 100, 3, 7));
+  c.on_event(ev(EventType::kBlockFreed, 0, 100, 3, 7));
+  EXPECT_FALSE(has(c, Invariant::kPrematureReclaim));
 }
 
 TEST(CheckerGc, ReclaimAfterOlderTasksFinishIsSilent) {

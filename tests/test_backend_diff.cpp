@@ -5,6 +5,7 @@
 // read value, the final latest-version map of every slot, the multiset of
 // protocol faults, and the osim-check strict verdict must be identical —
 // only the clocks may differ.
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -176,6 +177,9 @@ struct Observed {
       latest;  // per slot: newest version and its value
   bool check_clean = false;
   std::uint64_t check_errors = 0, check_warnings = 0;
+  /// Blocks the run's collector gave back. NOT part of ==: the GcPolicy
+  /// seam guarantees identical semantics, not identical reclaim timing.
+  std::uint64_t blocks_freed = 0;
 
   bool operator==(const Observed& o) const {
     return reads == o.reads && faults == o.faults && latest == o.latest &&
@@ -184,11 +188,22 @@ struct Observed {
   }
 };
 
-Observed run_stream(const Stream& st, BackendKind backend, int cores) {
+Observed run_stream(const Stream& st, BackendKind backend, int cores,
+                    GcPolicyKind gc = GcPolicyKind::kPaper,
+                    bool tight_pool = false) {
   MachineConfig cfg;
   cfg.num_cores = cores;
   cfg.backend = backend;
   cfg.ostruct.check_mode = 2;  // strict osim-check, online
+  cfg.ostruct.gc_policy = gc;
+  if (tight_pool) {
+    // Starve the pool so whichever policy is installed must actually run
+    // (watermark phases for paper, amortized sweeps for bounded).
+    cfg.ostruct.initial_pool_blocks = 96;
+    cfg.ostruct.trap_grow_blocks = 64;
+    cfg.ostruct.gc_watermark = 48;
+    cfg.ostruct.gc_bounded_batch = 16;
+  }
   Env env(cfg);
 
   std::vector<std::vector<std::uint64_t>> reads(
@@ -273,6 +288,8 @@ Observed run_stream(const Stream& st, BackendKind backend, int cores) {
   o.check_clean = env.checker()->clean();
   o.check_errors = env.checker()->error_count();
   o.check_warnings = env.checker()->warning_count();
+  o.blocks_freed =
+      env.metrics().total(telemetry::Component::kOsm, "blocks_freed");
   return o;
 }
 
@@ -281,11 +298,15 @@ Observed run_stream(const Stream& st, BackendKind backend, int cores) {
 /// real host threads, with the strict checker riding the store's tracer.
 /// Streams are determinate under any legal schedule (see PlannedOp), so the
 /// observation must match the timed backend's exactly.
-Observed run_stream_concurrent(const Stream& st, int threads) {
+Observed run_stream_concurrent(const Stream& st, int threads,
+                               GcPolicyKind gc = GcPolicyKind::kPaper,
+                               std::size_t reclaim_threshold = 0) {
   ConcurrencyConfig ccfg;
   // A blocked op may legally wait for a store by a much-later task on an
   // oversubscribed host; give real room before declaring deadlock.
   ccfg.deadlock_timeout_ms = 20000;
+  ccfg.gc_policy = gc;
+  if (reclaim_threshold != 0) ccfg.reclaim_threshold = reclaim_threshold;
   ConcurrentVersionStore store(ccfg);
   telemetry::Tracer tracer;
   analysis::CheckerOptions copt;
@@ -371,7 +392,89 @@ Observed run_stream_concurrent(const Stream& st, int threads) {
   o.check_clean = checker->checker().clean();
   o.check_errors = checker->checker().error_count();
   o.check_warnings = checker->checker().warning_count();
+  o.blocks_freed = store.stats().blocks_reclaimed;
   return o;
+}
+
+// A planned stream whose reads stay legal under ANY reclamation policy.
+// Exact loads and lock ops may name versions the bounded policy has every
+// right to reclaim mid-run (they read below their task's own cap), so the
+// cross-policy streams split the slots into three classes:
+//   * read-only  — never stored past setup; version kSetupVersion is never
+//                  shadowed, so exact and capped reads of it are stable,
+//   * archive    — exactly one store, by a designated early task; its
+//                  version is the slot's head forever, hence unreclaimable,
+//   * churn      — store-only traffic whose shadowed predecessors are the
+//                  reclamation fodder that makes the differential real.
+// Everything observable (reads, faults, final latest map, strict verdict)
+// is schedule- and policy-independent; only reclaim timing may differ.
+Stream make_policy_safe_stream(int readonly, int archive, int churn,
+                               int tasks, std::uint64_t seed) {
+  Stream st;
+  st.slots = readonly + archive + churn;
+  st.tasks = tasks;
+  st.ops.resize(static_cast<std::size_t>(tasks));
+  for (int i = 0; i < tasks; ++i) {
+    const TaskId tid = kFirstTaskId + static_cast<TaskId>(i);
+    auto& ops = st.ops[static_cast<std::size_t>(i)];
+    bool stored = false;
+    std::uint32_t stored_slot = 0;
+    if (i < archive) {
+      // The first `archive` tasks each publish their archive slot.
+      stored_slot = static_cast<std::uint32_t>(readonly + i);
+      ops.push_back({PlannedOp::kStore, stored_slot, tid});
+      stored = true;
+    } else if (splitmix(seed) % 10 < 7) {
+      stored_slot = static_cast<std::uint32_t>(
+          readonly + archive +
+          static_cast<int>(splitmix(seed) %
+                           static_cast<std::uint64_t>(churn)));
+      ops.push_back({PlannedOp::kStore, stored_slot, tid});
+      stored = true;
+    }
+    const std::uint64_t reads = splitmix(seed) % 3;
+    for (std::uint64_t r = 0; r < reads; ++r) {
+      if (splitmix(seed) % 2 == 0) {
+        const auto s = static_cast<std::uint32_t>(
+            splitmix(seed) % static_cast<std::uint64_t>(readonly));
+        ops.push_back(splitmix(seed) % 2 == 0
+                          ? PlannedOp{PlannedOp::kLoad, s, kSetupVersion}
+                          : PlannedOp{PlannedOp::kLoadLatestSetup, s,
+                                      kSetupVersion});
+      } else if (i > 0) {
+        // Exact read of an archive version whose one publisher is an
+        // earlier task; the op blocks until it exists, so the value is
+        // determined.
+        const int visible = std::min(archive, i);
+        const auto j = static_cast<std::uint32_t>(
+            splitmix(seed) % static_cast<std::uint64_t>(visible));
+        ops.push_back({PlannedOp::kLoad,
+                       static_cast<std::uint32_t>(readonly) + j,
+                       kFirstTaskId + j});
+      }
+    }
+    if (splitmix(seed) % 7 == 0) {
+      switch (splitmix(seed) % 3) {
+        case 0:
+          if (stored) {
+            ops.push_back({PlannedOp::kDupStore, stored_slot, tid});
+            break;
+          }
+          [[fallthrough]];
+        case 1:
+          ops.push_back({PlannedOp::kBadVersionedAddr, 0, kSetupVersion});
+          break;
+        default:
+          ops.push_back(
+              {PlannedOp::kBadConventional,
+               static_cast<std::uint32_t>(
+                   splitmix(seed) %
+                   static_cast<std::uint64_t>(st.slots)),
+               0});
+      }
+    }
+  }
+  return st;
 }
 
 TEST(BackendDiff, RandomStreamsAgreeAndCheckClean) {
@@ -454,6 +557,57 @@ TEST(BackendDiff, ConcurrentEngineFlagsUnlockViolations) {
   EXPECT_EQ(timed.reads, conc.reads);
   EXPECT_EQ(timed.faults, conc.faults);
   EXPECT_EQ(timed.latest, conc.latest);
+}
+
+// Cross-policy differential (the GcPolicy seam): on policy-safe streams,
+// paper and bounded reclamation must observe identical reads, faults,
+// final latest maps, and strict checker verdicts on both serial backends —
+// while the bounded runs demonstrably reclaim mid-run (the pool is starved
+// so both collectors actually work).
+TEST(BackendDiff, GcPoliciesObserveIdenticalStreams) {
+  for (std::uint64_t seed : {13ull, 29ull}) {
+    const Stream st = make_policy_safe_stream(/*readonly=*/6, /*archive=*/6,
+                                              /*churn=*/12, /*tasks=*/400,
+                                              seed);
+    const Observed ref = run_stream(st, BackendKind::kTimed, /*cores=*/4,
+                                    GcPolicyKind::kPaper, /*tight_pool=*/true);
+    EXPECT_TRUE(ref.check_clean) << "seed " << seed;
+    EXPECT_FALSE(ref.reads.empty());
+    const Observed timed_bounded =
+        run_stream(st, BackendKind::kTimed, /*cores=*/4,
+                   GcPolicyKind::kBounded, /*tight_pool=*/true);
+    const Observed func_paper =
+        run_stream(st, BackendKind::kFunctional, /*cores=*/4,
+                   GcPolicyKind::kPaper, /*tight_pool=*/true);
+    const Observed func_bounded =
+        run_stream(st, BackendKind::kFunctional, /*cores=*/4,
+                   GcPolicyKind::kBounded, /*tight_pool=*/true);
+    EXPECT_TRUE(timed_bounded == ref) << "timed bounded, seed " << seed;
+    EXPECT_TRUE(func_paper == ref) << "functional paper, seed " << seed;
+    EXPECT_TRUE(func_bounded == ref) << "functional bounded, seed " << seed;
+    // The differential is only meaningful if the bounded collector really
+    // ran; only reclaim *timing* may differ, never the observation above.
+    EXPECT_GT(timed_bounded.blocks_freed, 0u) << "seed " << seed;
+    EXPECT_GT(func_bounded.blocks_freed, 0u) << "seed " << seed;
+  }
+}
+
+// Same differential on the truly concurrent engine: real threads, the
+// bounded range rule deciding reclaims under the shard lock, and a strict
+// checker riding the trace — all observations must match the timed
+// machine's under either policy.
+TEST(BackendDiff, ConcurrentEngineAgreesAcrossGcPolicies) {
+  const Stream st = make_policy_safe_stream(/*readonly=*/6, /*archive=*/6,
+                                            /*churn=*/12, /*tasks=*/400,
+                                            /*seed=*/13);
+  const Observed ref = run_stream(st, BackendKind::kTimed, /*cores=*/4,
+                                  GcPolicyKind::kPaper, /*tight_pool=*/true);
+  for (GcPolicyKind gc : {GcPolicyKind::kPaper, GcPolicyKind::kBounded}) {
+    const Observed conc = run_stream_concurrent(st, /*threads=*/4, gc,
+                                                /*reclaim_threshold=*/64);
+    EXPECT_TRUE(conc.check_clean) << to_string(gc);
+    EXPECT_TRUE(conc == ref) << to_string(gc);
+  }
 }
 
 // An op no earlier task can ever satisfy is a deadlock on the timed

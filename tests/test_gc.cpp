@@ -1,5 +1,6 @@
-// Unit tests for the shadowed/pending/free garbage collection protocol.
-#include "core/gc.hpp"
+// Unit tests for the shadowed/pending/free garbage collection protocol
+// (PaperWatermarkPolicy behind the GcPolicy seam).
+#include "core/gc_policy.hpp"
 
 #include <gtest/gtest.h>
 
@@ -10,13 +11,18 @@
 namespace osim {
 namespace {
 
-class GcTest : public ::testing::Test {
+class GcTest : public ::testing::Test, protected GcOwner {
  protected:
-  GcTest()
-      : gc(pool, reg, [this](BlockIndex b) {
-          reclaimed.push_back(b);
-          pool.free(b);
-        }) {}
+  GcTest() : gc(pool, reg, *this) {}
+
+  // GcOwner: record the reclaim and return the block to the pool, like the
+  // engine's reclaim() (minus list unlinking — there are no lists here).
+  void gc_reclaim(BlockIndex b) override {
+    reclaimed.push_back(b);
+    pool.free(b);
+  }
+  void gc_event(telemetry::EventType, std::uint64_t, Ver,
+                std::uint64_t) override {}
 
   BlockIndex live_block() {
     const BlockIndex b = pool.alloc();
@@ -31,7 +37,7 @@ class GcTest : public ::testing::Test {
   BlockPool pool{64};
   telemetry::MetricRegistry reg{1};
   std::vector<BlockIndex> reclaimed;
-  GarbageCollector gc;
+  PaperWatermarkPolicy gc;
 };
 
 TEST_F(GcTest, ShadowedBlockWaitsForPhase) {
@@ -51,8 +57,9 @@ TEST_F(GcTest, PhaseReclaimsOnceOldReadersFinish) {
   gc.task_begin(2);
   const BlockIndex b = live_block();
   gc.on_shadowed(b, /*shadower=*/2);
-  EXPECT_TRUE(gc.start_phase());
+  EXPECT_TRUE(gc.maybe_collect());
   EXPECT_TRUE(gc.phase_active());
+  EXPECT_EQ(gc.fence(), 2u);
   EXPECT_EQ(pool[b].state, BlockState::kPending);
   // Task 2 ending does not help: task 1 can still read the old version.
   gc.task_end(2);
@@ -73,7 +80,8 @@ TEST_F(GcTest, FenceIsYoungestShadowerInBatch) {
   const BlockIndex b = live_block();
   gc.on_shadowed(a, 5);
   gc.on_shadowed(b, 9);
-  gc.start_phase();  // fence = 9
+  gc.maybe_collect();  // fence = 9
+  EXPECT_EQ(gc.fence(), 9u);
   gc.task_end(1);
   gc.task_end(5);
   // Task 9 is not *older* than the fence (9): reclamation may proceed.
@@ -89,7 +97,7 @@ TEST_F(GcTest, CreatedButUnbegunTaskHoldsBackReclamation) {
   gc.task_begin(7);
   const BlockIndex b = live_block();
   gc.on_shadowed(b, 7);
-  gc.start_phase();  // fence = 7
+  gc.maybe_collect();  // fence = 7
   gc.task_end(7);
   EXPECT_TRUE(gc.phase_active());  // task 3 could still read the old version
   EXPECT_TRUE(reclaimed.empty());
@@ -104,7 +112,7 @@ TEST_F(GcTest, QuiescentPhaseReclaimsImmediately) {
   const BlockIndex b = live_block();
   gc.on_shadowed(b, 1);
   gc.task_end(1);
-  EXPECT_TRUE(gc.start_phase());
+  EXPECT_TRUE(gc.maybe_collect());
   EXPECT_FALSE(gc.phase_active());
   EXPECT_EQ(reclaimed.size(), 1u);
 }
@@ -114,7 +122,7 @@ TEST_F(GcTest, NewlyShadowedDuringPhaseGoesToNextPhase) {
   gc.task_begin(2);
   const BlockIndex a = live_block();
   gc.on_shadowed(a, 2);
-  gc.start_phase();
+  gc.maybe_collect();
   // Shadow another block mid-phase: lands on the shadowed list, untouched
   // by this phase's finalization.
   const BlockIndex b = live_block();
@@ -126,7 +134,7 @@ TEST_F(GcTest, NewlyShadowedDuringPhaseGoesToNextPhase) {
 }
 
 TEST_F(GcTest, StartPhaseNoopWithoutShadowedWork) {
-  EXPECT_FALSE(gc.start_phase());
+  EXPECT_FALSE(gc.maybe_collect());
   EXPECT_EQ(phases(), 0u);
 }
 
@@ -134,9 +142,9 @@ TEST_F(GcTest, StartPhaseNoopWhilePhaseActive) {
   gc.task_begin(1);
   gc.task_begin(2);
   gc.on_shadowed(live_block(), 2);
-  EXPECT_TRUE(gc.start_phase());
+  EXPECT_TRUE(gc.maybe_collect());
   gc.on_shadowed(live_block(), 2);
-  EXPECT_FALSE(gc.start_phase());  // one phase at a time
+  EXPECT_FALSE(gc.maybe_collect());  // one phase at a time
   gc.task_end(1);
   gc.task_end(2);
 }
@@ -155,8 +163,8 @@ TEST_F(GcTest, Rule3CreationOlderThanUnfinishedFaults) {
 TEST_F(GcTest, Rule3CreationBelowFloorFaults) {
   gc.task_begin(10);
   gc.on_shadowed(live_block(), 10);
-  gc.start_phase();  // fence = 10
-  gc.task_end(10);   // finalize: floor = 9
+  gc.maybe_collect();  // fence = 10
+  gc.task_end(10);     // finalize: floor = 9
   EXPECT_EQ(gc.floor(), 9u);
   EXPECT_EQ(reclaimed.size(), 1u);
   EXPECT_THROW(gc.task_begin(9), OFault);
@@ -179,6 +187,16 @@ TEST_F(GcTest, OutOfOrderSpawningPermitted) {
   EXPECT_EQ(gc.unfinished_tasks(), 0u);
 }
 
+TEST_F(GcTest, MinReachableTracksOldestUnfinished) {
+  EXPECT_EQ(gc.min_reachable(), 1u);  // floor 0, nothing unfinished
+  gc.task_begin(4);
+  gc.task_begin(9);
+  EXPECT_EQ(gc.min_reachable(), 4u);
+  gc.task_end(4);
+  EXPECT_EQ(gc.min_reachable(), 9u);
+  gc.task_end(9);
+}
+
 TEST_F(GcTest, StaleGenerationSkipped) {
   gc.task_begin(1);
   gc.task_begin(2);
@@ -188,7 +206,7 @@ TEST_F(GcTest, StaleGenerationSkipped) {
   // reallocated) outside the GC. Finalization must not double-free it.
   pool.free(b);
   const std::size_t free_before = pool.free_count();
-  gc.start_phase();
+  gc.maybe_collect();
   gc.task_end(1);
   gc.task_end(2);
   EXPECT_TRUE(reclaimed.empty());
@@ -199,7 +217,7 @@ TEST_F(GcTest, ManyBlocksReclaimedInOnePhase) {
   gc.task_begin(1);
   gc.task_begin(2);
   for (int i = 0; i < 20; ++i) gc.on_shadowed(live_block(), 2);
-  gc.start_phase();
+  gc.maybe_collect();
   gc.task_end(2);
   gc.task_end(1);
   EXPECT_EQ(reclaimed.size(), 20u);
@@ -211,7 +229,7 @@ TEST_F(GcTest, RepeatedPhasesRaiseFloorMonotonically) {
   for (TaskId t = 1; t <= 10; ++t) {
     gc.task_begin(t);
     gc.on_shadowed(live_block(), t);
-    gc.start_phase();
+    gc.maybe_collect();
     gc.task_end(t);
     EXPECT_GE(gc.floor(), prev_floor);
     prev_floor = gc.floor();

@@ -452,7 +452,7 @@ TEST(OStructure, GcDoesNotReclaimReachableVersions) {
     // survive any number of collection phases.
     o.task_begin(2);
     o.store_version(a, 2, 222);
-    for (int i = 0; i < 20; ++i) o.gc().start_phase();
+    for (int i = 0; i < 20; ++i) o.gc().maybe_collect();
     EXPECT_EQ(o.load_version(a, 1), 111u);
     o.task_end(1);
     o.task_end(2);

@@ -39,6 +39,9 @@ struct Cell {
   /// Backend that produced the cell. Older result files predate the field;
   /// they could only have come from the cycle-accurate backend.
   std::string backend = "timed";
+  /// GC policy behind the cell. Older result files predate the field; they
+  /// could only have run the paper's collector.
+  std::string gc = "paper";
   std::uint64_t cycles = 0;
   std::uint64_t checksum = 0;
   /// Concurrent-execution cells (--exec=concurrent) additionally record
@@ -136,6 +139,7 @@ bool load_results(const std::string& path, ResultFile& out) {
       Cell c;
       c.name = cn->as_string();
       if (const Json* cb = jc.find("backend")) c.backend = cb->as_string();
+      if (const Json* cg = jc.find("gc")) c.gc = cg->as_string();
       c.cycles = cy->as_u64();
       c.checksum = ck->as_u64();
       if (const Json* v = jc.find("exec")) c.exec = v->as_string();
@@ -160,6 +164,19 @@ bool load_results(const std::string& path, ResultFile& out) {
           fail(path + ": bench '" + name + "' mixes backends ('" +
                b.cells.front().backend + "' and '" + c.backend +
                "'); rerun the bench with one --backend");
+          break;
+        }
+      }
+    }
+    // The same rule for GC policies: a figure table only compares cycles
+    // produced under one reclamation scheme. gc_overhead is the one bench
+    // whose point is the paper-vs-bounded comparison.
+    if (name.find("gc_overhead") == std::string::npos) {
+      for (const Cell& c : b.cells) {
+        if (c.gc != b.cells.front().gc) {
+          fail(path + ": bench '" + name + "' mixes GC policies ('" +
+               b.cells.front().gc + "' and '" + c.gc +
+               "'); rerun the bench with one --gc");
           break;
         }
       }
@@ -450,12 +467,46 @@ void report_fig10(const BenchRecord& b) {
   }
 }
 
+/// Compact rendering of a gc/* batch histogram out of a cell's metric
+/// snapshot: "n=N mean=M; <=b0:c0 <=b1:c1 ... >bk:ck".
+std::string hist_text(const Cell& c, const std::string& key) {
+  if (c.metrics == nullptr) return "";
+  const Json* h = c.metrics->find(key);
+  if (h == nullptr) return "";
+  const Json* count = h->find("count");
+  const Json* sum = h->find("sum");
+  const Json* bounds = h->find("bounds");
+  const Json* buckets = h->find("buckets");
+  if (count == nullptr || sum == nullptr || bounds == nullptr ||
+      buckets == nullptr || count->as_u64() == 0) {
+    return "(no samples)";
+  }
+  std::string out = "n=" + std::to_string(count->as_u64()) +
+                    " mean=" + fmt(ratio(sum->as_u64(), count->as_u64()), 1);
+  std::size_t i = 0;
+  for (const auto& [unused, n] : buckets->items()) {
+    (void)unused;
+    if (n.as_u64() != 0) {
+      const Json* bound = i < bounds->items().size()
+                              ? &bounds->items()[i].second
+                              : nullptr;
+      out += bound != nullptr
+                 ? " <=" + std::to_string(bound->as_u64()) + ":" +
+                       std::to_string(n.as_u64())
+                 : " overflow:" + std::to_string(n.as_u64());
+    }
+    ++i;
+  }
+  return out;
+}
+
 void report_gc(const BenchRecord& b) {
   const Cell* ample = b.find("ample");
   md_header(
       {"config", "cycles", "GC phases", "OS traps", "blocks freed",
        "vs ample"});
   for (const Cell& c : b.cells) {
+    if (c.name.find("/gc=") != std::string::npos) continue;
     md_row({c.name, std::to_string(c.cycles),
             std::to_string(metric_u64(c, "gc/phases")),
             std::to_string(metric_u64(c, "osm/os_traps")),
@@ -464,6 +515,30 @@ void report_gc(const BenchRecord& b) {
                 ? "0.000%"
                 : fmt(100.0 * (ratio(c.cycles, ample->cycles) - 1.0), 3) +
                       "%"});
+  }
+  // GC policy comparison: the bench's pinned tight/gc=... cell pair, same
+  // workload under each reclamation policy. "GC runs" is phases (paper) or
+  // sweeps (bounded); the batch distribution is each policy's own
+  // histogram (blocks parked per phase / reclaimed per sweep). The
+  // reclaim-lag and version-lifetime *cycle* distributions per policy come
+  // from the per-cell traces — run the bench with --trace and pass it
+  // here; the trace sections below are labeled with each cell's policy.
+  const Cell* paper = b.find("tight/gc=paper");
+  const Cell* bounded = b.find("tight/gc=bounded");
+  if (paper == nullptr || bounded == nullptr) return;
+  std::printf("\nGC policy comparison (tight configuration):\n\n");
+  md_header({"policy", "cycles", "GC runs", "blocks freed", "vs paper",
+             "batch distribution"});
+  for (const Cell* c : {paper, bounded}) {
+    md_row({c->gc, std::to_string(c->cycles),
+            std::to_string(metric_u64(*c, "gc/phases") +
+                           metric_u64(*c, "gc/sweeps")),
+            std::to_string(metric_u64(*c, "osm/blocks_freed")),
+            c == paper ? "0.000%"
+                       : fmt(100.0 * (ratio(c->cycles, paper->cycles) - 1.0),
+                             3) + "%",
+            hist_text(*c, c->gc == "bounded" ? "gc/reclaim_batch_blocks"
+                                             : "gc/pending_batch_blocks")});
   }
 }
 
@@ -607,7 +682,7 @@ struct Dist {
   }
 };
 
-bool report_trace(const std::string& path) {
+bool report_trace(const std::string& path, const std::string& label) {
   std::vector<TraceEvent> events;
   try {
     events = osim::telemetry::read_trace_file(path);
@@ -615,7 +690,9 @@ bool report_trace(const std::string& path) {
     fail(e.what());
     return false;
   }
-  std::printf("\n## Trace %s — %zu events\n\n", path.c_str(), events.size());
+  std::printf("\n## Trace %s%s — %zu events\n\n", path.c_str(),
+              label.empty() ? "" : (" (" + label + ")").c_str(),
+              events.size());
 
   std::uint64_t by_type[osim::telemetry::kNumEventTypes] = {};
   std::uint64_t by_op[osim::kNumOpCodes] = {};
@@ -740,9 +817,35 @@ int main(int argc, char** argv) {
   }
   if (json_paths.empty() && trace_args.empty()) usage(2);
 
+  std::vector<ResultFile> files;
+  files.reserve(json_paths.size());
   for (const std::string& path : json_paths) {
     ResultFile file;
     if (!load_results(path, file)) continue;
+    files.push_back(std::move(file));
+  }
+  // Trace-suffix index -> cell, usable when the loaded results hold exactly
+  // one bench (a --trace run traces one bench's cells, in registration
+  // order). Inner Json nodes are heap-stable, so the pointers survive the
+  // vector moves above.
+  std::vector<const Cell*> cell_by_index;
+  {
+    const BenchRecord* only = nullptr;
+    std::size_t nbenches = 0;
+    for (const ResultFile& file : files) {
+      for (const auto& [unused, rec] : file.benches) {
+        (void)unused;
+        only = &rec;
+        ++nbenches;
+      }
+    }
+    if (nbenches == 1) {
+      for (const Cell& c : only->cells) cell_by_index.push_back(&c);
+    }
+  }
+
+  for (const ResultFile& file : files) {
+    const std::string& path = file.path;
     std::printf("# %s\n", path.c_str());
     for (const auto& [name, rec] : file.benches) {
       std::printf("\n## %s — scale %.2f, %llu thread(s), %.2fs wall",
@@ -775,7 +878,25 @@ int main(int argc, char** argv) {
       fail("no trace file at " + arg + " (or " + arg + ".0)");
       continue;
     }
-    for (const std::string& f : files) traces_read += report_trace(f) ? 1 : 0;
+    for (const std::string& f : files) {
+      // Per-cell trace files carry the registering cell's index as their
+      // suffix; label each section with that cell's name and GC policy so
+      // the lifetime/lag distributions read per policy.
+      std::string label;
+      const std::size_t dot = f.rfind('.');
+      if (dot != std::string::npos && dot + 1 < f.size()) {
+        char* end = nullptr;
+        const unsigned long idx = std::strtoul(f.c_str() + dot + 1, &end, 10);
+        if (end != nullptr && *end == '\0') {
+          if (const Cell* c = cell_by_index.size() > idx
+                                  ? cell_by_index[idx]
+                                  : nullptr) {
+            label = "cell " + c->name + ", gc=" + c->gc;
+          }
+        }
+      }
+      traces_read += report_trace(f, label) ? 1 : 0;
+    }
   }
 
   if (validate) {

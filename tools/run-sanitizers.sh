@@ -36,6 +36,10 @@ echo "== ASan+UBSan: functional backend, bench path =="
 cmake --build --preset asan-ubsan -j "$jobs" --target bench_gc_overhead
 ./build-asan-ubsan/bench/bench_gc_overhead --quick --threads 2 \
   --check=strict --backend=functional
+# Same path with the bounded-space collector steering the paper-table
+# cells (the pinned comparison pair runs both policies either way).
+./build-asan-ubsan/bench/bench_gc_overhead --quick --threads 2 \
+  --check=strict --backend=functional --gc=bounded
 
 echo
 echo "== TSan: host thread pool =="
@@ -54,6 +58,8 @@ echo "== TSan: functional engine under the driver's thread pool =="
 cmake --build --preset tsan -j "$jobs" --target bench_gc_overhead
 ./build-tsan/bench/bench_gc_overhead --quick --threads 2 \
   --check=strict --backend=functional
+./build-tsan/bench/bench_gc_overhead --quick --threads 2 \
+  --check=strict --backend=functional --gc=bounded
 
 echo
 echo "== TSan: concurrent engine (seqlock + epoch reclamation) =="
@@ -65,6 +71,11 @@ echo "== TSan: concurrent engine (seqlock + epoch reclamation) =="
 # which is exactly the code TSan can follow (no fibers anywhere).
 cmake --build --preset tsan -j "$jobs" --target test_concurrent_store
 ./build-tsan/tests/test_concurrent_store
+# The GcPolicy differential: the bounded range rule deciding reclaims
+# under the shard lock while writer/reader threads race (plus the serial
+# functional-backend stress, which is fiber-free and TSan-safe too).
+cmake --build --preset tsan -j "$jobs" --target test_gc_policy
+./build-tsan/tests/test_gc_policy
 
 echo
 echo "== TSan: concurrent bench path (--exec=concurrent) =="
