@@ -61,6 +61,21 @@ int ConcurrentVersionStore::ctx_id() {
   for (const TlsBinding& b : t_bindings) {
     if (b.serial == serial_) return b.id;
   }
+#if defined(OSIM_MC_SEEDED_BUG) && OSIM_MC_SEEDED_BUG == 2
+  // Seeded PR-6 review bug (model-checking regression fixture, see
+  // tests/test_explore_seeded.cpp): the original registration checked the
+  // bound only after fetch_add, so a rejected thread still left nctx_
+  // above max_threads and min_active_epoch()/stats() iterated past the
+  // end of ctxs_. osim-mc flags it as a registered_threads() bound
+  // violation on every schedule of the ctx_bound litmus.
+  const int id = nctx_.fetch_add(1, std::memory_order_acq_rel);
+  if (id >= cfg_.max_threads) {
+    throw std::runtime_error(
+        "ConcurrentVersionStore: thread registrations exceed "
+        "ConcurrencyConfig::max_threads (" +
+        std::to_string(cfg_.max_threads) + ")");
+  }
+#else
   // Bounded CAS: nctx_ must never exceed max_threads even transiently —
   // min_active_epoch() and stats() iterate ctxs_[0..nctx_), so an
   // over-incremented count would send them past the end of the array.
@@ -77,8 +92,31 @@ int ConcurrentVersionStore::ctx_id() {
       break;
     }
   }
+#endif
   t_bindings.push_back({serial_, id});
   return id;
+}
+
+// ---------------------------------------------------------------------------
+// Schedule-hook plumbing
+
+ConcurrentVersionStore::ShardLock::ShardLock(ConcurrentVersionStore& s,
+                                             Shard& sh)
+    : s_(s), sh_(sh) {
+  // Modeled acquisition first: the hook returns only once this thread has
+  // been granted the (modeled) mutex, so the real lock below never
+  // contends under a hook. Hookless: one null-check.
+  if (s.hook_ != nullptr) {
+    s.hook_->mutex_acquire({SchedKind::kShardAcquire, s.shard_index(sh)});
+  }
+  sh.writer_mu.lock();
+}
+
+ConcurrentVersionStore::ShardLock::~ShardLock() {
+  sh_.writer_mu.unlock();
+  if (s_.hook_ != nullptr) {
+    s_.hook_->mutex_release({SchedKind::kShardRelease, s_.shard_index(sh_)});
+  }
 }
 
 ConcurrentVersionStore::ThreadCtx& ConcurrentVersionStore::ctx() {
@@ -201,7 +239,7 @@ void ConcurrentVersionStore::release(OAddr base, std::size_t slots) {
     CSlot& sl = *sp;
     Shard& sh = shard_of(s);
     {
-      std::lock_guard<std::mutex> g(sh.writer_mu);
+      ShardLock g(*this, sh);
       const std::uint64_t epoch = global_epoch_.load(std::memory_order_relaxed);
       // Seqlock write: empty the chain and clear the versioned bit in one
       // atomic-looking step (readers racing with release retry, then fault
@@ -232,6 +270,7 @@ void ConcurrentVersionStore::release(OAddr base, std::size_t slots) {
           sh.shadowed.end());
     }
     global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+    sched_point(SchedKind::kEpochAdvance, 0);
     // Parked waiters re-check and fault on the cleared versioned bit.
     wake(sh);
   }
@@ -283,7 +322,12 @@ std::uint32_t ConcurrentVersionStore::alloc_block(Shard& sh) {
   return sh.next_fresh++;
 }
 
-void ConcurrentVersionStore::maybe_reclaim(Shard& sh) {
+// Thread-safety analysis is off for this body only because of the
+// *conditional* task_mu_ acquisition below (std::unique_lock over an
+// option), which the analysis cannot track; the writer_mu requirement is
+// still enforced at every call site via the declaration.
+void ConcurrentVersionStore::maybe_reclaim(Shard& sh)
+    OSIM_NO_THREAD_SAFETY_ANALYSIS {
   // Reclamation eligibility goes through the GcPolicy seam's predicates
   // (core/gc_policy.hpp), inlined here under the shard writer lock:
   //
@@ -310,10 +354,10 @@ void ConcurrentVersionStore::maybe_reclaim(Shard& sh) {
   // and pins its range. (Lock order writer_mu -> task_mu_ -> trace_mu_ is
   // acyclic: no path acquires task_mu_ before a shard lock, and the task
   // lifecycle emits trace events outside task_mu_.)
-  std::unique_lock<std::mutex> task_lk;
+  std::unique_lock<Mutex> task_lk;
   std::vector<TaskId> live;
   if (bounded) {
-    task_lk = std::unique_lock<std::mutex>(task_mu_);
+    task_lk = std::unique_lock<Mutex>(task_mu_);
     live.reserve(unfinished_.size());
     for (const auto& [t, n] : unfinished_) live.push_back(t);  // ascending
   }
@@ -394,7 +438,7 @@ void ConcurrentVersionStore::maybe_reclaim(Shard& sh) {
                keep.end());
   }
   sh.shadowed.swap(keep);
-  sh.reclaimed += retired;
+  sh.reclaimed.fetch_add(retired, std::memory_order_relaxed);
   if (retired != 0) {
     // Serial GC floor rule (core/gc.cpp finalize): readers of a version
     // shadowed by f have ids < f, so after reclaiming under fence f no
@@ -404,9 +448,11 @@ void ConcurrentVersionStore::maybe_reclaim(Shard& sh) {
     while (cur < want && !gc_floor_.compare_exchange_weak(
                              cur, want, std::memory_order_acq_rel)) {
     }
+    sched_point(SchedKind::kGcFloorRaise, 0);
     // Advance the epoch so the retired batch's grace period can end once
     // every reader active right now has unpinned.
     global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+    sched_point(SchedKind::kEpochAdvance, 0);
   }
 }
 
@@ -417,6 +463,33 @@ void ConcurrentVersionStore::wait_change(Shard& sh, CSlot& sl,
                                          std::uint32_t seq_seen, OpCode op,
                                          OAddr a, Ver v) {
   ThreadCtx& c = ctx();
+  if (hook_ != nullptr) {
+    // Model-checked blocking: no spinning, no timed park, no wall clock.
+    // The hook suspends this thread until a wake() on the shard (true
+    // return; re-examine the slot) or until the scheduler proves no
+    // runnable thread can ever signal it (false return) — the
+    // deterministic analogue of the deadlock timeout below.
+    const std::uint64_t shard = shard_index(sh);
+    while (sl.seq.load(std::memory_order_acquire) == seq_seen) {
+      if (stop_.load(std::memory_order_acquire)) {
+        throw OFault(FaultKind::kWouldBlock,
+                     "run aborted while " + std::string(to_string(op)) +
+                         " of version " + std::to_string(v) + " by task " +
+                         std::to_string(c.cur_task) + " was parked");
+      }
+      ++c.local.parks;
+      if (!hook_->block({SchedKind::kBlocked, shard})) {
+        throw OFault(FaultKind::kWouldBlock,
+                     "deadlock: " + std::string(to_string(op)) +
+                         " of version " + std::to_string(v) + " at address " +
+                         std::to_string(a) + " by task " +
+                         std::to_string(c.cur_task) +
+                         " cannot be satisfied in this schedule");
+      }
+    }
+    ++c.local.spin_waits;
+    return;
+  }
   for (int i = 0; i < cfg_.spin_iters; ++i) {
     if (sl.seq.load(std::memory_order_acquire) != seq_seen) {
       ++c.local.spin_waits;
@@ -468,6 +541,10 @@ void ConcurrentVersionStore::wait_change(Shard& sh, CSlot& sl,
 }
 
 void ConcurrentVersionStore::wake(Shard& sh) {
+  // The hook's modeled waiters never register in nwaiters, so the
+  // announcement must come BEFORE the production fast path below would
+  // elide the notify.
+  if (hook_ != nullptr) hook_->wake({SchedKind::kWake, shard_index(sh)});
   // Relaxed fast path: a waiter that registers just after this load also
   // re-checks the slot sequence *after* registering, and its wait is
   // timed — worst case it oversleeps one park slice, it cannot hang.
@@ -514,6 +591,11 @@ void ConcurrentVersionStore::emit(telemetry::EventType type, OpCode op,
 ConcurrentVersionStore::ReadOutcome ConcurrentVersionStore::try_read(
     Shard& sh, CSlot& sl, bool exact, Ver key) {
   ThreadCtx& c = ctx();
+  // Decision point: under a hook, where this optimistic read falls in the
+  // interleaving is chosen here, before the epoch pin (a descheduled
+  // thread must not hold a pin — it would block reclamation in every
+  // branch of the exploration).
+  sched_point(SchedKind::kSeqReadBegin, shard_index(sh));
   EpochPin pin(*this, c);
   for (;;) {
     // Seqlock read side (snippet 1's mem_read): take the sequence, walk,
@@ -561,6 +643,16 @@ ConcurrentVersionStore::ReadOutcome ConcurrentVersionStore::try_read(
     // overlapped the walk and any combination of values we saw may be
     // torn — retry.
     std::atomic_thread_fence(std::memory_order_acquire);
+    if (overflow && hook_ != nullptr) {
+      // Under a hook no writer can be mid-walk (every mutation runs to
+      // its next schedule point), so an overflowing walk is not transient
+      // inconsistency — it is a corrupted chain (e.g. the seeded
+      // alloc-after-walk self-loop) and retrying would hang the whole
+      // exploration. Surface it as an engine error instead.
+      throw std::runtime_error(
+          "ConcurrentVersionStore: version-chain walk exceeded walk_limit "
+          "under a schedule hook (corrupted chain)");
+    }
     if (!overflow && sl.seq.load(std::memory_order_relaxed) == s1) {
       ReadOutcome out;
       out.seq = s1;
@@ -572,12 +664,13 @@ ConcurrentVersionStore::ReadOutcome ConcurrentVersionStore::try_read(
       return out;
     }
     ++c.local.seq_retries;
+    sched_point(SchedKind::kSeqReadRetry, shard_index(sh));
   }
 }
 
 ConcurrentVersionStore::ReadOutcome ConcurrentVersionStore::read_serialized(
     Shard& sh, CSlot& sl, bool exact, Ver key, OpCode op, OAddr a) {
-  std::lock_guard<std::mutex> g(sh.writer_mu);
+  ShardLock g(*this, sh);
   ReadOutcome out;
   out.seq = sl.seq.load(std::memory_order_relaxed);
   for (std::uint32_t b = sl.head.load(std::memory_order_relaxed);
@@ -642,6 +735,29 @@ std::uint64_t ConcurrentVersionStore::load_latest(OAddr a, Ver cap,
 void ConcurrentVersionStore::store_locked(Shard& sh, CSlot& sl,
                                           std::uint64_t slot, Ver v,
                                           std::uint64_t data) {
+#if defined(OSIM_MC_SEEDED_BUG) && OSIM_MC_SEEDED_BUG == 1
+  // Seeded PR-6 review bug (model-checking regression fixture, see
+  // tests/test_explore_seeded.cpp): walk to the insertion point FIRST,
+  // then allocate. alloc_block's reclaim pass can unlink the walked pred
+  // or cur from this very chain — and its limbo harvest can hand the
+  // just-retired cur back as the new block — so the insert below corrupts
+  // the chain (lost store, or a self-loop when nb == cur). osim-mc finds
+  // the interleaving via the gc_fence litmus and check_integrity().
+  std::uint32_t pred = kNil;
+  std::uint32_t cur = sl.head.load(std::memory_order_relaxed);
+  while (cur != kNil) {
+    CBlock& cb = block(sh, cur);
+    const Ver cv = cb.version.load(std::memory_order_relaxed);
+    if (cv == v) {
+      throw OFault(FaultKind::kVersionAlreadyExists,
+                   "version " + std::to_string(v) + " already exists");
+    }
+    if (cv < v) break;
+    pred = cur;
+    cur = cb.next.load(std::memory_order_relaxed);
+  }
+  const std::uint32_t nb = alloc_block(sh);
+#else
   // Allocate before walking, like the serial store_impl: alloc_block may
   // run a reclaim pass that unlinks shadowed blocks from this very chain
   // (possibly the walk's pred or cur), and its limbo harvest could even
@@ -671,6 +787,7 @@ void ConcurrentVersionStore::store_locked(Shard& sh, CSlot& sl,
     pred = cur;
     cur = cb.next.load(std::memory_order_relaxed);
   }
+#endif
   CBlock& b = block(sh, nb);
   b.version.store(v, std::memory_order_relaxed);
   b.data.store(data, std::memory_order_relaxed);
@@ -741,7 +858,7 @@ void ConcurrentVersionStore::store_version(OAddr a, Ver v,
   Shard& sh = shard_of(slot);
   if (tracing()) emit(telemetry::EventType::kIsaOp, OpCode::kStoreVersion, a, v, 0);
   {
-    std::lock_guard<std::mutex> g(sh.writer_mu);
+    ShardLock g(*this, sh);
     store_locked(sh, sl, slot, v, data);
   }
   wake(sh);
@@ -760,7 +877,7 @@ std::uint64_t ConcurrentVersionStore::lock_load_common(OAddr a, bool exact,
   for (;;) {
     std::uint32_t seq_seen;
     {
-      std::lock_guard<std::mutex> g(sh.writer_mu);
+      ShardLock g(*this, sh);
       std::uint32_t cand = kNil;
       for (std::uint32_t b = sl.head.load(std::memory_order_relaxed);
            b != kNil;) {
@@ -825,7 +942,7 @@ void ConcurrentVersionStore::unlock_version(OAddr a, Ver locked_v,
     emit(telemetry::EventType::kIsaOp, OpCode::kUnlockVersion, a, locked_v, 0);
   }
   {
-    std::lock_guard<std::mutex> g(sh.writer_mu);
+    ShardLock g(*this, sh);
     std::uint32_t target = kNil;
     bool rename_exists = false;
     for (std::uint32_t b = sl.head.load(std::memory_order_relaxed);
@@ -877,8 +994,9 @@ void ConcurrentVersionStore::unlock_version(OAddr a, Ver locked_v,
 // Task lifecycle (GC rules #1-#3)
 
 void ConcurrentVersionStore::task_created(TaskId t) {
+  sched_point(SchedKind::kTaskOp, 0);
   {
-    std::lock_guard<std::mutex> g(task_mu_);
+    MutexLock g(task_mu_);
     create_task_locked(t);
   }
   if (tracing()) {
@@ -907,22 +1025,24 @@ void ConcurrentVersionStore::create_task_locked(TaskId t) {
 }
 
 void ConcurrentVersionStore::task_begin(TaskId t) {
+  sched_point(SchedKind::kTaskOp, 0);
   if (tracing()) {
     emit(telemetry::EventType::kIsaOp, OpCode::kTaskBegin, 0, t, 0);
   }
   {
-    std::lock_guard<std::mutex> g(task_mu_);
+    MutexLock g(task_mu_);
     if (unfinished_.find(t) == unfinished_.end()) create_task_locked(t);
   }
   ctx().cur_task = t;
 }
 
 void ConcurrentVersionStore::task_end(TaskId t) {
+  sched_point(SchedKind::kTaskOp, 0);
   if (tracing()) {
     emit(telemetry::EventType::kIsaOp, OpCode::kTaskEnd, 0, t, 0);
   }
   ctx().cur_task = kNoTask;
-  std::lock_guard<std::mutex> g(task_mu_);
+  MutexLock g(task_mu_);
   auto it = unfinished_.find(t);
   if (it == unfinished_.end()) {
     throw OFault(FaultKind::kTaskOrderViolation,
@@ -946,7 +1066,7 @@ std::optional<std::uint64_t> ConcurrentVersionStore::peek_version(OAddr a,
   const std::uint64_t slot = slot_of(a);
   Shard& sh = shard_of(slot);
   CSlot& sl = *slot_ptr(slot);
-  std::lock_guard<std::mutex> g(sh.writer_mu);
+  ShardLock g(*this, sh);
   for (std::uint32_t b = sl.head.load(std::memory_order_relaxed);
        b != kNil;) {
     CBlock& cb = block(sh, b);
@@ -962,7 +1082,7 @@ std::optional<Ver> ConcurrentVersionStore::newest_version(OAddr a) {
   const std::uint64_t slot = slot_of(a);
   Shard& sh = shard_of(slot);
   CSlot& sl = *slot_ptr(slot);
-  std::lock_guard<std::mutex> g(sh.writer_mu);
+  ShardLock g(*this, sh);
   const std::uint32_t b = sl.head.load(std::memory_order_relaxed);
   if (b == kNil) return std::nullopt;
   return block(sh, b).version.load(std::memory_order_relaxed);
@@ -972,7 +1092,7 @@ std::optional<TaskId> ConcurrentVersionStore::lock_holder(OAddr a, Ver v) {
   const std::uint64_t slot = slot_of(a);
   Shard& sh = shard_of(slot);
   CSlot& sl = *slot_ptr(slot);
-  std::lock_guard<std::mutex> g(sh.writer_mu);
+  ShardLock g(*this, sh);
   for (std::uint32_t b = sl.head.load(std::memory_order_relaxed);
        b != kNil;) {
     CBlock& cb = block(sh, b);
@@ -991,7 +1111,7 @@ int ConcurrentVersionStore::version_count(OAddr a) {
   const std::uint64_t slot = slot_of(a);
   Shard& sh = shard_of(slot);
   CSlot& sl = *slot_ptr(slot);
-  std::lock_guard<std::mutex> g(sh.writer_mu);
+  ShardLock g(*this, sh);
   return static_cast<int>(sl.nversions.load(std::memory_order_relaxed));
 }
 
@@ -1000,7 +1120,7 @@ ConcurrentVersionStore::slot_versions(OAddr a) {
   const std::uint64_t slot = slot_of(a);
   Shard& sh = shard_of(slot);
   CSlot& sl = *slot_ptr(slot);
-  std::lock_guard<std::mutex> g(sh.writer_mu);
+  ShardLock g(*this, sh);
   std::vector<std::pair<Ver, std::uint64_t>> out;
   for (std::uint32_t b = sl.head.load(std::memory_order_relaxed);
        b != kNil;) {
@@ -1030,9 +1150,62 @@ ConcurrentVersionStore::Stats ConcurrentVersionStore::stats() const {
     s.blocks_allocated += l.blocks_allocated;
   }
   for (int i = 0; i < nshards_; ++i) {
-    s.blocks_reclaimed += shards_[i].reclaimed;
+    s.blocks_reclaimed +=
+        shards_[i].reclaimed.load(std::memory_order_relaxed);
   }
   return s;
+}
+
+ConcurrentVersionStore::IntegrityReport
+ConcurrentVersionStore::check_integrity() {
+  IntegrityReport rep;
+  const std::uint64_t nslots = slot_count_.load(std::memory_order_acquire);
+  for (std::uint64_t s = 0; s < nslots && rep.ok; ++s) {
+    CSlot* sp = slot_ptr(s);
+    if (sp == nullptr || sp->allocated.load(std::memory_order_acquire) == 0) {
+      continue;
+    }
+    Shard& sh = shard_of(s);
+    ShardLock g(*this, sh);
+    // Bounded walk with explicit visited tracking: a corrupted chain may
+    // be cyclic, so the walk must terminate on the first revisit rather
+    // than trusting the list structure it is auditing.
+    std::vector<std::uint32_t> seen;
+    bool first = true;
+    Ver prev = 0;
+    for (std::uint32_t b = sp->head.load(std::memory_order_relaxed);
+         b != kNil; ) {
+      if (std::find(seen.begin(), seen.end(), b) != seen.end()) {
+        rep.ok = false;
+        rep.detail = "slot " + std::to_string(s) +
+                     ": cycle in version chain at block " + std::to_string(b);
+        break;
+      }
+      seen.push_back(b);
+      CBlock& cb = block(sh, b);
+      const Ver v = cb.version.load(std::memory_order_relaxed);
+      if (!first && v >= prev) {
+        rep.ok = false;
+        rep.detail = "slot " + std::to_string(s) +
+                     ": versions not strictly descending (" +
+                     std::to_string(prev) + " then " + std::to_string(v) +
+                     ")";
+        break;
+      }
+      first = false;
+      prev = v;
+      b = cb.next.load(std::memory_order_relaxed);
+    }
+    if (rep.ok &&
+        seen.size() != sp->nversions.load(std::memory_order_relaxed)) {
+      rep.ok = false;
+      rep.detail =
+          "slot " + std::to_string(s) + ": nversions " +
+          std::to_string(sp->nversions.load(std::memory_order_relaxed)) +
+          " != chain length " + std::to_string(seen.size());
+    }
+  }
+  return rep;
 }
 
 }  // namespace osim

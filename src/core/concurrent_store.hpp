@@ -46,12 +46,15 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/address_map.hpp"
 #include "core/isa.hpp"
 #include "core/ostruct_config.hpp"
+#include "core/schedule_point.hpp"
+#include "core/thread_annotations.hpp"
 #include "core/types.hpp"
 #include "core/version_block.hpp"
 #include "telemetry/trace.hpp"
@@ -138,7 +141,7 @@ class ConcurrentVersionStore {
  private:
   /// Checked registration shared by task_created and an implicitly-creating
   /// task_begin (task_mu_ held). Mirrors core/gc.cpp's diagnostics.
-  void create_task_locked(TaskId t);
+  void create_task_locked(TaskId t) OSIM_REQUIRES(task_mu_);
 
  public:
 
@@ -158,6 +161,31 @@ class ConcurrentVersionStore {
   /// event stream the osim-check invariants understand. Call before any
   /// ISA op; `num cores` reported to the checker should be max_threads.
   void attach_tracer(telemetry::Tracer* tracer);
+
+  /// Attach (or detach with nullptr) a schedule hook — the model-checking
+  /// seam (core/schedule_point.hpp). Call before any ISA op and only while
+  /// no program thread is inside the store. With no hook attached every
+  /// announcement site is a single null-check (the TimingFastPath trick).
+  void attach_schedule_hook(ScheduleHook* hook) { hook_ = hook; }
+
+  /// Threads registered so far. Invariant: never exceeds
+  /// ConcurrencyConfig::max_threads (osim-mc checks this after every
+  /// explored schedule; the seeded ctx_id overshoot bug violates it).
+  int registered_threads() const {
+    return nctx_.load(std::memory_order_acquire);
+  }
+
+  /// Structural audit of every allocated slot's version chain, under the
+  /// shard locks: no cycles, versions strictly descending (newest first),
+  /// nversions consistent with the walked length. Quiescent or
+  /// hook-scheduled callers only. osim-mc runs this after every explored
+  /// schedule — the seeded alloc-after-walk bug shows up here as a chain
+  /// self-loop or a lost version.
+  struct IntegrityReport {
+    bool ok = true;
+    std::string detail;  ///< first violation, empty when ok
+  };
+  IntegrityReport check_integrity();
 
   // ---- Host-side inspection (takes shard locks; any thread) ----
   std::optional<std::uint64_t> peek_version(OAddr a, Ver v);
@@ -216,21 +244,24 @@ class ConcurrentVersionStore {
   };
 
   struct alignas(64) Shard {
-    std::mutex writer_mu;
+    Mutex writer_mu;
     // Block pool (chunks appended under writer_mu; pointers atomic for the
     // readers that chase `next` through them).
     std::array<std::atomic<CBlock*>, kMaxBlockChunks> chunk{};
     std::atomic<std::uint32_t> nchunks{0};
-    std::uint32_t next_fresh = 0;          // bump cursor (writer_mu)
-    std::vector<std::uint32_t> free_list;  // recycled blocks (writer_mu)
-    std::vector<Shadowed> shadowed;        // awaiting the fence (writer_mu)
-    std::vector<Retired> limbo;            // unlinked, in grace (writer_mu)
-    std::uint64_t reclaimed = 0;           // writer_mu
-    std::uint64_t allocated = 0;           // writer_mu
+    std::uint32_t next_fresh OSIM_GUARDED_BY(writer_mu) = 0;  // bump cursor
+    std::vector<std::uint32_t> free_list OSIM_GUARDED_BY(writer_mu);
+    std::vector<Shadowed> shadowed OSIM_GUARDED_BY(writer_mu);
+    std::vector<Retired> limbo OSIM_GUARDED_BY(writer_mu);
+    // Incremented under writer_mu; atomic so stats() may read it without
+    // the lock.
+    std::atomic<std::uint64_t> reclaimed{0};
+    std::uint64_t allocated OSIM_GUARDED_BY(writer_mu) = 0;
     // Dense trace-wide block ids for checker runs (local ids repeat across
     // shards; the lifecycle checker needs one id space). Lazy, writer_mu.
-    std::vector<std::uint32_t> trace_ids;
-    // Park/wake for blocked ops.
+    std::vector<std::uint32_t> trace_ids OSIM_GUARDED_BY(writer_mu);
+    // Park/wake for blocked ops (plain std::mutex: condition_variable
+    // needs one, and no guarded state lives under it).
     std::mutex park_mu;
     std::condition_variable park_cv;
     std::atomic<std::uint32_t> nwaiters{0};
@@ -250,6 +281,9 @@ class ConcurrentVersionStore {
 
   // ---- Layout helpers ----
   Shard& shard_of(std::uint64_t slot) { return shards_[slot & shard_mask_]; }
+  std::uint64_t shard_index(const Shard& sh) const {
+    return static_cast<std::uint64_t>(&sh - shards_.get());
+  }
   CBlock& block(Shard& sh, std::uint32_t idx) {
     return sh.chunk[idx >> kBlockChunkBits].load(std::memory_order_acquire)
         [idx & (kBlockChunkSize - 1)];
@@ -263,8 +297,8 @@ class ConcurrentVersionStore {
   std::uint64_t min_active_epoch() const;
 
   // ---- Block pool (writer_mu held) ----
-  std::uint32_t alloc_block(Shard& sh);
-  void maybe_reclaim(Shard& sh);
+  std::uint32_t alloc_block(Shard& sh) OSIM_REQUIRES(sh.writer_mu);
+  void maybe_reclaim(Shard& sh) OSIM_REQUIRES(sh.writer_mu);
 
   // ---- Reads ----
   struct ReadOutcome {
@@ -296,8 +330,33 @@ class ConcurrentVersionStore {
 
   // ---- Serialized store/unlock internals (writer_mu held) ----
   void store_locked(Shard& sh, CSlot& sl, std::uint64_t slot, Ver v,
-                    std::uint64_t data);
-  std::uint32_t trace_id(Shard& sh, std::uint32_t b);
+                    std::uint64_t data) OSIM_REQUIRES(sh.writer_mu);
+  std::uint32_t trace_id(Shard& sh, std::uint32_t b)
+      OSIM_REQUIRES(sh.writer_mu);
+
+  // ---- Schedule-hook plumbing (model checking) ----
+  /// Shard writer lock that routes through the schedule hook: modeled
+  /// acquisition first (the hook grants the mutex), then the real —
+  /// guaranteed uncontended — lock. Hookless builds reduce to a null check
+  /// around std::mutex::lock.
+  class OSIM_SCOPED_CAPABILITY ShardLock {
+   public:
+    ShardLock(ConcurrentVersionStore& s, Shard& sh) OSIM_ACQUIRE(sh.writer_mu);
+    ~ShardLock() OSIM_RELEASE();
+
+    ShardLock(const ShardLock&) = delete;
+    ShardLock& operator=(const ShardLock&) = delete;
+
+   private:
+    ConcurrentVersionStore& s_;
+    Shard& sh_;
+  };
+  friend class ShardLock;
+
+  /// Bookkeeping/decision announcement; single branch with no hook.
+  void sched_point(SchedKind k, std::uint64_t obj) {
+    if (hook_ != nullptr) hook_->point({k, obj});
+  }
 
   // ---- Tracing (trace_mu_ held inside) ----
   bool tracing() const { return tracer_ != nullptr; }
@@ -325,9 +384,10 @@ class ConcurrentVersionStore {
 
   // Task tracker (GC fence). task_begin/end are rare next to ISA ops, so a
   // small mutex-protected map with a lock-free mirror of the floor is fine.
-  std::mutex task_mu_;
-  std::map<TaskId, int> unfinished_;  ///< created/begun, not yet ended
-  TaskId max_task_ = kNoTask;
+  Mutex task_mu_;
+  /// created/begun, not yet ended
+  std::map<TaskId, int> unfinished_ OSIM_GUARDED_BY(task_mu_);
+  TaskId max_task_ OSIM_GUARDED_BY(task_mu_) = kNoTask;
   std::atomic<TaskId> task_floor_{0};  ///< all tasks < floor have finished
   /// Mirror of the serial GC floor: once blocks shadowed by version f are
   /// reclaimed, creating a task with id <= f-1 faults (it could legally
@@ -340,6 +400,9 @@ class ConcurrentVersionStore {
   std::mutex trace_mu_;
   std::uint64_t trace_clock_ = 0;  // trace_mu_
   std::atomic<std::uint32_t> next_trace_block_{0};
+
+  /// Model-checking seam; null in production (see attach_schedule_hook).
+  ScheduleHook* hook_ = nullptr;
 };
 
 }  // namespace osim

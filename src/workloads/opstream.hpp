@@ -11,8 +11,10 @@
 // task begins and ends — before any simulated cycle is spent.
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "analysis/explore.hpp"
 #include "analysis/static_check.hpp"
 #include "runtime/env.hpp"
 #include "workloads/opgen.hpp"
@@ -28,5 +30,19 @@ std::vector<analysis::VOp> root_protocol_stream(const DsSpec& spec);
 /// into the run's checker. Returns the number of findings (0 when checking
 /// is off or the stream is clean).
 std::size_t static_check_workload(Env& env, const DsSpec& spec);
+
+/// The model-checking litmus suite (tools/osim-mc, tests/test_explore):
+/// small, *determinate* multi-threaded programs over the concurrent engine,
+/// each probing one protocol mechanism — message passing through exact
+/// versions (mp2), lock handoff via rename (lock_handoff), commuting
+/// per-slot traffic that showcases sleep-set reduction (wide3), the
+/// reclaim-vs-insert window under the paper GC fence (gc_fence),
+/// registration at the thread bound (ctx_bound), and a guaranteed
+/// cross-thread deadlock (deadlock_pair).
+std::vector<analysis::McProgram> mc_litmus_programs();
+
+/// Look up one litmus by name; nullptr when unknown. The returned pointer
+/// aims into a function-local static of the full suite.
+const analysis::McProgram* find_mc_litmus(const std::string& name);
 
 }  // namespace osim

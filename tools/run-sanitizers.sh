@@ -42,6 +42,19 @@ cmake --build --preset asan-ubsan -j "$jobs" --target bench_gc_overhead
   --check=strict --backend=functional --gc=bounded
 
 echo
+echo "== ASan+UBSan: osim-mc exhaustive exploration =="
+# The model checker exercises the concurrent engine's rarest paths by
+# construction (every interleaving of each litmus), so an instrumented
+# sweep is disproportionately valuable: any schedule-dependent heap
+# misuse or UB in the store shows up here first. Replay of the committed
+# fixture also pins the scheduler's own bookkeeping under ASan.
+cmake --build --preset asan-ubsan -j "$jobs" --target osim-mc
+for prog in mp2 lock_handoff wide3 gc_fence ctx_bound deadlock_pair; do
+  ./build-asan-ubsan/tools/osim-mc --program "$prog" --mode naive
+done
+./build-asan-ubsan/tools/osim-mc --replay tools/testdata/mc_mp2.sched
+
+echo
 echo "== TSan: host thread pool =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" --target test_host_pool
