@@ -173,12 +173,17 @@ std::vector<ScriptOp> make_script(const ConcMix& m, int total_ops,
 /// final state to a worker-count-independent checksum.
 CellResult run_concurrent_cell(const std::vector<ScriptOp>& script,
                                std::size_t nslots, int threads,
-                               int check_mode) {
+                               const bench::Options& opt) {
+  const int check_mode = opt.check_mode;
   ConcurrencyConfig cfg;
   // A reader can legally park until a much-later script position's store
   // lands; on an oversubscribed host give the whole run headroom before
-  // declaring deadlock.
-  cfg.deadlock_timeout_ms = 10000;
+  // declaring deadlock (tunable via --deadlock-timeout-ms).
+  cfg.deadlock_timeout_ms = opt.deadlock_timeout_ms;
+  // Injected faults are survivable only with rollback + retry; the final
+  // state stays script-determined because every aborted attempt is undone
+  // before the task re-executes its partition from the top.
+  cfg.track_aborts = !opt.inject_spec.empty();
   ConcurrentVersionStore store(cfg);
   telemetry::Tracer tracer;
   analysis::CheckerSink* checker = nullptr;
@@ -197,8 +202,21 @@ CellResult run_concurrent_cell(const std::vector<ScriptOp>& script,
   for (std::uint64_t s = 0; s < nslots; ++s) {
     store.store_version(base + 8 * s, 1, slot_data(1, s));
   }
+  // Armed only after the host-side setup stores: during setup no task
+  // exists to absorb a fault by aborting, so an injected exhaustion would
+  // kill the run instead of degrading it.
+  std::unique_ptr<FaultInjector> inj;
+  if (!opt.inject_spec.empty()) {
+    inj = std::make_unique<FaultInjector>(FaultPlan::parse(opt.inject_spec));
+    store.attach_fault_injector(inj.get());
+  }
 
   ConcurrentTaskPool pool(store, threads);
+  if (cfg.track_aborts) {
+    ConcurrentTaskPool::RetryPolicy retry;
+    retry.max_retries = 64;
+    pool.set_retry_policy(retry);
+  }
   for (int t = 0; t < threads; ++t) {
     pool.create_task(static_cast<TaskId>(t + 1),
                      [&script, &store, base, threads, t](TaskId) {
@@ -257,6 +275,17 @@ CellResult run_concurrent_cell(const std::vector<ScriptOp>& script,
       bench::Json::number(st.blocks_allocated);
   r.metrics["concurrent/blocks_reclaimed"] =
       bench::Json::number(st.blocks_reclaimed);
+  if (cfg.track_aborts) {
+    const ConcurrentTaskPool::RecoveryStats rs = pool.recovery_stats();
+    r.metrics["concurrent/aborts"] = bench::Json::number(st.aborts);
+    r.metrics["concurrent/aborted_blocks"] =
+        bench::Json::number(st.aborted_blocks);
+    r.metrics["concurrent/aborted_locks"] =
+        bench::Json::number(st.aborted_locks);
+    r.metrics["concurrent/retries"] = bench::Json::number(rs.retries);
+    r.metrics["concurrent/giveups"] = bench::Json::number(rs.giveups);
+    r.metrics["concurrent/backoff_us"] = bench::Json::number(rs.backoff_us);
+  }
   if (checker != nullptr) {
     analysis::Checker& c = checker->checker();
     c.finish();
@@ -302,11 +331,10 @@ int run_concurrent_section(const bench::Options& opt) {
     const std::vector<ScriptOp> script = make_script(m, total_ops, kSlots);
     std::vector<std::size_t> handles;
     for (int threads : thread_counts) {
-      const int check_mode = opt.check_mode;
       handles.push_back(driver.add(
           std::string(m.name) + "/t" + std::to_string(threads),
-          [&script, threads, check_mode] {
-            return run_concurrent_cell(script, kSlots, threads, check_mode);
+          [&script, threads, &opt] {
+            return run_concurrent_cell(script, kSlots, threads, opt);
           }));
       // One cell at a time: a scaling measurement must not share the host
       // with a sibling cell's workers.

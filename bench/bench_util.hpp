@@ -6,9 +6,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/fault_injection.hpp"
 #include "runtime/env.hpp"
 #include "workloads/opgen.hpp"
 
@@ -63,6 +65,14 @@ struct Options {
   /// collector reject kBounded after parsing (require_paper_gc); only the
   /// policy-comparison bench (bench_gc_overhead) accepts it.
   GcPolicyKind gc = GcPolicyKind::kPaper;
+  /// Deterministic fault-injection plan applied to every cell's engine
+  /// (core/fault_injection.hpp grammar; "" = no injector attached).
+  /// Injection never charges simulated cycles, so "--inject none" (an
+  /// attached but inert injector) is bit-identical to no flag at all.
+  std::string inject_spec;
+  /// Blocked-op timeout for --exec=concurrent cells before the engine
+  /// faults kWouldBlock (the concurrent deadlock report).
+  std::uint64_t deadlock_timeout_ms = 10000;
 
   [[noreturn]] static void usage(const char* argv0, int exit_code) {
     std::fprintf(
@@ -95,7 +105,12 @@ struct Options {
         "  --gc=bounded bounded-space range-tracking reclamation; only\n"
         "               the policy-comparison bench (bench_gc_overhead)\n"
         "               accepts it — the figure benches reproduce the\n"
-        "               paper's collector and pin --gc=paper\n",
+        "               paper's collector and pin --gc=paper\n"
+        "  --inject SPEC  deterministic fault injection for every cell\n"
+        "               (e.g. pool:0.001,deadlock@3,seed=7; see\n"
+        "               core/fault_injection.hpp for the grammar)\n"
+        "  --deadlock-timeout-ms N  blocked-op timeout for\n"
+        "               --exec=concurrent cells (default 10000)\n",
         argv0);
     std::exit(exit_code);
   }
@@ -156,6 +171,32 @@ struct Options {
                      "--exec=concurrent)\n",
                      argv[0], a);
         usage(argv[0], 2);
+      } else if (std::strcmp(a, "--inject") == 0) {
+        if (++i >= argc) {
+          std::fprintf(stderr, "%s: --inject needs a spec\n", argv[0]);
+          usage(argv[0], 2);
+        }
+        o.inject_spec = argv[i];
+        try {
+          (void)FaultPlan::parse(o.inject_spec);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+          usage(argv[0], 2);
+        }
+      } else if (std::strcmp(a, "--deadlock-timeout-ms") == 0) {
+        if (++i >= argc) {
+          std::fprintf(stderr, "%s: --deadlock-timeout-ms needs a value\n",
+                       argv[0]);
+          usage(argv[0], 2);
+        }
+        char* end = nullptr;
+        const long long ms = std::strtoll(argv[i], &end, 10);
+        if (end == argv[i] || *end != '\0' || ms <= 0) {
+          std::fprintf(stderr, "%s: bad --deadlock-timeout-ms value '%s'\n",
+                       argv[0], argv[i]);
+          usage(argv[0], 2);
+        }
+        o.deadlock_timeout_ms = static_cast<std::uint64_t>(ms);
       } else if (std::strcmp(a, "--gc=paper") == 0) {
         o.gc = GcPolicyKind::kPaper;
       } else if (std::strcmp(a, "--gc=bounded") == 0) {
@@ -225,6 +266,9 @@ inline thread_local BackendKind g_cell_backend = BackendKind::kTimed;
 /// the flag (bench_gc_overhead's comparison pair) override it on the config
 /// after make_config/with_cell_trace.
 inline thread_local GcPolicyKind g_cell_gc = GcPolicyKind::kPaper;
+/// Fault-injection spec for the cell running on this host thread (see
+/// Options::inject_spec); driver-set like g_cell_trace_path.
+inline thread_local std::string g_cell_inject;
 }  // namespace detail
 
 inline MachineConfig make_config(int cores) {
@@ -234,6 +278,7 @@ inline MachineConfig make_config(int cores) {
   c.ostruct.trace_path = detail::g_cell_trace_path;
   c.ostruct.check_mode = detail::g_cell_check_mode;
   c.ostruct.gc_policy = detail::g_cell_gc;
+  c.ostruct.inject_spec = detail::g_cell_inject;
   return c;
 }
 
@@ -245,6 +290,7 @@ inline MachineConfig with_cell_trace(MachineConfig c) {
   c.ostruct.trace_path = detail::g_cell_trace_path;
   c.ostruct.check_mode = detail::g_cell_check_mode;
   c.ostruct.gc_policy = detail::g_cell_gc;
+  c.ostruct.inject_spec = detail::g_cell_inject;
   return c;
 }
 

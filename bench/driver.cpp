@@ -104,11 +104,13 @@ void Driver::run_all() {
                             ? std::string()
                             : opt_.trace_path + "." + std::to_string(i);
     jobs.push_back([&cell, trace = std::move(trace), check = opt_.check_mode,
-                    backend = opt_.backend, gc = opt_.gc] {
+                    backend = opt_.backend, gc = opt_.gc,
+                    inject = opt_.inject_spec] {
       detail::g_cell_trace_path = trace;
       detail::g_cell_check_mode = check;
       detail::g_cell_backend = backend;
       detail::g_cell_gc = gc;
+      detail::g_cell_inject = inject;
       const auto t0 = std::chrono::steady_clock::now();
       cell.result = cell.fn();
       cell.result.wall_seconds = seconds_since(t0);
@@ -117,6 +119,7 @@ void Driver::run_all() {
       detail::g_cell_check_mode = 0;
       detail::g_cell_backend = BackendKind::kTimed;
       detail::g_cell_gc = GcPolicyKind::kPaper;
+      detail::g_cell_inject.clear();
     });
   }
   if (jobs.empty()) return;

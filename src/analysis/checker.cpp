@@ -145,12 +145,16 @@ void Checker::on_event(const telemetry::TraceEvent& e) {
       break;
     case telemetry::EventType::kBlockAlloc:
     case telemetry::EventType::kBlockShadowed:
+    case telemetry::EventType::kBlockRestored:
     case telemetry::EventType::kBlockPending:
     case telemetry::EventType::kBlockFreed:
       on_block_event(e);
       break;
     case telemetry::EventType::kTaskCreated:
       live_tasks_[e.version]++;
+      break;
+    case telemetry::EventType::kTaskAborted:
+      on_task_aborted(e);
       break;
     default:
       break;  // GC phase boundaries, OS traps: nothing to validate
@@ -198,6 +202,27 @@ void Checker::on_isa_op(const telemetry::TraceEvent& e) {
     }
     default:
       break;  // loads/stores are validated on their lifecycle events
+  }
+}
+
+void Checker::on_task_aborted(const telemetry::TraceEvent& e) {
+  // Post-abort invariant: the engine released every lock the task held
+  // (as kLockRelease events preceding this one) and freed its created
+  // versions (kBlockFreed). A lock still owned here leaked the rollback.
+  const TaskId t = e.version;
+  for (const auto& [key, owner] : lock_owner_) {
+    if (owner == t) {
+      report(Severity::kError, Invariant::kLockHeldAtTaskEnd, e, t, 0,
+             "TASK-ABORTED with version " + std::to_string(key.second) +
+                 " of addr " + std::to_string(key.first) +
+                 " still locked (rollback leaked a lock)");
+    }
+  }
+  // The task is no longer running anywhere, but stays live for the GC
+  // invariants until the runtime retries (TASK-BEGIN) or retires
+  // (TASK-END) it — mirroring the engine's unfinished-task tracking.
+  for (TaskId& ct : cur_task_) {
+    if (ct == t) ct = 0;
   }
 }
 
@@ -351,6 +376,20 @@ void Checker::on_block_event(const telemetry::TraceEvent& e) {
       }
       set_bstate(block, BState::kShadowed);
       shadower_[block] = e.version;  // the shadowing version fences readers
+      break;
+    case telemetry::EventType::kBlockRestored:
+      // Abort rollback un-shadowed the block: the version it carries is
+      // the slot's effective head again, so a later store may legally
+      // re-shadow it.
+      if (bstate(block) != BState::kShadowed &&
+          bstate(block) != BState::kPending) {
+        report(Severity::kWarning, Invariant::kFreeListCorruption, e,
+               cur_task(e.core), 0,
+               "block " + std::to_string(block) +
+                   " restored while not shadowed");
+      }
+      set_bstate(block, BState::kStored);
+      shadower_.erase(block);
       break;
     case telemetry::EventType::kBlockPending:
       if (bstate(block) != BState::kShadowed) {

@@ -148,6 +148,7 @@ class Checker {
   bool lock_edge_closes_cycle(Addr a, Addr b) const;
 
   void on_isa_op(const telemetry::TraceEvent& e);
+  void on_task_aborted(const telemetry::TraceEvent& e);
   void on_version_read(const telemetry::TraceEvent& e);
   void on_version_store(const telemetry::TraceEvent& e);
   void on_lock_acquire(const telemetry::TraceEvent& e);

@@ -882,6 +882,11 @@ std::string serialize_schedule(const McProgram& prog, const McOptions& opt,
   s += "program " + prog.name + "\n";
   s += std::string("checked ") + (opt.checked ? "1" : "0") + "\n";
   s += "seeded " + std::to_string(opt.seeded) + "\n";
+  // Optional line: present only for injected runs, so schedules recorded
+  // before fault injection existed stay byte-identical.
+  if (!prog.cfg.inject_spec.empty()) {
+    s += "inject " + prog.cfg.inject_spec + "\n";
+  }
   s += "steps " + std::to_string(out.steps.size()) + "\n";
   for (std::size_t i = 0; i < out.steps.size(); ++i) {
     const ScheduleStep& st = out.steps[i];
@@ -942,7 +947,13 @@ ReplayFile parse_schedule(const std::string& text) {
   }
   std::size_t nsteps = 0;
   {
-    std::istringstream ls(next());
+    std::string& l = next();
+    if (l.rfind("inject ", 0) == 0) {
+      f.inject = l.substr(7);
+      if (f.inject.empty()) fail("expected \"inject <spec>\"");
+      next();
+    }
+    std::istringstream ls(line);
     std::string key;
     if (!(ls >> key >> nsteps) || key != "steps") fail("expected \"steps "
                                                        "<n>\"");
@@ -998,8 +1009,22 @@ ScheduleOutcome replay_schedule(const McProgram& prog, const McOptions& opt,
         std::to_string(file.seeded) + "; this engine is seeded " +
         std::to_string(opt.seeded));
   }
+  if (!prog.cfg.inject_spec.empty() && prog.cfg.inject_spec != file.inject) {
+    throw std::runtime_error("replay file records inject spec \"" +
+                             file.inject + "\", not \"" +
+                             prog.cfg.inject_spec + "\"");
+  }
   McOptions ropt = opt;
   ropt.checked = file.checked;  // the mode shapes the schedule space
+  // An injected schedule replays under the recorded plan; its faults are
+  // part of the outcome, which no longer matches the uninjected oracle.
+  McProgram rprog = prog;
+  if (!file.inject.empty()) {
+    rprog.cfg.inject_spec = file.inject;
+    rprog.use_oracle = false;
+    rprog.compare_final_state = false;
+    rprog.expect_engine_errors = true;
+  }
   std::string diverged;
   auto chooser =
       [&](std::size_t step,
@@ -1029,7 +1054,7 @@ ScheduleOutcome replay_schedule(const McProgram& prog, const McOptions& opt,
     return static_cast<int>(c - cands.data());
   };
   std::string sched_error;
-  ScheduleOutcome out = run_one(prog, ropt, chooser, &sched_error);
+  ScheduleOutcome out = run_one(rprog, ropt, chooser, &sched_error);
   if (!diverged.empty()) {
     throw std::runtime_error("replay diverged: " + diverged);
   }
@@ -1043,10 +1068,10 @@ ScheduleOutcome replay_schedule(const McProgram& prog, const McOptions& opt,
   }
   // Re-validate the outcome against the reference the way explore() did,
   // so an "outcome-divergence" verdict reproduces too.
-  if (!out.violation && prog.use_oracle && !prog.expect_engine_errors) {
-    const ScheduleOutcome oracle = run_oracle(prog);
+  if (!out.violation && rprog.use_oracle && !rprog.expect_engine_errors) {
+    const ScheduleOutcome oracle = run_oracle(rprog);
     const std::string why =
-        compare_outcomes(out, oracle, prog.compare_final_state);
+        compare_outcomes(out, oracle, rprog.compare_final_state);
     if (!why.empty()) {
       out.violation = true;
       out.violation_kind = "outcome-divergence";

@@ -166,6 +166,10 @@ struct ReplayFile {
   std::string program;
   bool checked = false;
   int seeded = 0;
+  /// Fault-injection spec the schedule was recorded under (the optional
+  /// "inject <spec>" header line; empty = none, and the line is omitted so
+  /// pre-injection fixtures parse unchanged).
+  std::string inject;
   std::vector<ScheduleStep> steps;
   std::uint64_t checksum = 0;
   bool violation = false;

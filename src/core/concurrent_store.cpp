@@ -36,6 +36,11 @@ ConcurrentVersionStore::ConcurrentVersionStore(const ConcurrencyConfig& cfg)
   if (cfg_.max_threads < 1) cfg_.max_threads = 1;
   ctxs_ = std::make_unique<ThreadCtx[]>(
       static_cast<std::size_t>(cfg_.max_threads));
+  FaultPlan plan = FaultPlan::parse(cfg_.inject_spec);
+  if (plan.attached) {
+    owned_inj_ = std::make_unique<FaultInjector>(std::move(plan));
+    inj_ = owned_inj_.get();
+  }
 }
 
 ConcurrentVersionStore::~ConcurrentVersionStore() {
@@ -199,6 +204,11 @@ void ConcurrentVersionStore::check_conventional(Addr a) const {
 
 OAddr ConcurrentVersionStore::alloc(std::size_t slots) {
   if (slots == 0) throw OFault(FaultKind::kInvalidAddress, "zero-slot alloc");
+  if (inj_ != nullptr && inj_->should_fire(FaultSite::kSlotTable)) {
+    throw OFault(FaultKind::kResourceExhausted,
+                 "slot-table allocation of " + std::to_string(slots) +
+                     " slots refused (injected)");
+  }
   std::lock_guard<std::mutex> g(alloc_mu_);
   auto& freed = slot_free_[static_cast<std::uint64_t>(slots)];
   std::uint64_t base;
@@ -210,7 +220,12 @@ OAddr ConcurrentVersionStore::alloc(std::size_t slots) {
   }
   const std::uint64_t end = base + slots;
   if (end > kMaxSlotChunks * kSlotChunkSize) {
-    throw std::runtime_error("ConcurrentVersionStore: slot table exhausted");
+    throw OFault(FaultKind::kResourceExhausted,
+                 "slot table exhausted: alloc of " + std::to_string(slots) +
+                     " slots at base slot " + std::to_string(base) +
+                     " would exceed the " +
+                     std::to_string(kMaxSlotChunks * kSlotChunkSize) +
+                     "-slot capacity");
   }
   for (std::uint64_t c = base >> kSlotChunkBits; c <= (end - 1) >> kSlotChunkBits;
        ++c) {
@@ -290,6 +305,12 @@ std::uint32_t ConcurrentVersionStore::trace_id(Shard& sh, std::uint32_t b) {
 }
 
 std::uint32_t ConcurrentVersionStore::alloc_block(Shard& sh) {
+  if (inj_ != nullptr && inj_->should_fire(FaultSite::kBlockPool)) {
+    throw OFault(FaultKind::kResourceExhausted,
+                 "shard " + std::to_string(shard_index(sh)) +
+                     " block pool exhausted (injected) during store by task " +
+                     std::to_string(ctx().cur_task));
+  }
   if (sh.shadowed.size() >= cfg_.reclaim_threshold) maybe_reclaim(sh);
   if (sh.free_list.empty() && !sh.limbo.empty()) {
     // Harvest limbo blocks whose grace period has passed: no active reader
@@ -312,7 +333,12 @@ std::uint32_t ConcurrentVersionStore::alloc_block(Shard& sh) {
   const std::uint32_t nc = sh.nchunks.load(std::memory_order_relaxed);
   if (sh.next_fresh == nc * kBlockChunkSize) {
     if (nc == kMaxBlockChunks) {
-      throw std::runtime_error("ConcurrentVersionStore: block pool exhausted");
+      throw OFault(FaultKind::kResourceExhausted,
+                   "shard " + std::to_string(shard_index(sh)) +
+                       " block pool exhausted: " +
+                       std::to_string(kMaxBlockChunks * kBlockChunkSize) +
+                       " blocks live, none reclaimable (task " +
+                       std::to_string(ctx().cur_task) + ")");
     }
     sh.chunk[nc].store(new CBlock[kBlockChunkSize],
                        std::memory_order_release);
@@ -328,6 +354,10 @@ std::uint32_t ConcurrentVersionStore::alloc_block(Shard& sh) {
 // still enforced at every call site via the declaration.
 void ConcurrentVersionStore::maybe_reclaim(Shard& sh)
     OSIM_NO_THREAD_SAFETY_ANALYSIS {
+  // Injected GC delay: skip this pass entirely. Callers treat a delayed
+  // sweep exactly like an empty one, so pressure just builds until a later
+  // consultation lets a pass through.
+  if (inj_ != nullptr && inj_->should_fire(FaultSite::kGcDelay)) return;
   // Reclamation eligibility goes through the GcPolicy seam's predicates
   // (core/gc_policy.hpp), inlined here under the shard writer lock:
   //
@@ -463,6 +493,16 @@ void ConcurrentVersionStore::wait_change(Shard& sh, CSlot& sl,
                                          std::uint32_t seq_seen, OpCode op,
                                          OAddr a, Ver v) {
   ThreadCtx& c = ctx();
+  // Injected deadlock: fault as if the timeout below had already expired.
+  // Same FaultKind and diagnostic shape, so the runtime's abort-and-retry
+  // path is exercised without waiting out a real timeout.
+  if (inj_ != nullptr && inj_->should_fire(FaultSite::kDeadlock)) {
+    throw OFault(FaultKind::kWouldBlock,
+                 "injected deadlock timeout: " + std::string(to_string(op)) +
+                     " of version " + std::to_string(v) + " at address " +
+                     std::to_string(a) + " by task " +
+                     std::to_string(c.cur_task));
+  }
   if (hook_ != nullptr) {
     // Model-checked blocking: no spinning, no timed park, no wall clock.
     // The hook suspends this thread until a wake() on the shard (true
@@ -836,6 +876,8 @@ void ConcurrentVersionStore::store_locked(Shard& sh, CSlot& sl,
          shadower, slot});
   }
 
+  journal(UndoEntry::Kind::kStore, slot, v);
+
   if (tracing()) {
     const OAddr a = ostruct_addr(slot);
     emit(telemetry::EventType::kBlockAlloc, OpCode{}, 0, 0, trace_id(sh, nb));
@@ -900,6 +942,7 @@ std::uint64_t ConcurrentVersionStore::lock_load_common(OAddr a, bool exact,
           cb.locked_by.store(locker, std::memory_order_relaxed);
           const Ver got = cb.version.load(std::memory_order_relaxed);
           const std::uint64_t data = cb.data.load(std::memory_order_relaxed);
+          journal(UndoEntry::Kind::kLock, slot, got);
           if (tracing()) {
             emit(telemetry::EventType::kVersionRead, op, a, got, key);
             emit(telemetry::EventType::kLockAcquire, OpCode{}, a, got,
@@ -1033,7 +1076,9 @@ void ConcurrentVersionStore::task_begin(TaskId t) {
     MutexLock g(task_mu_);
     if (unfinished_.find(t) == unfinished_.end()) create_task_locked(t);
   }
-  ctx().cur_task = t;
+  ThreadCtx& c = ctx();
+  c.cur_task = t;
+  c.undo.clear();  // a retry must not re-undo the aborted attempt's journal
 }
 
 void ConcurrentVersionStore::task_end(TaskId t) {
@@ -1041,7 +1086,9 @@ void ConcurrentVersionStore::task_end(TaskId t) {
   if (tracing()) {
     emit(telemetry::EventType::kIsaOp, OpCode::kTaskEnd, 0, t, 0);
   }
-  ctx().cur_task = kNoTask;
+  ThreadCtx& endc = ctx();
+  endc.cur_task = kNoTask;
+  endc.undo.clear();
   MutexLock g(task_mu_);
   auto it = unfinished_.find(t);
   if (it == unfinished_.end()) {
@@ -1056,6 +1103,127 @@ void ConcurrentVersionStore::task_end(TaskId t) {
   const TaskId floor =
       unfinished_.empty() ? max_task_ + 1 : unfinished_.begin()->first;
   task_floor_.store(floor, std::memory_order_release);
+}
+
+void ConcurrentVersionStore::abort_task(TaskId t) {
+  if (!cfg_.track_aborts) {
+    throw OFault(FaultKind::kTaskOrderViolation,
+                 "abort_task(" + std::to_string(t) +
+                     ") requires ConcurrencyConfig::track_aborts");
+  }
+  sched_point(SchedKind::kTaskOp, 0);
+  ThreadCtx& c = ctx();
+  std::uint64_t undone = 0;
+  bool freed_any = false;
+  // Newest-first: a rename journals its lock before the version it
+  // materializes, so the reverse walk retires the new version before
+  // releasing the lock that produced it — renaming run backwards.
+  for (auto it = c.undo.rbegin(); it != c.undo.rend(); ++it) {
+    const UndoEntry& e = *it;
+    CSlot* sp = slot_ptr(e.slot);
+    if (sp == nullptr || sp->allocated.load(std::memory_order_acquire) == 0) {
+      continue;  // the whole O-structure was released in the meantime
+    }
+    CSlot& sl = *sp;
+    Shard& sh = shard_of(e.slot);
+    bool changed = false;
+    {
+      ShardLock g(*this, sh);
+      std::uint32_t pred = kNil;
+      std::uint32_t cur = sl.head.load(std::memory_order_relaxed);
+      while (cur != kNil) {
+        const Ver v = block(sh, cur).version.load(std::memory_order_relaxed);
+        if (v == e.version) break;
+        if (v < e.version) {
+          cur = kNil;  // sorted newest-first: the version is gone
+          break;
+        }
+        pred = cur;
+        cur = block(sh, cur).next.load(std::memory_order_relaxed);
+      }
+      if (cur == kNil) continue;  // reclaimed (or released) before the abort
+      CBlock& cb = block(sh, cur);
+      if (e.kind == UndoEntry::Kind::kLock) {
+        if (cb.locked_by.load(std::memory_order_relaxed) != t) {
+          continue;  // already unlocked (or re-locked by another task)
+        }
+        const std::uint32_t sq = sl.seq.load(std::memory_order_relaxed);
+        sl.seq.store(sq + 1, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_release);
+        cb.locked_by.store(kNoTask, std::memory_order_relaxed);
+        sl.seq.store(sq + 2, std::memory_order_release);
+        if (tracing()) {
+          emit(telemetry::EventType::kLockRelease, OpCode{},
+               ostruct_addr(e.slot), e.version, t);
+        }
+        ++c.local.aborted_locks;
+        changed = true;
+      } else {
+        // Unlink the created version. A lock another task took on it dies
+        // with the block — their unlock will fault kNotLockOwner, the
+        // deterministic "you read an aborted version" signal.
+        const std::uint64_t epoch =
+            global_epoch_.load(std::memory_order_relaxed);
+        const std::uint32_t sq = sl.seq.load(std::memory_order_relaxed);
+        sl.seq.store(sq + 1, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_release);
+        const std::uint32_t nx = cb.next.load(std::memory_order_relaxed);
+        if (pred == kNil) {
+          sl.head.store(nx, std::memory_order_relaxed);
+        } else {
+          block(sh, pred).next.store(nx, std::memory_order_relaxed);
+        }
+        cb.locked_by.store(kNoTask, std::memory_order_relaxed);
+        sl.nversions.fetch_sub(1, std::memory_order_relaxed);
+        sl.seq.store(sq + 2, std::memory_order_release);
+        // Purge shadow-registry entries naming the dead block, plus the
+        // entry this store created for its shadowed neighbour — with v
+        // gone the neighbour is the live head (or mid-list) again and must
+        // not be retired under v's fence.
+        const std::uint64_t slot = e.slot;
+        const Ver v = e.version;
+        sh.shadowed.erase(
+            std::remove_if(sh.shadowed.begin(), sh.shadowed.end(),
+                           [&](const Shadowed& x) {
+                             if (x.block == cur) return true;
+                             if (x.slot != slot || x.shadower != v) {
+                               return false;
+                             }
+                             // The neighbour v shadowed is live again;
+                             // tell the checker before v's free event.
+                             if (tracing()) {
+                               emit(telemetry::EventType::kBlockRestored,
+                                    OpCode{}, ostruct_addr(slot), x.version,
+                                    trace_id(sh, x.block));
+                             }
+                             return true;
+                           }),
+            sh.shadowed.end());
+        if (tracing()) {
+          emit(telemetry::EventType::kBlockFreed, OpCode{},
+               ostruct_addr(e.slot), e.version, trace_id(sh, cur));
+        }
+        sh.limbo.push_back({cur, epoch});
+        ++c.local.aborted_blocks;
+        ++undone;
+        freed_any = true;
+        changed = true;
+      }
+    }
+    if (changed) wake(sh);
+  }
+  c.undo.clear();
+  if (c.cur_task == t) c.cur_task = kNoTask;
+  if (freed_any) {
+    // Open the unlinked blocks' grace period; they become harvestable once
+    // every reader active right now has unpinned.
+    global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+    sched_point(SchedKind::kEpochAdvance, 0);
+  }
+  ++c.local.aborts;
+  if (tracing()) {
+    emit(telemetry::EventType::kTaskAborted, OpCode{}, 0, t, undone);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1148,6 +1316,9 @@ ConcurrentVersionStore::Stats ConcurrentVersionStore::stats() const {
     s.spin_waits += l.spin_waits;
     s.parks += l.parks;
     s.blocks_allocated += l.blocks_allocated;
+    s.aborts += l.aborts;
+    s.aborted_blocks += l.aborted_blocks;
+    s.aborted_locks += l.aborted_locks;
   }
   for (int i = 0; i < nshards_; ++i) {
     s.blocks_reclaimed +=

@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "core/address_map.hpp"
+#include "core/fault_injection.hpp"
 #include "core/isa.hpp"
 #include "core/ostruct_config.hpp"
 #include "core/schedule_point.hpp"
@@ -94,6 +95,14 @@ struct ConcurrencyConfig {
   /// [version, shadower)), which keeps the shadow registry bounded even
   /// under a reader that never finishes.
   GcPolicyKind gc_policy = GcPolicyKind::kPaper;
+  /// Fault-injection spec (core/fault_injection.hpp grammar), e.g.
+  /// "pool:0.01,deadlock@3,seed=7". Empty = no injector attached and every
+  /// injection site is a single null-check.
+  std::string inject_spec;
+  /// Record a per-task undo journal so abort_task() can roll back a task's
+  /// stores and locks. Costs a few words per store/lock op; only retrying
+  /// runtimes want it.
+  bool track_aborts = false;
 };
 
 /// The concurrent semantic engine. Public ISA surface mirrors VersionStore;
@@ -110,6 +119,9 @@ class ConcurrentVersionStore {
     std::uint64_t parks = 0;         ///< blocked ops that slept on the CV
     std::uint64_t blocks_allocated = 0;
     std::uint64_t blocks_reclaimed = 0;  ///< shadowed blocks recycled
+    std::uint64_t aborts = 0;            ///< abort_task() calls
+    std::uint64_t aborted_blocks = 0;    ///< versions rolled back by aborts
+    std::uint64_t aborted_locks = 0;     ///< locks released by aborts
   };
 
   explicit ConcurrentVersionStore(const ConcurrencyConfig& cfg = {});
@@ -138,6 +150,16 @@ class ConcurrentVersionStore {
   void task_begin(TaskId t);
   void task_end(TaskId t);
 
+  /// Roll back task `t`'s effects: its created versions are unlinked and
+  /// retired (a rename run backwards) and its held locks released, each
+  /// undone newest-first. Must run on the host thread that executed the
+  /// task's ops (the journal is thread-local); requires
+  /// ConcurrencyConfig::track_aborts. The task stays registered in the
+  /// unfinished set so the runtime can retry it with a plain task_begin,
+  /// or retire it with task_end. Emits kLockRelease / kBlockFreed per
+  /// undone entry, then one kTaskAborted event.
+  void abort_task(TaskId t);
+
  private:
   /// Checked registration shared by task_created and an implicitly-creating
   /// task_begin (task_mu_ held). Mirrors core/gc.cpp's diagnostics.
@@ -154,6 +176,19 @@ class ConcurrentVersionStore {
   void request_stop();
   /// Re-arm after request_stop() so the store can run another batch.
   void reset_stop();
+  /// True once request_stop() fired (retry loops check this before
+  /// re-running an aborted task).
+  bool stopped() const { return stop_.load(std::memory_order_acquire); }
+
+  /// The injector built from ConcurrencyConfig::inject_spec, or nullptr
+  /// when the spec was empty (tests inspect consulted/fired counters).
+  FaultInjector* fault_injector() { return inj_; }
+  /// Attach an externally owned injector (tests/tools); replaces any
+  /// config-built one at every engine site. Not thread-safe: call before
+  /// the worker threads start, e.g. after the host-side setup stores —
+  /// which also keeps injection away from setup, where no task exists to
+  /// absorb a fault by aborting.
+  void attach_fault_injector(FaultInjector* inj) { inj_ = inj; }
 
   /// Attach a tracer for lifecycle events (protocol checking). Emission is
   /// serialized on an internal mutex and reads additionally take the shard
@@ -267,17 +302,37 @@ class ConcurrentVersionStore {
     std::atomic<std::uint32_t> nwaiters{0};
   };
 
+  /// One rollback-journal record (track_aborts only). The undone object is
+  /// named by (slot, version), not block index: block indices recycle
+  /// through limbo, but a version value is unique within its slot for the
+  /// block's whole linked lifetime.
+  struct UndoEntry {
+    enum class Kind : std::uint8_t { kStore, kLock };
+    Kind kind;
+    std::uint64_t slot;
+    Ver version;
+  };
+
   /// Per-registered-thread state, cache-line padded: the epoch pin is read
-  /// by reclaimers, the counters and task id are owner-only.
+  /// by reclaimers, the counters, task id and journal are owner-only.
   struct alignas(64) ThreadCtx {
     std::atomic<std::uint64_t> epoch{kIdleEpoch};  ///< kIdleEpoch = not reading
     TaskId cur_task = kNoTask;
     Stats local;
+    std::vector<UndoEntry> undo;  ///< rollback journal (track_aborts)
   };
 
   // ---- Thread registration ----
   ThreadCtx& ctx();
   int ctx_id();
+
+  /// Append to the current task's rollback journal; no-op unless
+  /// track_aborts is set and a task is bound to this thread.
+  void journal(UndoEntry::Kind kind, std::uint64_t slot, Ver v) {
+    ThreadCtx& c = ctx();
+    if (!cfg_.track_aborts || c.cur_task == kNoTask) return;
+    c.undo.push_back({kind, slot, v});
+  }
 
   // ---- Layout helpers ----
   Shard& shard_of(std::uint64_t slot) { return shards_[slot & shard_mask_]; }
@@ -403,6 +458,11 @@ class ConcurrentVersionStore {
 
   /// Model-checking seam; null in production (see attach_schedule_hook).
   ScheduleHook* hook_ = nullptr;
+
+  /// Fault-injection seam, built from cfg_.inject_spec in the constructor;
+  /// inj_ == nullptr (the common case) makes every site one null-check.
+  std::unique_ptr<FaultInjector> owned_inj_;
+  FaultInjector* inj_ = nullptr;
 };
 
 }  // namespace osim

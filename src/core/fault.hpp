@@ -32,6 +32,11 @@ enum class FaultKind {
   /// functional backend executes in creation order, where a blocking op
   /// means the schedule itself can never make progress).
   kWouldBlock,
+  /// The engine ran out of a bounded resource (version-block pool, slot
+  /// table) or the OS refused to grow it. Structured so runtimes can
+  /// back off and retry instead of dying: the store is left consistent,
+  /// the requesting op simply did not happen.
+  kResourceExhausted,
 };
 
 /// String name of a fault kind (stable; used in fault messages and tests).
@@ -73,6 +78,8 @@ inline const char* to_string(FaultKind k) {
       return "task ordering rule violation";
     case FaultKind::kWouldBlock:
       return "versioned op would block in-order execution";
+    case FaultKind::kResourceExhausted:
+      return "resource exhausted";
   }
   return "unknown fault";
 }

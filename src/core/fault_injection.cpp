@@ -1,0 +1,190 @@
+#include "core/fault_injection.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace osim {
+
+namespace {
+
+constexpr std::uint32_t kPpm = 1000000;
+
+// splitmix64: the per-consultation decision hash. Statistically solid for
+// rate sampling and trivially portable, so plans replay across builds.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+[[noreturn]] void bad_spec(const std::string& token, const std::string& why) {
+  throw std::runtime_error("bad --inject token '" + token + "': " + why);
+}
+
+bool parse_site(const std::string& name, FaultSite* out) {
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    const auto s = static_cast<FaultSite>(i);
+    if (name == to_string(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parse "<int>[.<frac>]" with at most 6 fractional digits into ppm.
+std::uint32_t parse_rate_ppm(const std::string& token,
+                             const std::string& text) {
+  if (text.empty()) bad_spec(token, "empty rate");
+  std::size_t dot = text.find('.');
+  const std::string whole = text.substr(0, dot);
+  std::string frac = dot == std::string::npos ? "" : text.substr(dot + 1);
+  if (whole.empty() && frac.empty()) bad_spec(token, "empty rate");
+  if (frac.size() > 6) bad_spec(token, "rate has more than 6 fractional "
+                                       "digits");
+  for (char c : whole + frac) {
+    if (c < '0' || c > '9') bad_spec(token, "rate is not a decimal number");
+  }
+  frac.resize(6, '0');
+  const std::uint64_t ppm =
+      (whole.empty() ? 0 : std::strtoull(whole.c_str(), nullptr, 10)) * kPpm +
+      std::strtoull(frac.c_str(), nullptr, 10);
+  if (ppm == 0 || ppm > kPpm) bad_spec(token, "rate must be in (0, 1]");
+  return static_cast<std::uint32_t>(ppm);
+}
+
+std::uint64_t parse_u64(const std::string& token, const std::string& text) {
+  if (text.empty()) bad_spec(token, "empty number");
+  for (char c : text) {
+    if (c < '0' || c > '9') bad_spec(token, "not a number");
+  }
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+/// Render ppm as a minimal decimal ("1", "0.02", "0.000001").
+std::string rate_to_string(std::uint32_t ppm) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%06u", ppm / kPpm, ppm % kPpm);
+  std::string s(buf);
+  while (s.back() == '0') s.pop_back();
+  if (s.back() == '.') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+const char* to_string(FaultSite s) {
+  switch (s) {
+    case FaultSite::kBlockPool:
+      return "pool";
+    case FaultSite::kSlotTable:
+      return "slots";
+    case FaultSite::kTraceShortWrite:
+      return "trace-short";
+    case FaultSite::kTraceEnospc:
+      return "trace-enospc";
+    case FaultSite::kDeadlock:
+      return "deadlock";
+    case FaultSite::kGcDelay:
+      return "gc-delay";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;  // detached
+  plan.attached = true;
+
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) bad_spec(spec, "empty entry");
+    if (token == "none") continue;  // attached, nothing enabled
+    if (token.rfind("seed=", 0) == 0) {
+      plan.seed = parse_u64(token, token.substr(5));
+      continue;
+    }
+    std::size_t sep = token.find_first_of(":@");
+    if (sep == std::string::npos) {
+      bad_spec(token, "expected <site>:<rate>, <site>@<n>, seed=<n>, or "
+                      "none");
+    }
+    FaultSite site{};
+    if (!parse_site(token.substr(0, sep), &site)) {
+      bad_spec(token, "unknown site (pool, slots, trace-short, "
+                      "trace-enospc, deadlock, gc-delay)");
+    }
+    SiteSpec& ss = plan.sites[static_cast<std::size_t>(site)];
+    if (token[sep] == ':') {
+      if (ss.rate_ppm != 0) bad_spec(token, "duplicate rate for site");
+      ss.rate_ppm = parse_rate_ppm(token, token.substr(sep + 1));
+    } else {
+      while (sep != std::string::npos) {
+        const std::size_t next = token.find('@', sep + 1);
+        const std::string num =
+            token.substr(sep + 1, next == std::string::npos
+                                      ? std::string::npos
+                                      : next - sep - 1);
+        const std::uint64_t n = parse_u64(token, num);
+        if (n == 0) bad_spec(token, "firing indices are 1-based");
+        ss.at.push_back(n);
+        sep = next;
+      }
+    }
+  }
+  for (auto& ss : plan.sites) {
+    std::sort(ss.at.begin(), ss.at.end());
+    ss.at.erase(std::unique(ss.at.begin(), ss.at.end()), ss.at.end());
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_spec() const {
+  if (!attached) return {};
+  std::string out;
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    const SiteSpec& ss = sites[static_cast<std::size_t>(i)];
+    const char* name = to_string(static_cast<FaultSite>(i));
+    if (ss.rate_ppm != 0) {
+      out += std::string(name) + ":" + rate_to_string(ss.rate_ppm) + ",";
+    }
+    if (!ss.at.empty()) {
+      out += name;
+      for (std::uint64_t n : ss.at) {
+        char buf[24];
+        std::snprintf(buf, sizeof buf, "@%" PRIu64, n);
+        out += buf;
+      }
+      out += ",";
+    }
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "seed=%" PRIu64, seed);
+  out += buf;
+  return out;
+}
+
+bool FaultInjector::should_fire(FaultSite s) {
+  const auto i = static_cast<std::size_t>(s);
+  const std::uint64_t n =
+      consulted_[i].fetch_add(1, std::memory_order_relaxed) + 1;
+  const FaultPlan::SiteSpec& ss = plan_.sites[i];
+  bool fire = std::binary_search(ss.at.begin(), ss.at.end(), n);
+  if (!fire && ss.rate_ppm != 0) {
+    const std::uint64_t h =
+        mix64(plan_.seed ^ mix64((static_cast<std::uint64_t>(i) << 56) ^ n));
+    fire = h % kPpm < ss.rate_ppm;
+  }
+  if (fire) fired_[i].fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+}  // namespace osim

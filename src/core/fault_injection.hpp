@@ -1,0 +1,121 @@
+// Deterministic fault injection: the failure-testing seam of the engine.
+//
+// Mirrors the SchedulePoint pattern (core/schedule_point.hpp): engines
+// hold a raw FaultInjector pointer that is null in production, so every
+// injection site costs one branch when detached and nothing is ever
+// injected unless a plan is attached. Attached, the injector answers one
+// question — "does site S fail on its Nth consultation?" — from nothing
+// but the plan (seed, per-site rates, exact firing lists) and a per-site
+// consultation counter. The decision sequence for a site is therefore
+// independent of thread scheduling: run the same plan twice and the Nth
+// block-pool allocation fails both times, which is what makes injected
+// runs replayable byte-for-byte (osim-mc records the spec in its
+// schedule files; the driver's --inject=<spec> reuses the same grammar).
+//
+// Spec grammar (comma-separated, order-insensitive):
+//   <site>:<rate>   fail this fraction of consultations (0 < rate <= 1,
+//                   at most 6 fractional digits)
+//   <site>@<n>      fail exactly on the Nth consultation (1-based;
+//                   repeatable: pool@3@7)
+//   seed=<n>        seed for the rate-driven decisions (default 1)
+//   none            attach with no failing sites (the zero-effect guard)
+// Sites: pool, slots, trace-short, trace-enospc, deadlock, gc-delay.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace.hpp"
+
+namespace osim {
+
+/// Where a failure can be injected. Values index the plan/counter arrays.
+enum class FaultSite : std::uint8_t {
+  kBlockPool = 0,    ///< version-block pool grow refused (OS trap fails)
+  kSlotTable = 1,    ///< slot-table allocation refused
+  kTraceShortWrite = 2,  ///< trace sink persists a partial record
+  kTraceEnospc = 3,      ///< trace sink write fails with ENOSPC
+  kDeadlock = 4,     ///< a blocking versioned op times out immediately
+  kGcDelay = 5,      ///< a collection trigger is suppressed (sweep delayed)
+};
+inline constexpr int kNumFaultSites = 6;
+
+/// Stable spec-grammar name of a site ("pool", "slots", ...).
+const char* to_string(FaultSite s);
+
+/// A parsed --inject specification. Value type: copy freely into configs.
+struct FaultPlan {
+  struct SiteSpec {
+    /// Failure probability per consultation, in parts per million (the
+    /// decision hash is integral so rates replay exactly).
+    std::uint32_t rate_ppm = 0;
+    /// Exact 1-based consultation indices that fail, sorted ascending.
+    std::vector<std::uint64_t> at;
+
+    bool active() const { return rate_ppm != 0 || !at.empty(); }
+  };
+
+  /// False for the empty spec: no injector is constructed at all. "none"
+  /// parses attached-but-inert, so the zero-effect guard exercises every
+  /// detached-check branch with a live injector behind it.
+  bool attached = false;
+  std::uint64_t seed = 1;
+  std::array<SiteSpec, kNumFaultSites> sites;
+
+  /// Parse the spec grammar above; throws std::runtime_error with the
+  /// offending token on any malformation. parse("") is detached.
+  static FaultPlan parse(const std::string& spec);
+  /// Canonical spec string: parse(to_spec()) reproduces the plan exactly.
+  /// Detached plans serialize to "".
+  std::string to_spec() const;
+};
+
+/// The injector proper. Thread-safe: consultation counters are atomic and
+/// the plan is immutable after construction, so concurrent engines consult
+/// it from worker threads without locks.
+class FaultInjector final : public telemetry::IoFaultHook {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+    for (auto& c : consulted_) c.store(0, std::memory_order_relaxed);
+    for (auto& f : fired_) f.store(0, std::memory_order_relaxed);
+  }
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Consult site `s`: advances its counter and returns true when this
+  /// consultation fails per the plan. Each call is one decision; callers
+  /// consult exactly once per fallible operation.
+  bool should_fire(FaultSite s);
+
+  /// telemetry::IoFaultHook: consulted by FileSink per record write.
+  /// Short-write takes precedence over ENOSPC when both fire.
+  telemetry::IoFault next_io_fault() override {
+    if (should_fire(FaultSite::kTraceShortWrite)) {
+      return telemetry::IoFault::kShortWrite;
+    }
+    if (should_fire(FaultSite::kTraceEnospc)) {
+      return telemetry::IoFault::kEnospc;
+    }
+    return telemetry::IoFault::kNone;
+  }
+
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t consulted(FaultSite s) const {
+    return consulted_[static_cast<std::size_t>(s)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t fired(FaultSite s) const {
+    return fired_[static_cast<std::size_t>(s)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultPlan plan_;
+  std::array<std::atomic<std::uint64_t>, kNumFaultSites> consulted_;
+  std::array<std::atomic<std::uint64_t>, kNumFaultSites> fired_;
+};
+
+}  // namespace osim

@@ -84,6 +84,18 @@ bool PaperWatermarkPolicy::maybe_collect() {
   return true;
 }
 
+void PaperWatermarkPolicy::forget(BlockIndex b) {
+  const std::uint32_t gen = pool_[b].generation;
+  auto match = [&](const Shadowed& s) {
+    return s.block == b && s.generation == gen;
+  };
+  shadowed_.erase(std::remove_if(shadowed_.begin(), shadowed_.end(), match),
+                  shadowed_.end());
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(), match),
+                 pending_.end());
+  pending_blocks_.set(pending_.size());
+}
+
 void PaperWatermarkPolicy::try_finalize() {
   if (!phase_active_) return;
   // Every pending block's possible readers are tasks older than the fence;
@@ -151,6 +163,17 @@ void BoundedSpacePolicy::on_store_complete() {
 bool BoundedSpacePolicy::maybe_collect() {
   if (tracked_.empty()) return false;
   return sweep() != 0;
+}
+
+void BoundedSpacePolicy::forget(BlockIndex b) {
+  const std::uint32_t gen = pool_[b].generation;
+  tracked_.erase(std::remove_if(tracked_.begin(), tracked_.end(),
+                                [&](const Tracked& e) {
+                                  return e.block == b && e.generation == gen;
+                                }),
+                 tracked_.end());
+  if (survivors_ > tracked_.size()) survivors_ = tracked_.size();
+  pending_blocks_.set(tracked_.size());
 }
 
 std::uint64_t BoundedSpacePolicy::sweep() {

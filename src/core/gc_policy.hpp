@@ -166,6 +166,14 @@ class GcPolicy {
   /// the trigger latency for that case.
   virtual bool maybe_collect() = 0;
 
+  /// Drop every registration of block `b` whose generation still matches
+  /// the pool. abort_task uses this when rolling a store back: the block
+  /// that the aborted version shadowed becomes the live head again, so a
+  /// surviving registration would let a later sweep reclaim live data.
+  /// Forgetting is always safe — at worst a genuinely shadowed block is
+  /// re-registered never and leaks until its O-structure is released.
+  virtual void forget(BlockIndex b) = 0;
+
   // ---- Queries ----
   /// Paper policy: a phase is in flight. Bounded policy: never (sweeps are
   /// incremental, not phased).
@@ -210,6 +218,7 @@ class PaperWatermarkPolicy final : public GcPolicy {
   GcPolicyKind kind() const override { return GcPolicyKind::kPaper; }
   void on_shadowed(BlockIndex b, Ver shadower) override;
   bool maybe_collect() override;
+  void forget(BlockIndex b) override;
 
   bool phase_active() const override { return phase_active_; }
   std::size_t shadowed_size() const override { return shadowed_.size(); }
@@ -256,6 +265,7 @@ class BoundedSpacePolicy final : public GcPolicy {
   void on_shadowed(BlockIndex b, Ver shadower) override;
   void on_store_complete() override;
   bool maybe_collect() override;
+  void forget(BlockIndex b) override;
 
   bool phase_active() const override { return false; }
   std::size_t shadowed_size() const override { return tracked_.size(); }

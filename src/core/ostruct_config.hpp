@@ -81,6 +81,15 @@ struct OStructConfig {
   /// an analysis::CheckerSink to the manager's tracer; checking charges no
   /// simulated cycles, so results stay bit-identical.
   int check_mode = 0;
+
+  /// Deterministic fault injection (core/fault_injection.hpp): the
+  /// --inject spec string, e.g. "pool:0.02,deadlock@5,seed=7". Empty
+  /// leaves the engine's injector detached (zero cost, zero effect).
+  std::string inject_spec;
+  /// Keep the per-task undo journal that abort_task(tid) replays. Off by
+  /// default: the journal costs a few words per store/lock on the hot
+  /// path, and only runtimes that can retry tasks want rollback.
+  bool track_aborts = false;
 };
 
 }  // namespace osim

@@ -64,8 +64,16 @@ VersionStore::VersionStore(const OStructConfig& cfg, int num_cores,
   reg.counter_vec_external(telemetry::Component::kOsm, "tasks_executed",
                            &base->tasks_executed, kStride);
   if (ring_.enabled()) tracer_.attach(&ring_);
+  FaultPlan plan = FaultPlan::parse(cfg_.inject_spec);
+  if (plan.attached) {
+    owned_inj_ = std::make_unique<FaultInjector>(std::move(plan));
+    inj_ = owned_inj_.get();
+  }
   if (!cfg_.trace_path.empty()) {
-    tracer_.add_sink(std::make_unique<telemetry::FileSink>(cfg_.trace_path));
+    auto sink = std::make_unique<telemetry::FileSink>(cfg_.trace_path);
+    file_sink_ = sink.get();
+    file_sink_->set_fault_hook(inj_);
+    tracer_.add_sink(std::move(sink));
   }
 }
 
@@ -74,6 +82,11 @@ VersionStore::VersionStore(const OStructConfig& cfg, int num_cores,
 
 OAddr VersionStore::alloc(std::size_t slots) {
   if (slots == 0) throw OFault(FaultKind::kInvalidAddress, "zero-slot alloc");
+  if (inj_ != nullptr && inj_->should_fire(FaultSite::kSlotTable)) {
+    throw OFault(FaultKind::kResourceExhausted,
+                 "slot-table allocation of " + std::to_string(slots) +
+                     " slots refused (injected)");
+  }
   auto& freed = slot_free_[static_cast<std::uint64_t>(slots)];
   std::uint64_t base;
   if (!freed.empty()) {
@@ -167,6 +180,14 @@ void VersionStore::stall(const OpFlags& f, std::uint64_t slot, int attempt,
   w.addr = a;
   w.version = v;
   w.task = cur_task_[static_cast<std::size_t>(cur_core())];
+  // Injection: the park times out immediately, as if the deadlock monitor
+  // fired. Faults the requesting op with full context, never the run.
+  if (inj_ != nullptr && inj_->should_fire(FaultSite::kDeadlock)) {
+    throw OFault(FaultKind::kWouldBlock,
+                 std::string("injected deadlock timeout: ") + to_string(op) +
+                     " of version " + std::to_string(v) + " at address " +
+                     std::to_string(a) + " by task " + std::to_string(w.task));
+  }
   t_.wait_on_slot(w);
 }
 
@@ -174,13 +195,25 @@ void VersionStore::stall(const OpFlags& f, std::uint64_t slot, int attempt,
 // Block allocation and GC plumbing
 
 BlockIndex VersionStore::alloc_block() {
+  // Injection: the pool behaves as capped and the OS refuses to grow it.
+  // The op simply never happened — no state moved yet — so the engine
+  // stays consistent and the runtime can back off and retry.
+  if (inj_ != nullptr && inj_->should_fire(FaultSite::kBlockPool)) {
+    throw OFault(FaultKind::kResourceExhausted,
+                 "version-block pool exhausted and OS grow refused "
+                 "(injected), free " +
+                     std::to_string(pool_.free_count()));
+  }
   // Pop from this core's bank of the hardware free list (one exclusive
   // access to the bank head; banks are per-core, paper Fig. 2).
   if (charges()) t_.free_list_access();
   BlockIndex b = pool_.alloc();
   if (b == kNullBlock) {
-    // Free list exhausted: give the GC a chance, then trap to the OS.
-    if (gc_->maybe_collect() && charges()) t_.gc_triggered();
+    // Free list exhausted: give the GC a chance, then trap to the OS. An
+    // injected gc-delay suppresses the sweep (it runs at a later trigger).
+    const bool delayed =
+        inj_ != nullptr && inj_->should_fire(FaultSite::kGcDelay);
+    if (!delayed && gc_->maybe_collect() && charges()) t_.gc_triggered();
     b = pool_.alloc();
     if (b == kNullBlock) {
       pool_.grow(cfg_.trap_grow_blocks);
@@ -194,9 +227,10 @@ BlockIndex VersionStore::alloc_block() {
   blocks_allocated_.inc();
   if (charges()) t_.block_allocated(b);
   emit_event(telemetry::EventType::kBlockAlloc, 0, 0, b);
-  if (pool_.free_count() < cfg_.gc_watermark && gc_->maybe_collect() &&
-      charges()) {
-    t_.gc_triggered();
+  if (pool_.free_count() < cfg_.gc_watermark) {
+    const bool delayed =
+        inj_ != nullptr && inj_->should_fire(FaultSite::kGcDelay);
+    if (!delayed && gc_->maybe_collect() && charges()) t_.gc_triggered();
   }
   return b;
 }
@@ -282,6 +316,7 @@ std::uint64_t VersionStore::lock_load_version(OAddr a, Ver v, TaskId locker,
     if (fr.found() && pool_[fr.block].locked_by == kNoTask) {
       VersionBlock& vb = pool_[fr.block];
       vb.locked_by = locker;  // semantic effect, atomic at this timestamp
+      journal({UndoEntry::Kind::kLock, slot, v});
       const std::uint64_t data = vb.data;
       // Emit at the semantic point: the charged lookup below yields, and a
       // competing core's release/acquire must not appear out of order in
@@ -319,6 +354,7 @@ std::uint64_t VersionStore::lock_load_latest(OAddr a, Ver cap, TaskId locker,
       vb.locked_by = locker;
       const std::uint64_t data = vb.data;
       const Ver got = vb.version;
+      journal({UndoEntry::Kind::kLock, slot, got});
       if (tracer_.enabled()) {
         tracer_.emit({t_.now(), t_.core(),
                       telemetry::EventType::kVersionRead,
@@ -360,6 +396,10 @@ void VersionStore::store_impl(std::uint64_t slot, Ver v, std::uint64_t data) {
     blocks_allocated_.dec();
     throw;
   }
+  journal({UndoEntry::Kind::kStore, slot, v, nb, pool_[nb].generation,
+           ir.shadowed,
+           ir.shadowed != kNullBlock ? pool_[ir.shadowed].generation : 0});
+
   // Snapshot everything the compressed-line update needs before any charged
   // access can yield to other cores.
   CompressedLine::Entry snap;
@@ -475,8 +515,83 @@ void VersionStore::task_end(TaskId t) {
                   OpCode::kTaskEnd, 0, t, 0});
   }
   gc_->task_end(t);
+  if (cfg_.track_aborts) undo_.erase(t);  // committed: nothing to roll back
   cur_task_[static_cast<std::size_t>(cur_core())] = kNoTask;
   core_counters_[static_cast<std::size_t>(cur_core())].tasks_executed++;
+}
+
+void VersionStore::abort_task(TaskId t) {
+  if (!cfg_.track_aborts) {
+    throw OFault(FaultKind::kTaskOrderViolation,
+                 "abort_task(" + std::to_string(t) +
+                     ") requires OStructConfig::track_aborts");
+  }
+  std::vector<UndoEntry>* j = undo_.find(t);
+  std::uint64_t undone = 0;
+  if (j != nullptr) {
+    // Newest effect first: the renaming machinery run backwards. Nested
+    // same-slot stores restore cleanly because the later version is
+    // removed before the earlier one becomes head again.
+    for (auto it = j->rbegin(); it != j->rend(); ++it) {
+      const UndoEntry& e = *it;
+      if (!slots_[e.slot].allocated) continue;  // released wholesale
+      if (e.kind == UndoEntry::Kind::kLock) {
+        SlotMeta& sm = slots_[e.slot];
+        const FindResult fr =
+            find_exact(pool_, sm.root, e.version, effective_sorted(sm));
+        // Skip locks already released (voluntarily, or with the aborted
+        // version that carried them) and versions re-locked since.
+        if (!fr.found() || pool_[fr.block].locked_by != t) continue;
+        pool_[fr.block].locked_by = kNoTask;
+        emit_event(telemetry::EventType::kLockRelease, ostruct_addr(e.slot),
+                   e.version, t);
+        if (charges()) t_.wake_slot(e.slot);
+        continue;
+      }
+      // kStore: remove the created version, if it still is the one we
+      // created (the generation moves when a block is freed and reissued).
+      VersionBlock& vb = pool_[e.block];
+      if (vb.generation != e.generation || vb.slot != e.slot ||
+          vb.version != e.version) {
+        continue;
+      }
+      SlotMeta& sm = slots_[e.slot];
+      // Whoever locked the aborted version loses it: their later unlock
+      // faults kNotLockOwner deterministically (the version is gone).
+      vb.locked_by = kNoTask;
+      // Purge any shadow registration of the block itself (a mid-list
+      // insert is born shadowed) before the free bumps its generation.
+      gc_->forget(e.block);
+      sm.nversions--;
+      list_unlink(pool_, &sm.root, e.block);
+      if (charges()) t_.block_reclaimed(e.block, e.slot, e.version);
+      emit_event(telemetry::EventType::kBlockFreed, ostruct_addr(e.slot),
+                 e.version, e.block);
+      pool_.free(e.block);
+      blocks_freed_.inc();
+      ++undone;
+      // The block this insert shadowed is live again: drop its GC
+      // registration or a later sweep would reclaim the restored head.
+      if (e.shadowed != kNullBlock) {
+        VersionBlock& sb = pool_[e.shadowed];
+        if (sb.generation == e.shadowed_gen &&
+            (sb.state == BlockState::kShadowed ||
+             sb.state == BlockState::kPending)) {
+          gc_->forget(e.shadowed);
+          sb.state = BlockState::kLive;
+          emit_event(telemetry::EventType::kBlockRestored,
+                     ostruct_addr(e.slot), sb.version, e.shadowed);
+        }
+      }
+      if (charges()) t_.wake_slot(e.slot);
+    }
+    undo_.erase(t);
+  }
+  for (TaskId& ct : cur_task_) {
+    if (ct == t) ct = kNoTask;
+  }
+  emit_event(telemetry::EventType::kTaskAborted, 0, t, undone);
+  ++aborts_;
 }
 
 // ---------------------------------------------------------------------------

@@ -30,6 +30,7 @@
 
 #include "core/address_map.hpp"
 #include "core/compressed_line.hpp"
+#include "core/fault_injection.hpp"
 #include "core/flat_map.hpp"
 #include "core/gc_policy.hpp"
 #include "core/isa.hpp"
@@ -129,6 +130,16 @@ class VersionStore : private GcOwner {
   void task_begin(TaskId t);
   void task_end(TaskId t);
 
+  /// Roll back everything task `t` did since it began: its created
+  /// versions are unlinked and freed (the renaming machinery run
+  /// backwards, newest first) and its held locks released, with the GC
+  /// policy told to forget any shadow registration the rollback restores.
+  /// The task stays unfinished — the caller either retries it
+  /// (task_begin) or retires it (task_end). Requires
+  /// OStructConfig::track_aborts; host-context safe, charges no cycles.
+  /// Emits kTaskAborted after the per-block/lock events.
+  void abort_task(TaskId t);
+
   // ---- Protection ----
   // Inline: the conventional check runs on every ld()/st() a workload
   // issues, which is most of what the functional backend executes.
@@ -163,6 +174,19 @@ class VersionStore : private GcOwner {
   /// Event-trace dispatcher: attach extra sinks (lifecycle analysis, tests)
   /// before running; all version-lifecycle events flow through it.
   telemetry::Tracer& tracer() { return tracer_; }
+
+  /// The fault injector driving this engine's injection sites, or null
+  /// when detached (OStructConfig::inject_spec empty). Null costs one
+  /// branch per site — the SchedulePoint discipline.
+  FaultInjector* fault_injector() { return inj_; }
+  /// Attach an externally owned injector (tests); replaces any
+  /// config-built one at the engine sites and the trace file sink.
+  void attach_fault_injector(FaultInjector* inj) {
+    inj_ = inj;
+    if (file_sink_ != nullptr) file_sink_->set_fault_hook(inj);
+  }
+  /// Tasks rolled back by abort_task since construction.
+  std::uint64_t aborts() const { return aborts_; }
 
   // ---- State the timing layer reads while charging ----
   // A charged hook may run while the semantic state has already moved on
@@ -294,6 +318,29 @@ class VersionStore : private GcOwner {
   /// UNLOCK-VERSION (assumes begin_attempt already ran).
   void store_impl(std::uint64_t slot, Ver v, std::uint64_t data);
 
+  /// One rollback-journal record: a version the task created (with the
+  /// block it shadowed, so abort can restore the old head) or a lock it
+  /// acquired. Generations guard against blocks the GC reclaimed and the
+  /// pool reissued in the meantime.
+  struct UndoEntry {
+    enum class Kind : std::uint8_t { kStore, kLock } kind;
+    std::uint64_t slot;
+    Ver version;
+    BlockIndex block = kNullBlock;       ///< created block (kStore)
+    std::uint32_t generation = 0;        ///< its generation at creation
+    BlockIndex shadowed = kNullBlock;    ///< block the insert shadowed
+    std::uint32_t shadowed_gen = 0;
+  };
+
+  /// Journal a store/lock for the task running on the current core, when
+  /// track_aborts is on and a task is running. Inline cheap-exit.
+  void journal(UndoEntry e) {
+    if (!cfg_.track_aborts) return;
+    const TaskId t = cur_task_[static_cast<std::size_t>(cur_core())];
+    if (t == kNoTask) return;
+    undo_[t].push_back(e);
+  }
+
   OStructConfig cfg_;
   TimingModel& t_;
   TimingFastPath* fp_;  ///< non-null iff t_ is a pure no-cost model
@@ -305,6 +352,14 @@ class VersionStore : private GcOwner {
   /// Task currently running on each core (TASK-BEGIN..TASK-END), for the
   /// WaitContext of a blocked op; kNoTask outside any task.
   std::vector<TaskId> cur_task_;
+  /// Rollback journals, per unfinished task (track_aborts only).
+  FlatMap<TaskId, std::vector<UndoEntry>> undo_;
+  /// Fault injection (null = detached). owned_inj_ is the config-built
+  /// one; tests may point inj_ at their own via attach_fault_injector.
+  std::unique_ptr<FaultInjector> owned_inj_;
+  FaultInjector* inj_ = nullptr;
+  telemetry::FileSink* file_sink_ = nullptr;  ///< borrowed from tracer_
+  std::uint64_t aborts_ = 0;
 
   // ---- Telemetry ----
   std::vector<PerCoreCounters> core_counters_;  ///< fixed; registry reads it

@@ -28,6 +28,7 @@
 // a kWouldBlock fault naming the parked task and op.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -39,6 +40,7 @@
 #include <vector>
 
 #include "core/concurrent_store.hpp"
+#include "core/fault.hpp"
 #include "sim/machine.hpp"
 
 namespace osim {
@@ -47,10 +49,43 @@ class ConcurrentTaskPool {
  public:
   using TaskFn = std::function<void(TaskId)>;
 
+  /// Graceful-degradation knobs. With max_retries == 0 (the default) a
+  /// recoverable fault — kWouldBlock (deadlock timeout) or
+  /// kResourceExhausted (pool/slot-table pressure) — fails the run fast,
+  /// the original behaviour. With retries enabled the worker aborts the
+  /// task (rolling back its stores and locks via the store's undo
+  /// journal, which requires ConcurrencyConfig::track_aborts), sleeps a
+  /// bounded exponential backoff, and re-runs it.
+  struct RetryPolicy {
+    int max_retries = 0;                  ///< re-runs per task; 0 = fail fast
+    std::uint64_t backoff_base_us = 100;  ///< first retry's sleep
+    std::uint64_t backoff_cap_us = 20000; ///< backoff ceiling per sleep
+  };
+
+  /// Degradation telemetry, aggregated across workers.
+  struct RecoveryStats {
+    std::uint64_t aborts = 0;      ///< abort_task() rollbacks performed
+    std::uint64_t retries = 0;     ///< task re-runs after an abort
+    std::uint64_t giveups = 0;     ///< recoverable faults past the cap
+    std::uint64_t backoff_us = 0;  ///< total backoff sleep, microseconds
+  };
+
   ConcurrentTaskPool(ConcurrentVersionStore& store, int workers)
       : store_(store), workers_(workers < 1 ? 1 : workers) {}
 
   int workers() const { return workers_; }
+
+  void set_retry_policy(RetryPolicy p) { retry_ = p; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  RecoveryStats recovery_stats() const {
+    RecoveryStats s;
+    s.aborts = aborts_.load(std::memory_order_relaxed);
+    s.retries = retries_.load(std::memory_order_relaxed);
+    s.giveups = giveups_.load(std::memory_order_relaxed);
+    s.backoff_us = backoff_us_.load(std::memory_order_relaxed);
+    return s;
+  }
 
   /// Enqueue a task. Must be called before run(); tasks must be created in
   /// ascending tid order for the progress argument above to hold.
@@ -102,9 +137,7 @@ class ConcurrentTaskPool {
               t = claim(queues[static_cast<std::size_t>((w + v) % workers_)]);
             }
             if (t == nullptr) return;
-            store_.task_begin(t->first);
-            t->second(t->first);
-            store_.task_end(t->first);
+            run_task(t->first, t->second);
           }
         } catch (...) {
           {
@@ -136,10 +169,60 @@ class ConcurrentTaskPool {
   }
 
  private:
+  /// One task, with abort-and-retry degradation. The task stays registered
+  /// in the store's unfinished set across an abort, so the retry's
+  /// task_begin just rebinds it to this thread; only a successful run
+  /// retires it with task_end.
+  void run_task(TaskId tid, const TaskFn& fn) {
+    int attempt = 0;
+    for (;;) {
+      store_.task_begin(tid);
+      try {
+        fn(tid);
+        store_.task_end(tid);
+        return;
+      } catch (const OFault& f) {
+        const bool recoverable =
+            f.kind() == FaultKind::kWouldBlock ||
+            f.kind() == FaultKind::kResourceExhausted;
+        if (!recoverable) throw;
+        const bool can_abort = store_.config().track_aborts;
+        if (store_.stopped() || attempt >= retry_.max_retries) {
+          giveups_.fetch_add(1, std::memory_order_relaxed);
+          // Even a failed task must not leak locks or half-built version
+          // chains into the post-mortem state.
+          if (can_abort) {
+            store_.abort_task(tid);
+            aborts_.fetch_add(1, std::memory_order_relaxed);
+          }
+          throw;
+        }
+        if (!can_abort) throw;  // retrying without rollback would corrupt
+        store_.abort_task(tid);
+        aborts_.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t delay =
+            std::min(retry_.backoff_base_us
+                         << std::min(attempt, 20),
+                     retry_.backoff_cap_us);
+        if (delay != 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(delay));
+          backoff_us_.fetch_add(delay, std::memory_order_relaxed);
+        }
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        ++attempt;
+      }
+    }
+  }
+
   ConcurrentVersionStore& store_;
   int workers_;
   std::vector<std::pair<TaskId, TaskFn>> tasks_;
   std::function<void()> setup_;
+  RetryPolicy retry_;
+  std::atomic<std::uint64_t> aborts_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> giveups_{0};
+  std::atomic<std::uint64_t> backoff_us_{0};
 };
 
 }  // namespace osim

@@ -36,6 +36,10 @@ const char* to_string(EventType t) {
       return "BLOCK-PENDING";
     case EventType::kVersionRead:
       return "VERSION-READ";
+    case EventType::kTaskAborted:
+      return "TASK-ABORTED";
+    case EventType::kBlockRestored:
+      return "BLOCK-RESTORED";
   }
   assert(!"unknown EventType");
   return "?";
@@ -94,6 +98,7 @@ struct FileSink::Impl {
   std::string path;
   std::string error;
   bool error_observed = false;  // flush() threw or returned clean
+  IoFaultHook* fault_hook = nullptr;
 
   void fail(const char* what) {
     if (!error.empty()) return;  // keep the first failure
@@ -136,10 +141,32 @@ void FileSink::on_event(const TraceEvent& e) {
   if (!impl_->error.empty()) return;  // drop after first failure, keep cause
   unsigned char rec[kRecordBytes];
   encode(e, rec);
+  // Injected failures take the exact paths a real device would: a short
+  // write persists a record prefix (a truncated tail readers must skip)
+  // before latching; ENOSPC latches without touching the file.
+  if (impl_->fault_hook != nullptr) {
+    switch (impl_->fault_hook->next_io_fault()) {
+      case IoFault::kNone:
+        break;
+      case IoFault::kShortWrite:
+        (void)std::fwrite(rec, 1, kRecordBytes / 2, impl_->f);
+        errno = 0;
+        impl_->fail("record write (injected short write)");
+        return;
+      case IoFault::kEnospc:
+        errno = ENOSPC;
+        impl_->fail("record write");
+        return;
+    }
+  }
   errno = 0;
   if (std::fwrite(rec, 1, sizeof rec, impl_->f) != sizeof rec) {
     impl_->fail("record write");
   }
+}
+
+void FileSink::set_fault_hook(IoFaultHook* hook) {
+  impl_->fault_hook = hook;
 }
 
 void FileSink::flush() {

@@ -46,8 +46,12 @@ enum class EventType : std::uint8_t {
   kTaskCreated = 10,   ///< task registered with the GC (version = task id)
   kBlockPending = 11,  ///< shadowed block entered a GC phase (arg = block)
   kVersionRead = 12,   ///< version resolved by a load (op = which, arg = cap)
+  kTaskAborted = 13,   ///< task rolled back (version = task id,
+                       ///< arg = versions undone)
+  kBlockRestored = 14, ///< rollback un-shadowed a block: the version it
+                       ///< carries is the slot's head again (arg = block)
 };
-inline constexpr int kNumEventTypes = 13;
+inline constexpr int kNumEventTypes = 15;
 
 const char* to_string(EventType t);
 
@@ -71,6 +75,23 @@ struct TraceEvent {
   Addr addr = 0;         ///< O-structure address (0 when not applicable)
   Ver version = 0;
   std::uint64_t arg = 0;
+};
+
+/// Injected I/O failure modes a FileSink can be asked to simulate. Lives
+/// here (not in core/) because telemetry sits below the core layer; the
+/// core-side FaultInjector implements IoFaultHook to drive it.
+enum class IoFault : std::uint8_t {
+  kNone = 0,
+  kShortWrite,  ///< the record write persists fewer bytes than requested
+  kEnospc,      ///< the write fails outright with ENOSPC
+};
+
+/// Consulted by FileSink before each record write when attached. The hook
+/// decides per record; decisions must be deterministic for replayable runs.
+class IoFaultHook {
+ public:
+  virtual ~IoFaultHook() = default;
+  virtual IoFault next_io_fault() = 0;
 };
 
 class TraceSink {
@@ -158,6 +179,11 @@ class FileSink : public TraceSink {
   bool failed() const;
   /// Human-readable description of the first failure ("" while healthy).
   const std::string& error() const;
+
+  /// Attach (or detach, with nullptr) a deterministic I/O fault source.
+  /// Consulted once per record write; an injected failure latches exactly
+  /// like a real one. The hook is borrowed and must outlive the sink.
+  void set_fault_hook(IoFaultHook* hook);
 
   static constexpr std::uint32_t kMagic = 0x4f54524bu;  // "KRTO"
   static constexpr std::uint32_t kFormatVersion = 1;

@@ -13,6 +13,7 @@
 #include "analysis/checker.hpp"
 #include "analysis/static_check.hpp"
 #include "core/fault.hpp"
+#include "core/fault_injection.hpp"
 #include "core/isa.hpp"
 #include "core/ostructure_manager.hpp"
 #include "runtime/env.hpp"
@@ -526,6 +527,60 @@ TEST(FileSinkErrors, FullDeviceLatchesErrorAndFlushThrows) {
   EXPECT_THROW(sink.flush(), std::runtime_error);
   EXPECT_TRUE(sink.failed());
   EXPECT_NE(sink.error().find("trace"), std::string::npos);
+}
+
+TEST(FileSinkErrors, InjectedShortWritePersistsPrefixAndLatchesOnce) {
+  // An injected short write behaves like a real torn device write: half a
+  // record lands on disk, the sink latches its first failure, and a reader
+  // of the reopened file sees only the complete records before the tear.
+  const std::string path = ::testing::TempDir() + "osim_short_write.trace";
+  FaultInjector inj(FaultPlan::parse("trace-short@3"));
+  {
+    telemetry::FileSink sink(path);
+    sink.set_fault_hook(&inj);
+    for (Ver v = 1; v <= 5; ++v) {
+      sink.on_event(ev(EventType::kVersionStore, 0, 8, v, 0));
+    }
+    EXPECT_TRUE(sink.failed());
+    EXPECT_NE(sink.error().find("injected short write"), std::string::npos)
+        << sink.error();
+    // Only the first failure is kept, and flush keeps reporting it.
+    const std::string first = sink.error();
+    sink.on_event(ev(EventType::kVersionStore, 0, 8, 6, 0));
+    EXPECT_EQ(sink.error(), first);
+    EXPECT_THROW(sink.flush(), std::runtime_error);
+  }
+  // Records 1 and 2 are whole; record 3 is a truncated tail the reader
+  // must stop at; 4..6 were dropped after the latch.
+  const auto events = telemetry::read_trace_file(path);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].version, 1u);
+  EXPECT_EQ(events[1].version, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(FileSinkErrors, InjectedEnospcLatchesWithoutTouchingTheFile) {
+  const std::string path = ::testing::TempDir() + "osim_enospc.trace";
+  FaultInjector inj(FaultPlan::parse("trace-enospc@2"));
+  {
+    telemetry::FileSink sink(path);
+    sink.set_fault_hook(&inj);
+    for (Ver v = 1; v <= 3; ++v) {
+      sink.on_event(ev(EventType::kVersionStore, 0, 8, v, 0));
+    }
+    EXPECT_TRUE(sink.failed());
+    EXPECT_NE(sink.error().find("record write"), std::string::npos)
+        << sink.error();
+    EXPECT_NE(sink.error().find("No space left on device"), std::string::npos)
+        << sink.error();
+    EXPECT_THROW(sink.flush(), std::runtime_error);
+  }
+  // Unlike the short write, ENOSPC left no partial record: the reopened
+  // file holds exactly the one record written before the fault.
+  const auto events = telemetry::read_trace_file(path);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].version, 1u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -671,5 +671,38 @@ TEST(BackendDiff, WorkloadChecksumsAgree) {
   }
 }
 
+// An attached-but-inert injector (--inject none) must be invisible: every
+// injection site is consulted but never fires, and the timed machine's
+// cycles and checksums stay bit-identical to a run with no injector at
+// all. This is the guard that lets production configs keep --inject wired
+// without perturbing any published figure.
+TEST(BackendDiff, InertInjectorIsBitIdentical) {
+  DsSpec spec;
+  spec.initial_size = 40;
+  spec.ops = 400;
+  spec.reads_per_write = 2;
+  for (BackendKind b : {BackendKind::kTimed, BackendKind::kFunctional}) {
+    RunResult r[2];
+    int i = 0;
+    for (const char* inject : {"", "none"}) {
+      MachineConfig cfg;
+      cfg.num_cores = 4;
+      cfg.backend = b;
+      cfg.ostruct.check_mode = 2;
+      cfg.ostruct.inject_spec = inject;
+      Env env(cfg);
+      // "" leaves the seam detached; "none" attaches a real injector whose
+      // plan never fires — the two runs must be indistinguishable.
+      EXPECT_EQ(env.store().fault_injector() != nullptr, *inject != '\0');
+      r[i] = linked_list_versioned(env, spec, 4);
+      env.checker()->finish();
+      EXPECT_TRUE(env.checker()->clean()) << to_string(b);
+      ++i;
+    }
+    EXPECT_EQ(r[0].cycles, r[1].cycles) << to_string(b);
+    EXPECT_EQ(r[0].checksum, r[1].checksum) << to_string(b);
+  }
+}
+
 }  // namespace
 }  // namespace osim

@@ -300,6 +300,10 @@ TEST(ConcurrentStore, DeadlockFaultReportsTaskAndOp) {
     EXPECT_NE(msg.find("task 42"), std::string::npos) << msg;
     EXPECT_NE(msg.find("999"), std::string::npos) << msg;
     EXPECT_NE(msg.find("deadlock"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("address " + std::to_string(a)), std::string::npos)
+        << msg;
+    // The reported timeout is ConcurrencyConfig's, not a hard-wired value.
+    EXPECT_NE(msg.find("after 100ms"), std::string::npos) << msg;
   }
 }
 

@@ -1,0 +1,146 @@
+// FaultPlan grammar and FaultInjector decision determinism
+// (core/fault_injection.hpp): the properties the replayability story rests
+// on — parse/serialize round-trips, schedule-independent per-site decision
+// sequences, exact-index firing, and the IoFaultHook bridge the trace
+// FileSink consults.
+#include "core/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace osim {
+namespace {
+
+TEST(FaultPlan, EmptySpecIsDetached) {
+  const FaultPlan p = FaultPlan::parse("");
+  EXPECT_FALSE(p.attached);
+  EXPECT_EQ(p.to_spec(), "");
+}
+
+TEST(FaultPlan, NoneAttachesInert) {
+  const FaultPlan p = FaultPlan::parse("none");
+  EXPECT_TRUE(p.attached);
+  for (const auto& s : p.sites) EXPECT_FALSE(s.active());
+}
+
+TEST(FaultPlan, ParsesRatesIndicesAndSeed) {
+  const FaultPlan p =
+      FaultPlan::parse("pool:0.01,deadlock@3@7,slots:0.000001,seed=42");
+  EXPECT_TRUE(p.attached);
+  EXPECT_EQ(p.seed, 42u);
+  EXPECT_EQ(p.sites[static_cast<int>(FaultSite::kBlockPool)].rate_ppm,
+            10000u);
+  EXPECT_EQ(p.sites[static_cast<int>(FaultSite::kSlotTable)].rate_ppm, 1u);
+  const auto& at = p.sites[static_cast<int>(FaultSite::kDeadlock)].at;
+  EXPECT_EQ(at, (std::vector<std::uint64_t>{3, 7}));
+}
+
+TEST(FaultPlan, SpecRoundTripIsExact) {
+  const char* specs[] = {
+      "none",
+      "pool:0.5",
+      "pool@1,deadlock@2,seed=5",
+      "pool:0.01,slots:0.000001,trace-short@9,trace-enospc:1,"
+      "deadlock@3@7,gc-delay:0.25,seed=99",
+  };
+  for (const char* s : specs) {
+    const FaultPlan p = FaultPlan::parse(s);
+    const std::string canon = p.to_spec();
+    const FaultPlan q = FaultPlan::parse(canon);
+    EXPECT_EQ(q.to_spec(), canon) << "spec: " << s;
+    EXPECT_EQ(q.seed, p.seed);
+    for (int i = 0; i < kNumFaultSites; ++i) {
+      EXPECT_EQ(q.sites[i].rate_ppm, p.sites[i].rate_ppm) << "spec: " << s;
+      EXPECT_EQ(q.sites[i].at, p.sites[i].at) << "spec: " << s;
+    }
+  }
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "bogus:0.1",     // unknown site
+      "pool",          // no rate or index
+      "pool:0",        // rate must be > 0
+      "pool:1.5",      // rate must be <= 1
+      "pool:0.0000001",  // more than 6 fractional digits
+      "pool@0",        // indices are 1-based
+      "pool@x",        // not a number
+      "seed=",         // empty seed
+      "pool:0.1,,",    // empty token
+  };
+  for (const char* s : bad) {
+    EXPECT_THROW((void)FaultPlan::parse(s), std::runtime_error)
+        << "accepted: " << s;
+  }
+}
+
+TEST(FaultInjector, ExactIndicesFireExactly) {
+  FaultInjector inj(FaultPlan::parse("pool@2@5"));
+  std::vector<int> fired;
+  for (int n = 1; n <= 6; ++n) {
+    if (inj.should_fire(FaultSite::kBlockPool)) fired.push_back(n);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{2, 5}));
+  EXPECT_EQ(inj.consulted(FaultSite::kBlockPool), 6u);
+  EXPECT_EQ(inj.fired(FaultSite::kBlockPool), 2u);
+}
+
+TEST(FaultInjector, RateDecisionsAreDeterministic) {
+  // Two injectors over the same plan produce the same decision sequence,
+  // whatever else happened in between — the per-site counter is the only
+  // state.
+  FaultInjector a(FaultPlan::parse("pool:0.2,seed=7"));
+  FaultInjector b(FaultPlan::parse("pool:0.2,seed=7"));
+  // Interleave consultations of an unrelated site on b only: the pool
+  // sequence must not shift.
+  std::uint64_t fired_a = 0, fired_b = 0;
+  for (int n = 0; n < 2000; ++n) {
+    const bool fa = a.should_fire(FaultSite::kBlockPool);
+    (void)b.should_fire(FaultSite::kGcDelay);
+    const bool fb = b.should_fire(FaultSite::kBlockPool);
+    EXPECT_EQ(fa, fb) << "diverged at consultation " << n;
+    fired_a += fa ? 1 : 0;
+    fired_b += fb ? 1 : 0;
+  }
+  EXPECT_EQ(fired_a, fired_b);
+  // The rate is honoured statistically (20% +- a wide margin).
+  EXPECT_GT(fired_a, 200u);
+  EXPECT_LT(fired_a, 800u);
+}
+
+TEST(FaultInjector, SeedChangesTheSequence) {
+  FaultInjector a(FaultPlan::parse("pool:0.2,seed=1"));
+  FaultInjector b(FaultPlan::parse("pool:0.2,seed=2"));
+  bool diverged = false;
+  for (int n = 0; n < 200 && !diverged; ++n) {
+    diverged = a.should_fire(FaultSite::kBlockPool) !=
+               b.should_fire(FaultSite::kBlockPool);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjector, InertPlanNeverFires) {
+  FaultInjector inj(FaultPlan::parse("none"));
+  for (int n = 0; n < 1000; ++n) {
+    for (int s = 0; s < kNumFaultSites; ++s) {
+      EXPECT_FALSE(inj.should_fire(static_cast<FaultSite>(s)));
+    }
+  }
+}
+
+TEST(FaultInjector, IoFaultHookMapsTraceSites) {
+  FaultInjector inj(FaultPlan::parse("trace-short@1,trace-enospc@1"));
+  // Call 1: short-write fires and short-circuits — the ENOSPC site is not
+  // even consulted (precedence, and its counter must not advance).
+  EXPECT_EQ(inj.next_io_fault(), telemetry::IoFault::kShortWrite);
+  EXPECT_EQ(inj.consulted(FaultSite::kTraceEnospc), 0u);
+  // Call 2: short-write passes, ENOSPC's first consultation fires.
+  EXPECT_EQ(inj.next_io_fault(), telemetry::IoFault::kEnospc);
+  EXPECT_EQ(inj.next_io_fault(), telemetry::IoFault::kNone);
+}
+
+}  // namespace
+}  // namespace osim

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "analysis/explore.hpp"
+#include "core/fault_injection.hpp"
 #include "workloads/opstream.hpp"
 
 namespace {
@@ -41,6 +42,10 @@ using osim::analysis::McProgram;
       "  --max-schedules N  exploration cap (default 1048576)\n"
       "  --checked          attach the online protocol checker (reads\n"
       "                     serialize, so the schedule space differs)\n"
+      "  --inject SPEC      explore under a deterministic fault plan\n"
+      "                     (core/fault_injection.hpp grammar, e.g.\n"
+      "                     pool@2,deadlock:0.01,seed=7); recorded in the\n"
+      "                     replay file and re-applied on --replay\n"
       "  --keep-going       keep exploring past the first violation\n"
       "  --record FILE      write a replay file: the violating schedule\n"
       "                     if one was found, else the first schedule\n"
@@ -151,10 +156,19 @@ int replay_file(const std::string& path, const std::string& record_path) {
   McOptions opt;
   opt.checked = file.checked;
   opt.seeded = kEngineSeed;
+  // Replay under the recorded fault plan; the copy also makes the
+  // round-trip serialization below re-emit the file's inject line.
+  McProgram rprog = *prog;
+  if (!file.inject.empty()) {
+    rprog.cfg.inject_spec = file.inject;
+    rprog.use_oracle = false;
+    rprog.compare_final_state = false;
+    rprog.expect_engine_errors = true;
+  }
   osim::analysis::ScheduleOutcome out =
-      osim::analysis::replay_schedule(*prog, opt, file);
+      osim::analysis::replay_schedule(rprog, opt, file);
   const std::string round_trip =
-      osim::analysis::serialize_schedule(*prog, opt, out);
+      osim::analysis::serialize_schedule(rprog, opt, out);
   if (round_trip != text) {
     std::fprintf(stderr,
                  "osim-mc: replay of %s did not reproduce byte-identically\n",
@@ -173,7 +187,7 @@ int replay_file(const std::string& path, const std::string& record_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string program, replay_path, record_path;
+  std::string program, replay_path, record_path, inject_spec;
   McOptions opt;
   opt.seeded = kEngineSeed;
   bool list = false;
@@ -211,6 +225,14 @@ int main(int argc, char** argv) {
       opt.max_schedules = parse_count(a, value(a));
     } else if (std::strcmp(a, "--checked") == 0) {
       opt.checked = true;
+    } else if (std::strcmp(a, "--inject") == 0) {
+      inject_spec = value(a);
+      try {
+        (void)osim::FaultPlan::parse(inject_spec);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "osim-mc: %s\n", e.what());
+        usage(2);
+      }
     } else if (std::strcmp(a, "--keep-going") == 0) {
       opt.stop_on_violation = false;
     } else if (std::strcmp(a, "--compare-reduction") == 0) {
@@ -234,7 +256,19 @@ int main(int argc, char** argv) {
                    program.c_str());
       return 2;
     }
-    return explore_one(*prog, opt, record_path, compare_reduction);
+    McProgram p = *prog;
+    if (!inject_spec.empty()) {
+      // Which op hits the nth consultation of a site depends on the
+      // schedule, so per-op results legitimately vary across schedules:
+      // skip outcome comparison (oracle and self-reference) and validate
+      // what must still hold everywhere — chain integrity and, with
+      // --checked, the protocol invariants.
+      p.cfg.inject_spec = inject_spec;
+      p.use_oracle = false;
+      p.compare_final_state = false;
+      p.expect_engine_errors = true;
+    }
+    return explore_one(p, opt, record_path, compare_reduction);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "osim-mc: %s\n", e.what());
     return 2;

@@ -594,6 +594,28 @@ void report_concurrent(const BenchRecord& b) {
   }
 }
 
+void report_chaos(const BenchRecord& b) {
+  // Cells: "r<round>/{serial,conc}" from osim-chaos, each recording the
+  // fault-injection degradation counters: rollbacks performed, task
+  // re-runs, tasks past the retry cap, and the checker verdict over the
+  // whole (aborts included) event stream.
+  md_header({"round/engine", "ops", "aborts", "retries", "giveups",
+             "backoff us", "checker"});
+  for (const Cell& c : b.cells) {
+    std::string verdict = "(unchecked)";
+    if (c.check != nullptr) {
+      const Json* errors = c.check->find("errors");
+      const std::uint64_t n = errors == nullptr ? 0 : errors->as_u64();
+      verdict = n == 0 ? "clean" : std::to_string(n) + " error(s)";
+    }
+    md_row({c.name, std::to_string(c.ops),
+            std::to_string(metric_u64(c, "chaos/aborts")),
+            std::to_string(metric_u64(c, "chaos/retries")),
+            std::to_string(metric_u64(c, "chaos/giveups")),
+            std::to_string(metric_u64(c, "chaos/backoff_us")), verdict});
+  }
+}
+
 void report_sw_vs_hw(const BenchRecord& b) {
   // Cells: "{hw,sw}/cores=N"; ratio = sw / hw.
   md_header({"cores", "hardware cycles", "software cycles", "sw/hw"});
@@ -634,6 +656,9 @@ const Formatter kFormatters[] = {
     {"backend_throughput_concurrent",
      "Concurrent engine — real host-thread scaling (wall clock)",
      report_concurrent},
+    {"chaos_soak",
+     "Chaos soak — graceful degradation under injected faults",
+     report_chaos},
 };
 
 // ---------------------------------------------------------------------------

@@ -55,6 +55,20 @@ done
 ./build-asan-ubsan/tools/osim-mc --replay tools/testdata/mc_mp2.sched
 
 echo
+echo "== ASan+UBSan: chaos soak (fault injection + abort/retry) =="
+# The degradation paths — injected kResourceExhausted, abort_task rollback,
+# backoff-and-retry, giveup post-mortem cleanup — run code (journal replay,
+# shadow restore, park/wake under stop) that a clean run never touches.
+# The chaos harness drives both engines through them deterministically.
+cmake --build --preset asan-ubsan -j "$jobs" --target osim-chaos
+./build-asan-ubsan/tools/osim-chaos --backend both --rounds 2 --tasks 16 \
+  --ops 200 --workers 4 --retries 50 --seed 11
+# Aggressive leg: retries exhausted, every giveup must still unwind to a
+# checker-clean state (exercises the abort-on-giveup path end to end).
+./build-asan-ubsan/tools/osim-chaos --backend serial --rounds 1 --tasks 16 \
+  --ops 200 --retries 2 --inject "pool:0.02,deadlock:0.01,seed=99"
+
+echo
 echo "== TSan: host thread pool =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" --target test_host_pool
@@ -97,6 +111,16 @@ echo "== TSan: concurrent bench path (--exec=concurrent) =="
 cmake --build --preset tsan -j "$jobs" --target bench_backend_throughput
 ./build-tsan/bench/bench_backend_throughput --quick --check=strict \
   --backend=functional --exec=concurrent
+
+echo
+echo "== TSan: concurrent chaos soak (abort/retry on real threads) =="
+# Workers aborting and retrying tasks while neighbours run is the most
+# race-prone path in the concurrent engine: journal replay under the shard
+# locks, shadow restores racing optimistic readers, wake-ups of parked ops
+# whose version just vanished. TSan follows all of it (no fibers).
+cmake --build --preset tsan -j "$jobs" --target osim-chaos
+./build-tsan/tools/osim-chaos --backend concurrent --rounds 2 --tasks 16 \
+  --ops 150 --workers 4 --retries 50 --seed 7
 
 echo
 echo "sanitizer gate: PASS"
