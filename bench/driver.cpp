@@ -56,18 +56,16 @@ Json metrics_json(const telemetry::MetricRegistry& reg) {
   return out;
 }
 
-void harvest_check(Env& env, CellResult& r) {
-  analysis::Checker* checker = env.checker();
-  if (checker == nullptr) return;
-  checker->finish();
+void fill_check(analysis::Checker& checker, CellResult& r) {
+  checker.finish();
   r.checked = true;
-  r.check_errors = checker->error_count();
+  r.check_errors = checker.error_count();
   r.check = Json::object();
-  r.check["errors"] = Json::number(checker->error_count());
-  r.check["warnings"] = Json::number(checker->warning_count());
-  r.check["total"] = Json::number(checker->total_findings());
+  r.check["errors"] = Json::number(checker.error_count());
+  r.check["warnings"] = Json::number(checker.warning_count());
+  r.check["total"] = Json::number(checker.total_findings());
   Json findings = Json::array();
-  for (const analysis::Finding& f : checker->findings()) {
+  for (const analysis::Finding& f : checker.findings()) {
     Json jf = Json::object();
     jf["severity"] = Json::string(
         f.severity == analysis::Severity::kError ? "error" : "warning");
@@ -82,6 +80,12 @@ void harvest_check(Env& env, CellResult& r) {
     findings.push_back(std::move(jf));
   }
   r.check["findings"] = std::move(findings);
+}
+
+void harvest_check(Env& env, CellResult& r) {
+  analysis::Checker* checker = env.checker();
+  if (checker == nullptr) return;
+  fill_check(*checker, r);
 }
 
 Driver::Driver(std::string bench_name, Options options)

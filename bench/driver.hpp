@@ -26,6 +26,10 @@
 #include "json.hpp"
 #include "sim/types.hpp"
 
+namespace osim::analysis {
+class Checker;
+}  // namespace osim::analysis
+
 namespace osim::bench {
 
 struct CellResult {
@@ -65,6 +69,12 @@ using CellFn = std::function<CellResult()>;
 
 /// Serialize every metric of `reg` (see CellResult::metrics).
 Json metrics_json(const telemetry::MetricRegistry& reg);
+
+/// Fold `checker`'s verdict into `r`: runs the end-of-run pass and writes
+/// the schema-2 check record (call once per cell). Shared by every
+/// checker-attaching cell — Env-owned checkers (harvest_check) and tools
+/// that attach their own sink via analysis::attach_checker.
+void fill_check(analysis::Checker& checker, CellResult& r);
 
 /// Fold the cell Env's osim-check verdict into `r` (no-op when checking is
 /// off). Runs the checker's end-of-run pass, so call once per cell.

@@ -33,12 +33,14 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/types.hpp"
+#include "core/version_engine.hpp"
 #include "telemetry/trace.hpp"
 
 namespace osim::analysis {
@@ -203,5 +205,16 @@ class CheckerSink : public telemetry::TraceSink {
  private:
   Checker checker_;
 };
+
+/// Ride any engine with the protocol checker: attach an owned CheckerSink
+/// to the facade's tracer. Works identically for both engines; on the
+/// concurrent one, engine.tracer() switches it into linearized-trace mode,
+/// so attach before any ISA op runs. Returns the sink (owned by the
+/// tracer) for reading the verdict after the run.
+inline CheckerSink* attach_checker(VersionEngine& engine, int num_cores,
+                                   CheckerOptions opt = {}) {
+  return static_cast<CheckerSink*>(engine.tracer().add_sink(
+      std::make_unique<CheckerSink>(num_cores, opt)));
+}
 
 }  // namespace osim::analysis

@@ -14,26 +14,19 @@
 // the same per-run verdict.
 #pragma once
 
-#include <optional>
 #include <vector>
 
 #include "analysis/checker.hpp"
 #include "core/types.hpp"
+#include "core/version_engine.hpp"
 
 namespace osim::analysis {
 
-/// One abstract versioned op. `version` is the exact version stored,
-/// loaded, or locked (the task id for TASK-BEGIN/END); `cap` is the bound
-/// of the *-LATEST forms; `rename_to` is UNLOCK-VERSION's optional new
-/// version.
-struct VOp {
-  OpCode op{};
-  Addr addr = 0;
-  Ver version = 0;
-  Ver cap = 0;
-  TaskId task = 0;
-  std::optional<Ver> rename_to;
-};
+/// One abstract versioned op — the batched-execution record of the
+/// VersionEngine facade (core/version_engine.hpp), which owns the field
+/// definitions. The alias keeps the analysis-layer spelling while letting
+/// the same streams drive static_check() and VersionEngine::execute().
+using VOp = ::osim::VersionEngine::Op;
 
 /// Run the static pass over `ops`; returns findings (empty = clean).
 std::vector<Finding> static_check(const std::vector<VOp>& ops,

@@ -36,11 +36,7 @@ ConcurrentVersionStore::ConcurrentVersionStore(const ConcurrencyConfig& cfg)
   if (cfg_.max_threads < 1) cfg_.max_threads = 1;
   ctxs_ = std::make_unique<ThreadCtx[]>(
       static_cast<std::size_t>(cfg_.max_threads));
-  FaultPlan plan = FaultPlan::parse(cfg_.inject_spec);
-  if (plan.attached) {
-    owned_inj_ = std::make_unique<FaultInjector>(std::move(plan));
-    inj_ = owned_inj_.get();
-  }
+  inj_.build_from_spec(cfg_.inject_spec);
 }
 
 ConcurrentVersionStore::~ConcurrentVersionStore() {
@@ -204,7 +200,7 @@ void ConcurrentVersionStore::check_conventional(Addr a) const {
 
 OAddr ConcurrentVersionStore::alloc(std::size_t slots) {
   if (slots == 0) throw OFault(FaultKind::kInvalidAddress, "zero-slot alloc");
-  if (inj_ != nullptr && inj_->should_fire(FaultSite::kSlotTable)) {
+  if (inj_.fire(FaultSite::kSlotTable)) {
     throw OFault(FaultKind::kResourceExhausted,
                  "slot-table allocation of " + std::to_string(slots) +
                      " slots refused (injected)");
@@ -305,7 +301,7 @@ std::uint32_t ConcurrentVersionStore::trace_id(Shard& sh, std::uint32_t b) {
 }
 
 std::uint32_t ConcurrentVersionStore::alloc_block(Shard& sh) {
-  if (inj_ != nullptr && inj_->should_fire(FaultSite::kBlockPool)) {
+  if (inj_.fire(FaultSite::kBlockPool)) {
     throw OFault(FaultKind::kResourceExhausted,
                  "shard " + std::to_string(shard_index(sh)) +
                      " block pool exhausted (injected) during store by task " +
@@ -357,7 +353,7 @@ void ConcurrentVersionStore::maybe_reclaim(Shard& sh)
   // Injected GC delay: skip this pass entirely. Callers treat a delayed
   // sweep exactly like an empty one, so pressure just builds until a later
   // consultation lets a pass through.
-  if (inj_ != nullptr && inj_->should_fire(FaultSite::kGcDelay)) return;
+  if (inj_.fire(FaultSite::kGcDelay)) return;
   // Reclamation eligibility goes through the GcPolicy seam's predicates
   // (core/gc_policy.hpp), inlined here under the shard writer lock:
   //
@@ -496,7 +492,7 @@ void ConcurrentVersionStore::wait_change(Shard& sh, CSlot& sl,
   // Injected deadlock: fault as if the timeout below had already expired.
   // Same FaultKind and diagnostic shape, so the runtime's abort-and-retry
   // path is exercised without waiting out a real timeout.
-  if (inj_ != nullptr && inj_->should_fire(FaultSite::kDeadlock)) {
+  if (inj_.fire(FaultSite::kDeadlock)) {
     throw OFault(FaultKind::kWouldBlock,
                  "injected deadlock timeout: " + std::string(to_string(op)) +
                      " of version " + std::to_string(v) + " at address " +
@@ -614,15 +610,11 @@ void ConcurrentVersionStore::emit(telemetry::EventType type, OpCode op,
                                   OAddr addr, Ver version,
                                   std::uint64_t arg) {
   std::lock_guard<std::mutex> g(trace_mu_);
-  telemetry::TraceEvent e;
-  e.time = ++trace_clock_;
-  e.core = static_cast<CoreId>(ctx_id());
-  e.type = type;
-  e.op = op;
-  e.addr = addr;
-  e.version = version;
-  e.arg = arg;
-  tracer_->emit(e);
+  // Linearization stamp: a mutex-serialized counter as the time and the
+  // registered thread id as the core (core/engine_trace.hpp).
+  tracer_->emit(make_trace_event(++trace_clock_,
+                                 static_cast<CoreId>(ctx_id()), type, op,
+                                 addr, version, arg));
 }
 
 // ---------------------------------------------------------------------------
@@ -1113,16 +1105,17 @@ void ConcurrentVersionStore::abort_task(TaskId t) {
   }
   sched_point(SchedKind::kTaskOp, 0);
   ThreadCtx& c = ctx();
-  std::uint64_t undone = 0;
   bool freed_any = false;
-  // Newest-first: a rename journals its lock before the version it
-  // materializes, so the reverse walk retires the new version before
-  // releasing the lock that produced it — renaming run backwards.
-  for (auto it = c.undo.rbegin(); it != c.undo.rend(); ++it) {
-    const UndoEntry& e = *it;
+  // Per-entry undo action for the shared newest-first driver (see
+  // core/undo_journal.hpp for why reverse order is load-bearing). This
+  // engine's revalidation is the chain walk under the shard lock: entries
+  // are keyed (slot, version), and a version no longer on the chain was
+  // reclaimed or released before the abort. One body serves both entry
+  // kinds so the seqlock-windowed surgery stays in a single locked scope.
+  auto undo_one = [&](const UndoEntry& e) -> bool {
     CSlot* sp = slot_ptr(e.slot);
     if (sp == nullptr || sp->allocated.load(std::memory_order_acquire) == 0) {
-      continue;  // the whole O-structure was released in the meantime
+      return false;  // the whole O-structure was released in the meantime
     }
     CSlot& sl = *sp;
     Shard& sh = shard_of(e.slot);
@@ -1141,11 +1134,13 @@ void ConcurrentVersionStore::abort_task(TaskId t) {
         pred = cur;
         cur = block(sh, cur).next.load(std::memory_order_relaxed);
       }
-      if (cur == kNil) continue;  // reclaimed (or released) before the abort
+      if (cur == kNil) {
+        return false;  // reclaimed (or released) before the abort
+      }
       CBlock& cb = block(sh, cur);
       if (e.kind == UndoEntry::Kind::kLock) {
         if (cb.locked_by.load(std::memory_order_relaxed) != t) {
-          continue;  // already unlocked (or re-locked by another task)
+          return false;  // already unlocked (or re-locked by another task)
         }
         const std::uint32_t sq = sl.seq.load(std::memory_order_relaxed);
         sl.seq.store(sq + 1, std::memory_order_relaxed);
@@ -1156,7 +1151,6 @@ void ConcurrentVersionStore::abort_task(TaskId t) {
           emit(telemetry::EventType::kLockRelease, OpCode{},
                ostruct_addr(e.slot), e.version, t);
         }
-        ++c.local.aborted_locks;
         changed = true;
       } else {
         // Unlink the created version. A lock another task took on it dies
@@ -1204,14 +1198,17 @@ void ConcurrentVersionStore::abort_task(TaskId t) {
                ostruct_addr(e.slot), e.version, trace_id(sh, cur));
         }
         sh.limbo.push_back({cur, epoch});
-        ++c.local.aborted_blocks;
-        ++undone;
         freed_any = true;
         changed = true;
       }
     }
     if (changed) wake(sh);
-  }
+    return changed;
+  };
+  const UndoReplayCounts undone =
+      replay_undo_newest_first(c.undo, undo_one, undo_one);
+  c.local.aborted_blocks += undone.blocks;
+  c.local.aborted_locks += undone.locks;
   c.undo.clear();
   if (c.cur_task == t) c.cur_task = kNoTask;
   if (freed_any) {
@@ -1222,7 +1219,7 @@ void ConcurrentVersionStore::abort_task(TaskId t) {
   }
   ++c.local.aborts;
   if (tracing()) {
-    emit(telemetry::EventType::kTaskAborted, OpCode{}, 0, t, undone);
+    emit(telemetry::EventType::kTaskAborted, OpCode{}, 0, t, undone.blocks);
   }
 }
 

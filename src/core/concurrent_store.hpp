@@ -51,20 +51,19 @@
 #include <vector>
 
 #include "core/address_map.hpp"
+#include "core/engine_trace.hpp"
 #include "core/fault_injection.hpp"
 #include "core/isa.hpp"
 #include "core/ostruct_config.hpp"
 #include "core/schedule_point.hpp"
 #include "core/thread_annotations.hpp"
 #include "core/types.hpp"
+#include "core/undo_journal.hpp"
 #include "core/version_block.hpp"
+#include "core/version_engine.hpp"
 #include "telemetry/trace.hpp"
 
 namespace osim {
-
-/// User-visible O-structure address (same alias as core/version_store.hpp;
-/// redeclaring a type alias to the same type is well-formed).
-using OAddr = Addr;
 
 /// Host-side tuning of the concurrent engine. Defaults favour throughput;
 /// tests shrink the timeout (deadlock reports) and the reclaim threshold
@@ -105,9 +104,10 @@ struct ConcurrencyConfig {
   bool track_aborts = false;
 };
 
-/// The concurrent semantic engine. Public ISA surface mirrors VersionStore;
-/// threads self-register on first use (bounded by max_threads).
-class ConcurrentVersionStore {
+/// The concurrent semantic engine. Implements the VersionEngine facade
+/// (same ISA surface as VersionStore); threads self-register on first use
+/// (bounded by max_threads).
+class ConcurrentVersionStore : public VersionEngine {
  public:
   struct Stats {
     std::uint64_t ops = 0;           ///< versioned ISA ops executed
@@ -125,30 +125,30 @@ class ConcurrentVersionStore {
   };
 
   explicit ConcurrentVersionStore(const ConcurrencyConfig& cfg = {});
-  ~ConcurrentVersionStore();
+  ~ConcurrentVersionStore() override;
 
   ConcurrentVersionStore(const ConcurrentVersionStore&) = delete;
   ConcurrentVersionStore& operator=(const ConcurrentVersionStore&) = delete;
 
   // ---- O-structure allocation (host interface; not thread-safe against
   // concurrent ISA ops on the same slots, like the serial engine) ----
-  OAddr alloc(std::size_t slots = 1);
-  void release(OAddr base, std::size_t slots = 1);
+  OAddr alloc(std::size_t slots = 1) override;
+  void release(OAddr base, std::size_t slots = 1) override;
 
   // ---- The versioned ISA (thread-safe) ----
-  std::uint64_t load_version(OAddr a, Ver v);
-  std::uint64_t load_latest(OAddr a, Ver cap, Ver* found = nullptr);
-  void store_version(OAddr a, Ver v, std::uint64_t data);
-  std::uint64_t lock_load_version(OAddr a, Ver v, TaskId locker);
+  std::uint64_t load_version(OAddr a, Ver v) override;
+  std::uint64_t load_latest(OAddr a, Ver cap, Ver* found = nullptr) override;
+  void store_version(OAddr a, Ver v, std::uint64_t data) override;
+  std::uint64_t lock_load_version(OAddr a, Ver v, TaskId locker) override;
   std::uint64_t lock_load_latest(OAddr a, Ver cap, TaskId locker,
-                                 Ver* found = nullptr);
+                                 Ver* found = nullptr) override;
   void unlock_version(OAddr a, Ver locked_v, TaskId owner,
-                      std::optional<Ver> rename_to = std::nullopt);
+                      std::optional<Ver> rename_to = std::nullopt) override;
 
   // ---- Task lifecycle (GC rules #1-#3; thread-safe) ----
-  void task_created(TaskId t);
-  void task_begin(TaskId t);
-  void task_end(TaskId t);
+  void task_created(TaskId t) override;
+  void task_begin(TaskId t) override;
+  void task_end(TaskId t) override;
 
   /// Roll back task `t`'s effects: its created versions are unlinked and
   /// retired (a rename run backwards) and its held locks released, each
@@ -158,7 +158,7 @@ class ConcurrentVersionStore {
   /// unfinished set so the runtime can retry it with a plain task_begin,
   /// or retire it with task_end. Emits kLockRelease / kBlockFreed per
   /// undone entry, then one kTaskAborted event.
-  void abort_task(TaskId t);
+  void abort_task(TaskId t) override;
 
  private:
   /// Checked registration shared by task_created and an implicitly-creating
@@ -168,8 +168,8 @@ class ConcurrentVersionStore {
  public:
 
   // ---- Protection ----
-  bool is_versioned_addr(Addr a) const;
-  void check_conventional(Addr a) const;
+  bool is_versioned_addr(Addr a) const override;
+  void check_conventional(Addr a) const override;
 
   /// Abort every parked waiter (they fault kWouldBlock). Used by the task
   /// pool to unwind a run after a worker error.
@@ -182,13 +182,13 @@ class ConcurrentVersionStore {
 
   /// The injector built from ConcurrencyConfig::inject_spec, or nullptr
   /// when the spec was empty (tests inspect consulted/fired counters).
-  FaultInjector* fault_injector() { return inj_; }
+  FaultInjector* fault_injector() override { return inj_.get(); }
   /// Attach an externally owned injector (tests/tools); replaces any
   /// config-built one at every engine site. Not thread-safe: call before
   /// the worker threads start, e.g. after the host-side setup stores —
   /// which also keeps injection away from setup, where no task exists to
   /// absorb a fault by aborting.
-  void attach_fault_injector(FaultInjector* inj) { inj_ = inj; }
+  void attach_fault_injector(FaultInjector* inj) override { inj_.attach(inj); }
 
   /// Attach a tracer for lifecycle events (protocol checking). Emission is
   /// serialized on an internal mutex and reads additionally take the shard
@@ -196,6 +196,15 @@ class ConcurrentVersionStore {
   /// event stream the osim-check invariants understand. Call before any
   /// ISA op; `num cores` reported to the checker should be max_threads.
   void attach_tracer(telemetry::Tracer* tracer);
+
+  /// Facade spelling of the same seam: the first call attaches (and
+  /// returns) an engine-owned tracer, switching the store into
+  /// linearized-trace mode — reads serialized under the shard locks — so
+  /// call it only when events are wanted, before any ISA op runs.
+  telemetry::Tracer& tracer() override {
+    if (tracer_ == nullptr) attach_tracer(&owned_tracer_);
+    return *tracer_;
+  }
 
   /// Attach (or detach with nullptr) a schedule hook — the model-checking
   /// seam (core/schedule_point.hpp). Call before any ISA op and only while
@@ -223,14 +232,23 @@ class ConcurrentVersionStore {
   IntegrityReport check_integrity();
 
   // ---- Host-side inspection (takes shard locks; any thread) ----
-  std::optional<std::uint64_t> peek_version(OAddr a, Ver v);
-  std::optional<Ver> newest_version(OAddr a);
-  std::optional<TaskId> lock_holder(OAddr a, Ver v);
-  int version_count(OAddr a);
+  std::optional<std::uint64_t> peek_version(OAddr a, Ver v) override;
+  std::optional<Ver> newest_version(OAddr a) override;
+  std::optional<TaskId> lock_holder(OAddr a, Ver v) override;
+  int version_count(OAddr a) override;
   /// All live versions of a slot, newest first (stress-test comparisons).
   std::vector<std::pair<Ver, std::uint64_t>> slot_versions(OAddr a);
 
   Stats stats() const;
+  /// Facade-level abort accounting (same fields as the serial engine).
+  EngineStats engine_stats() const override {
+    const Stats s = stats();
+    EngineStats es;
+    es.tasks_aborted = s.aborts;
+    es.aborted_blocks = s.aborted_blocks;
+    es.aborted_locks = s.aborted_locks;
+    return es;
+  }
   const ConcurrencyConfig& config() const { return cfg_; }
 
  private:
@@ -302,16 +320,12 @@ class ConcurrentVersionStore {
     std::atomic<std::uint32_t> nwaiters{0};
   };
 
-  /// One rollback-journal record (track_aborts only). The undone object is
-  /// named by (slot, version), not block index: block indices recycle
-  /// through limbo, but a version value is unique within its slot for the
-  /// block's whole linked lifetime.
-  struct UndoEntry {
-    enum class Kind : std::uint8_t { kStore, kLock };
-    Kind kind;
-    std::uint64_t slot;
-    Ver version;
-  };
+  // The rollback-journal record and replay discipline are shared with the
+  // serial engine (core/undo_journal.hpp). This engine names the undone
+  // object by (slot, version), not block index: block indices recycle
+  // through limbo, but a version value is unique within its slot for the
+  // block's whole linked lifetime — so the generation fields stay
+  // defaulted and revalidation is the chain walk under the shard lock.
 
   /// Per-registered-thread state, cache-line padded: the epoch pin is read
   /// by reclaimers, the counters, task id and journal are owner-only.
@@ -330,7 +344,7 @@ class ConcurrentVersionStore {
   /// track_aborts is set and a task is bound to this thread.
   void journal(UndoEntry::Kind kind, std::uint64_t slot, Ver v) {
     ThreadCtx& c = ctx();
-    if (!cfg_.track_aborts || c.cur_task == kNoTask) return;
+    if (!undo_active(cfg_.track_aborts, c.cur_task)) return;
     c.undo.push_back({kind, slot, v});
   }
 
@@ -452,6 +466,9 @@ class ConcurrentVersionStore {
   std::atomic<bool> stop_{false};
 
   telemetry::Tracer* tracer_ = nullptr;
+  /// Backing storage for the facade's tracer() accessor; unused (and
+  /// cost-free) until that accessor attaches it.
+  telemetry::Tracer owned_tracer_;
   std::mutex trace_mu_;
   std::uint64_t trace_clock_ = 0;  // trace_mu_
   std::atomic<std::uint32_t> next_trace_block_{0};
@@ -459,10 +476,10 @@ class ConcurrentVersionStore {
   /// Model-checking seam; null in production (see attach_schedule_hook).
   ScheduleHook* hook_ = nullptr;
 
-  /// Fault-injection seam, built from cfg_.inject_spec in the constructor;
-  /// inj_ == nullptr (the common case) makes every site one null-check.
-  std::unique_ptr<FaultInjector> owned_inj_;
-  FaultInjector* inj_ = nullptr;
+  /// Fault-injection seam (core/fault_injection.hpp), built from
+  /// cfg_.inject_spec in the constructor; detached (the common case) makes
+  /// every site one null-check.
+  FaultShim inj_;
 };
 
 }  // namespace osim

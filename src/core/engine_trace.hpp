@@ -1,0 +1,36 @@
+// Shared trace-event construction for the semantic engines.
+//
+// Both engines emit the same event vocabulary (telemetry/trace.hpp) with
+// the same field meanings; only the *stamp* differs — the serial engine
+// stamps simulated cycles and the running core, the concurrent engine a
+// linearization counter and the registered thread id. Building the record
+// lives here so the field mapping (which argument lands in addr / version
+// / arg for each EventType) is defined exactly once; the engines keep only
+// their divergent clock/core sources.
+#pragma once
+
+#include "core/isa.hpp"
+#include "core/types.hpp"
+#include "telemetry/trace.hpp"
+
+namespace osim {
+
+/// Assemble one trace record. `op` is meaningful for kIsaOp events only;
+/// lifecycle events leave it defaulted. Host-context emissions (teardown
+/// code with no running op) pass time 0 / core 0.
+inline telemetry::TraceEvent make_trace_event(Cycles time, CoreId core,
+                                              telemetry::EventType type,
+                                              OpCode op, Addr addr,
+                                              Ver version, std::uint64_t arg) {
+  telemetry::TraceEvent e;
+  e.time = time;
+  e.core = core;
+  e.type = type;
+  e.op = op;
+  e.addr = addr;
+  e.version = version;
+  e.arg = arg;
+  return e;
+}
+
+}  // namespace osim

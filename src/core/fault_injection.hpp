@@ -25,7 +25,9 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "telemetry/trace.hpp"
@@ -116,6 +118,42 @@ class FaultInjector final : public telemetry::IoFaultHook {
   FaultPlan plan_;
   std::array<std::atomic<std::uint64_t>, kNumFaultSites> consulted_;
   std::array<std::atomic<std::uint64_t>, kNumFaultSites> fired_;
+};
+
+/// The engine-side consultation shim, shared by both semantic engines (the
+/// ownership-and-null-check pattern used to be duplicated in each): owns
+/// the injector built from a config spec, lets tests re-point the seam at
+/// an external injector, and answers the one question every injection site
+/// asks. Detached (the common case) every consultation is one null-check —
+/// the SchedulePoint discipline.
+class FaultShim {
+ public:
+  /// Build and attach the config-owned injector from an --inject spec.
+  /// Empty spec = stay detached; "none" = attached but inert (the
+  /// zero-effect guard). Throws std::runtime_error on a malformed spec.
+  void build_from_spec(const std::string& spec) {
+    FaultPlan plan = FaultPlan::parse(spec);
+    if (!plan.attached) return;
+    owned_ = std::make_unique<FaultInjector>(std::move(plan));
+    inj_ = owned_.get();
+  }
+
+  /// Re-point at an externally owned injector (tests/tools); replaces any
+  /// config-built one at every consultation site.
+  void attach(FaultInjector* inj) { inj_ = inj; }
+
+  /// The attached injector, or null when detached.
+  FaultInjector* get() const { return inj_; }
+
+  /// One consultation of site `s`; false without advancing any counter
+  /// when detached.
+  bool fire(FaultSite s) const {
+    return inj_ != nullptr && inj_->should_fire(s);
+  }
+
+ private:
+  std::unique_ptr<FaultInjector> owned_;
+  FaultInjector* inj_ = nullptr;
 };
 
 }  // namespace osim

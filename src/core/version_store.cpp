@@ -64,15 +64,11 @@ VersionStore::VersionStore(const OStructConfig& cfg, int num_cores,
   reg.counter_vec_external(telemetry::Component::kOsm, "tasks_executed",
                            &base->tasks_executed, kStride);
   if (ring_.enabled()) tracer_.attach(&ring_);
-  FaultPlan plan = FaultPlan::parse(cfg_.inject_spec);
-  if (plan.attached) {
-    owned_inj_ = std::make_unique<FaultInjector>(std::move(plan));
-    inj_ = owned_inj_.get();
-  }
+  inj_.build_from_spec(cfg_.inject_spec);
   if (!cfg_.trace_path.empty()) {
     auto sink = std::make_unique<telemetry::FileSink>(cfg_.trace_path);
     file_sink_ = sink.get();
-    file_sink_->set_fault_hook(inj_);
+    file_sink_->set_fault_hook(inj_.get());
     tracer_.add_sink(std::move(sink));
   }
 }
@@ -82,7 +78,7 @@ VersionStore::VersionStore(const OStructConfig& cfg, int num_cores,
 
 OAddr VersionStore::alloc(std::size_t slots) {
   if (slots == 0) throw OFault(FaultKind::kInvalidAddress, "zero-slot alloc");
-  if (inj_ != nullptr && inj_->should_fire(FaultSite::kSlotTable)) {
+  if (inj_.fire(FaultSite::kSlotTable)) {
     throw OFault(FaultKind::kResourceExhausted,
                  "slot-table allocation of " + std::to_string(slots) +
                      " slots refused (injected)");
@@ -153,17 +149,10 @@ void VersionStore::fault_conventional(Addr a) const {
 
 void VersionStore::emit_event_slow(telemetry::EventType type, OAddr addr,
                                    Ver version, std::uint64_t arg) {
-  telemetry::TraceEvent e;
   // Host-context emissions (release() from teardown code) carry time 0.
-  if (t_.in_op_context()) {
-    e.time = t_.now();
-    e.core = t_.core();
-  }
-  e.type = type;
-  e.addr = addr;
-  e.version = version;
-  e.arg = arg;
-  tracer_.emit(e);
+  const bool in_op = t_.in_op_context();
+  tracer_.emit(make_trace_event(in_op ? t_.now() : 0, in_op ? t_.core() : 0,
+                                type, OpCode{}, addr, version, arg));
 }
 
 void VersionStore::stall(const OpFlags& f, std::uint64_t slot, int attempt,
@@ -182,7 +171,7 @@ void VersionStore::stall(const OpFlags& f, std::uint64_t slot, int attempt,
   w.task = cur_task_[static_cast<std::size_t>(cur_core())];
   // Injection: the park times out immediately, as if the deadlock monitor
   // fired. Faults the requesting op with full context, never the run.
-  if (inj_ != nullptr && inj_->should_fire(FaultSite::kDeadlock)) {
+  if (inj_.fire(FaultSite::kDeadlock)) {
     throw OFault(FaultKind::kWouldBlock,
                  std::string("injected deadlock timeout: ") + to_string(op) +
                      " of version " + std::to_string(v) + " at address " +
@@ -198,7 +187,7 @@ BlockIndex VersionStore::alloc_block() {
   // Injection: the pool behaves as capped and the OS refuses to grow it.
   // The op simply never happened — no state moved yet — so the engine
   // stays consistent and the runtime can back off and retry.
-  if (inj_ != nullptr && inj_->should_fire(FaultSite::kBlockPool)) {
+  if (inj_.fire(FaultSite::kBlockPool)) {
     throw OFault(FaultKind::kResourceExhausted,
                  "version-block pool exhausted and OS grow refused "
                  "(injected), free " +
@@ -212,7 +201,7 @@ BlockIndex VersionStore::alloc_block() {
     // Free list exhausted: give the GC a chance, then trap to the OS. An
     // injected gc-delay suppresses the sweep (it runs at a later trigger).
     const bool delayed =
-        inj_ != nullptr && inj_->should_fire(FaultSite::kGcDelay);
+        inj_.fire(FaultSite::kGcDelay);
     if (!delayed && gc_->maybe_collect() && charges()) t_.gc_triggered();
     b = pool_.alloc();
     if (b == kNullBlock) {
@@ -229,7 +218,7 @@ BlockIndex VersionStore::alloc_block() {
   emit_event(telemetry::EventType::kBlockAlloc, 0, 0, b);
   if (pool_.free_count() < cfg_.gc_watermark) {
     const bool delayed =
-        inj_ != nullptr && inj_->should_fire(FaultSite::kGcDelay);
+        inj_.fire(FaultSite::kGcDelay);
     if (!delayed && gc_->maybe_collect() && charges()) t_.gc_triggered();
   }
   return b;
@@ -264,9 +253,9 @@ std::uint64_t VersionStore::load_version(OAddr a, Ver v, OpFlags f) {
       // lookup can yield to other cores, so cross-core event order matches
       // the authoritative serialization.
       if (tracer_.enabled()) {
-        tracer_.emit({t_.now(), t_.core(),
-                      telemetry::EventType::kVersionRead, OpCode::kLoadVersion,
-                      a, v, v});
+        tracer_.emit(make_trace_event(t_.now(), t_.core(),
+                                      telemetry::EventType::kVersionRead,
+                                      OpCode::kLoadVersion, a, v, v));
       }
       if (charges()) {
         t_.lookup_done(slot, fr, /*exact=*/true, v, /*exclusive=*/false,
@@ -290,9 +279,9 @@ std::uint64_t VersionStore::load_latest(OAddr a, Ver cap, Ver* found,
       const std::uint64_t data = pool_[fr.block].data;
       const Ver got = pool_[fr.block].version;
       if (tracer_.enabled()) {
-        tracer_.emit({t_.now(), t_.core(),
-                      telemetry::EventType::kVersionRead, OpCode::kLoadLatest,
-                      a, got, cap});
+        tracer_.emit(make_trace_event(t_.now(), t_.core(),
+                                      telemetry::EventType::kVersionRead,
+                                      OpCode::kLoadLatest, a, got, cap));
       }
       if (charges()) {
         t_.lookup_done(slot, fr, /*exact=*/false, cap, /*exclusive=*/false,
@@ -322,9 +311,9 @@ std::uint64_t VersionStore::lock_load_version(OAddr a, Ver v, TaskId locker,
       // competing core's release/acquire must not appear out of order in
       // the event stream.
       if (tracer_.enabled()) {
-        tracer_.emit({t_.now(), t_.core(),
-                      telemetry::EventType::kVersionRead,
-                      OpCode::kLockLoadVersion, a, v, v});
+        tracer_.emit(make_trace_event(t_.now(), t_.core(),
+                                      telemetry::EventType::kVersionRead,
+                                      OpCode::kLockLoadVersion, a, v, v));
       }
       emit_event(telemetry::EventType::kLockAcquire, a, v, locker);
       // Locking needs exclusive access to the block's line (paper Sec.
@@ -356,9 +345,9 @@ std::uint64_t VersionStore::lock_load_latest(OAddr a, Ver cap, TaskId locker,
       const Ver got = vb.version;
       journal({UndoEntry::Kind::kLock, slot, got});
       if (tracer_.enabled()) {
-        tracer_.emit({t_.now(), t_.core(),
-                      telemetry::EventType::kVersionRead,
-                      OpCode::kLockLoadLatest, a, got, cap});
+        tracer_.emit(make_trace_event(t_.now(), t_.core(),
+                                      telemetry::EventType::kVersionRead,
+                                      OpCode::kLockLoadLatest, a, got, cap));
       }
       emit_event(telemetry::EventType::kLockAcquire, a, got, locker);
       if (charges()) {
@@ -500,8 +489,9 @@ void VersionStore::task_begin(TaskId t) {
   tick();
   if (charges()) t_.task_instr();  // the TASK-BEGIN instruction itself
   if (tracer_.enabled()) {
-    tracer_.emit({t_.now(), t_.core(), telemetry::EventType::kIsaOp,
-                  OpCode::kTaskBegin, 0, t, 0});
+    tracer_.emit(make_trace_event(t_.now(), t_.core(),
+                                  telemetry::EventType::kIsaOp,
+                                  OpCode::kTaskBegin, 0, t, 0));
   }
   gc_->task_begin(t);
   cur_task_[static_cast<std::size_t>(cur_core())] = t;
@@ -511,8 +501,9 @@ void VersionStore::task_end(TaskId t) {
   tick();
   if (charges()) t_.task_instr();
   if (tracer_.enabled()) {
-    tracer_.emit({t_.now(), t_.core(), telemetry::EventType::kIsaOp,
-                  OpCode::kTaskEnd, 0, t, 0});
+    tracer_.emit(make_trace_event(t_.now(), t_.core(),
+                                  telemetry::EventType::kIsaOp,
+                                  OpCode::kTaskEnd, 0, t, 0));
   }
   gc_->task_end(t);
   if (cfg_.track_aborts) undo_.erase(t);  // committed: nothing to roll back
@@ -527,71 +518,76 @@ void VersionStore::abort_task(TaskId t) {
                      ") requires OStructConfig::track_aborts");
   }
   std::vector<UndoEntry>* j = undo_.find(t);
-  std::uint64_t undone = 0;
+  UndoReplayCounts undone;
   if (j != nullptr) {
-    // Newest effect first: the renaming machinery run backwards. Nested
-    // same-slot stores restore cleanly because the later version is
-    // removed before the earlier one becomes head again.
-    for (auto it = j->rbegin(); it != j->rend(); ++it) {
-      const UndoEntry& e = *it;
-      if (!slots_[e.slot].allocated) continue;  // released wholesale
-      if (e.kind == UndoEntry::Kind::kLock) {
-        SlotMeta& sm = slots_[e.slot];
-        const FindResult fr =
-            find_exact(pool_, sm.root, e.version, effective_sorted(sm));
-        // Skip locks already released (voluntarily, or with the aborted
-        // version that carried them) and versions re-locked since.
-        if (!fr.found() || pool_[fr.block].locked_by != t) continue;
-        pool_[fr.block].locked_by = kNoTask;
-        emit_event(telemetry::EventType::kLockRelease, ostruct_addr(e.slot),
-                   e.version, t);
-        if (charges()) t_.wake_slot(e.slot);
-        continue;
-      }
-      // kStore: remove the created version, if it still is the one we
-      // created (the generation moves when a block is freed and reissued).
-      VersionBlock& vb = pool_[e.block];
-      if (vb.generation != e.generation || vb.slot != e.slot ||
-          vb.version != e.version) {
-        continue;
-      }
-      SlotMeta& sm = slots_[e.slot];
-      // Whoever locked the aborted version loses it: their later unlock
-      // faults kNotLockOwner deterministically (the version is gone).
-      vb.locked_by = kNoTask;
-      // Purge any shadow registration of the block itself (a mid-list
-      // insert is born shadowed) before the free bumps its generation.
-      gc_->forget(e.block);
-      sm.nversions--;
-      list_unlink(pool_, &sm.root, e.block);
-      if (charges()) t_.block_reclaimed(e.block, e.slot, e.version);
-      emit_event(telemetry::EventType::kBlockFreed, ostruct_addr(e.slot),
-                 e.version, e.block);
-      pool_.free(e.block);
-      blocks_freed_.inc();
-      ++undone;
-      // The block this insert shadowed is live again: drop its GC
-      // registration or a later sweep would reclaim the restored head.
-      if (e.shadowed != kNullBlock) {
-        VersionBlock& sb = pool_[e.shadowed];
-        if (sb.generation == e.shadowed_gen &&
-            (sb.state == BlockState::kShadowed ||
-             sb.state == BlockState::kPending)) {
-          gc_->forget(e.shadowed);
-          sb.state = BlockState::kLive;
-          emit_event(telemetry::EventType::kBlockRestored,
-                     ostruct_addr(e.slot), sb.version, e.shadowed);
-        }
-      }
-      if (charges()) t_.wake_slot(e.slot);
-    }
+    // Newest effect first with per-entry revalidation — the shared replay
+    // discipline of core/undo_journal.hpp. Nested same-slot stores restore
+    // cleanly because the later version is removed before the earlier one
+    // becomes head again.
+    undone = replay_undo_newest_first(
+        *j,
+        [&](const UndoEntry& e) {
+          if (!slots_[e.slot].allocated) return false;  // released wholesale
+          // Remove the created version, if it still is the one we created
+          // (the generation moves when a block is freed and reissued).
+          VersionBlock& vb = pool_[e.block];
+          if (vb.generation != e.generation || vb.slot != e.slot ||
+              vb.version != e.version) {
+            return false;
+          }
+          SlotMeta& sm = slots_[e.slot];
+          // Whoever locked the aborted version loses it: their later unlock
+          // faults kNotLockOwner deterministically (the version is gone).
+          vb.locked_by = kNoTask;
+          // Purge any shadow registration of the block itself (a mid-list
+          // insert is born shadowed) before the free bumps its generation.
+          gc_->forget(e.block);
+          sm.nversions--;
+          list_unlink(pool_, &sm.root, e.block);
+          if (charges()) t_.block_reclaimed(e.block, e.slot, e.version);
+          emit_event(telemetry::EventType::kBlockFreed, ostruct_addr(e.slot),
+                     e.version, e.block);
+          pool_.free(e.block);
+          blocks_freed_.inc();
+          // The block this insert shadowed is live again: drop its GC
+          // registration or a later sweep would reclaim the restored head.
+          if (e.shadowed != kNullBlock) {
+            VersionBlock& sb = pool_[e.shadowed];
+            if (sb.generation == e.shadowed_gen &&
+                (sb.state == BlockState::kShadowed ||
+                 sb.state == BlockState::kPending)) {
+              gc_->forget(e.shadowed);
+              sb.state = BlockState::kLive;
+              emit_event(telemetry::EventType::kBlockRestored,
+                         ostruct_addr(e.slot), sb.version, e.shadowed);
+            }
+          }
+          if (charges()) t_.wake_slot(e.slot);
+          return true;
+        },
+        [&](const UndoEntry& e) {
+          if (!slots_[e.slot].allocated) return false;  // released wholesale
+          SlotMeta& sm = slots_[e.slot];
+          const FindResult fr =
+              find_exact(pool_, sm.root, e.version, effective_sorted(sm));
+          // Skip locks already released (voluntarily, or with the aborted
+          // version that carried them) and versions re-locked since.
+          if (!fr.found() || pool_[fr.block].locked_by != t) return false;
+          pool_[fr.block].locked_by = kNoTask;
+          emit_event(telemetry::EventType::kLockRelease, ostruct_addr(e.slot),
+                     e.version, t);
+          if (charges()) t_.wake_slot(e.slot);
+          return true;
+        });
     undo_.erase(t);
   }
   for (TaskId& ct : cur_task_) {
     if (ct == t) ct = kNoTask;
   }
-  emit_event(telemetry::EventType::kTaskAborted, 0, t, undone);
-  ++aborts_;
+  emit_event(telemetry::EventType::kTaskAborted, 0, t, undone.blocks);
+  abort_stats_.tasks_aborted++;
+  abort_stats_.aborted_blocks += undone.blocks;
+  abort_stats_.aborted_locks += undone.locks;
 }
 
 // ---------------------------------------------------------------------------

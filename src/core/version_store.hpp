@@ -26,10 +26,12 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/address_map.hpp"
 #include "core/compressed_line.hpp"
+#include "core/engine_trace.hpp"
 #include "core/fault_injection.hpp"
 #include "core/flat_map.hpp"
 #include "core/gc_policy.hpp"
@@ -37,16 +39,14 @@
 #include "core/ostruct_config.hpp"
 #include "core/timing_model.hpp"
 #include "core/types.hpp"
+#include "core/undo_journal.hpp"
 #include "core/version_block.hpp"
+#include "core/version_engine.hpp"
 #include "core/version_list.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
 namespace osim {
-
-/// User-visible address of an O-structure slot (8-byte granularity inside
-/// the versioned region).
-using OAddr = Addr;
 
 struct OpFlags {
   /// Workload-level "root of the data structure" access; feeds the
@@ -54,7 +54,11 @@ struct OpFlags {
   bool root = false;
 };
 
-class VersionStore : private GcOwner {
+/// The serial semantic engine. Implements the VersionEngine facade; the
+/// flagged ISA overloads below additionally thread the workload-level
+/// OpFlags through to the root-stall statistics (the facade's flagless
+/// surface forwards default flags).
+class VersionStore : public VersionEngine, private GcOwner {
  public:
   /// Per-core operation counters, packed so one versioned op touches a
   /// single cache line of counter state (an op bumps 2-4 of these), and
@@ -86,49 +90,69 @@ class VersionStore : private GcOwner {
 
   /// Allocate `slots` contiguous O-structure slots; their pages get the
   /// versioned bit. Returns the address of the first slot.
-  OAddr alloc(std::size_t slots = 1);
+  OAddr alloc(std::size_t slots = 1) override;
 
   /// Convert the slots back to conventional memory. All their versions are
   /// discarded. The caller must guarantee no unfinished task touches them
   /// (paper Sec. III-C); parked waiters are woken and will fault.
-  void release(OAddr base, std::size_t slots = 1);
+  void release(OAddr base, std::size_t slots = 1) override;
 
   // ---- The versioned ISA ----
+  // Each op has a flagged overload (all arguments explicit — no defaults,
+  // so the facade's flagless signature resolves unambiguously) and the
+  // VersionEngine override that forwards default flags.
 
   /// LOAD-VERSION: value of exactly version `v`; blocks until it exists and
   /// is unlocked (locks on *other* versions are ignored).
-  std::uint64_t load_version(OAddr a, Ver v, OpFlags f = {});
+  std::uint64_t load_version(OAddr a, Ver v, OpFlags f);
+  std::uint64_t load_version(OAddr a, Ver v) override {
+    return load_version(a, v, OpFlags{});
+  }
 
   /// LOAD-LATEST: value of the highest version <= `cap`; blocks while no
   /// such version exists or the candidate is locked. The version actually
   /// read is reported through `found` if non-null.
-  std::uint64_t load_latest(OAddr a, Ver cap, Ver* found = nullptr,
-                            OpFlags f = {});
+  std::uint64_t load_latest(OAddr a, Ver cap, Ver* found, OpFlags f);
+  std::uint64_t load_latest(OAddr a, Ver cap, Ver* found = nullptr) override {
+    return load_latest(a, cap, found, OpFlags{});
+  }
 
   /// STORE-VERSION: create version `v` holding `data`. Faults if `v`
   /// already exists (versions are immutable once created).
-  void store_version(OAddr a, Ver v, std::uint64_t data, OpFlags f = {});
+  void store_version(OAddr a, Ver v, std::uint64_t data, OpFlags f);
+  void store_version(OAddr a, Ver v, std::uint64_t data) override {
+    store_version(a, v, data, OpFlags{});
+  }
 
   /// LOCK-LOAD-VERSION: LOAD-VERSION + lock; blocks while locked by others.
-  std::uint64_t lock_load_version(OAddr a, Ver v, TaskId locker,
-                                  OpFlags f = {});
+  std::uint64_t lock_load_version(OAddr a, Ver v, TaskId locker, OpFlags f);
+  std::uint64_t lock_load_version(OAddr a, Ver v, TaskId locker) override {
+    return lock_load_version(a, v, locker, OpFlags{});
+  }
 
   /// LOCK-LOAD-LATEST: LOAD-LATEST + lock of the version that was read.
+  std::uint64_t lock_load_latest(OAddr a, Ver cap, TaskId locker, Ver* found,
+                                 OpFlags f);
   std::uint64_t lock_load_latest(OAddr a, Ver cap, TaskId locker,
-                                 Ver* found = nullptr, OpFlags f = {});
+                                 Ver* found = nullptr) override {
+    return lock_load_latest(a, cap, locker, found, OpFlags{});
+  }
 
   /// UNLOCK-VERSION: release `locked_v` (held by `owner`), optionally
   /// renaming: creating unlocked version `rename_to` with the same value.
   void unlock_version(OAddr a, Ver locked_v, TaskId owner,
-                      std::optional<Ver> rename_to = std::nullopt,
-                      OpFlags f = {});
+                      std::optional<Ver> rename_to, OpFlags f);
+  void unlock_version(OAddr a, Ver locked_v, TaskId owner,
+                      std::optional<Ver> rename_to = std::nullopt) override {
+    unlock_version(a, locked_v, owner, rename_to, OpFlags{});
+  }
 
   /// Task creation announcement (GC rule #3 check point). Host-context
   /// safe; charges nothing — creation belongs to the spawning program.
-  void task_created(TaskId t);
+  void task_created(TaskId t) override;
   /// TASK-BEGIN / TASK-END: GC progress reports (rules #2-#3).
-  void task_begin(TaskId t);
-  void task_end(TaskId t);
+  void task_begin(TaskId t) override;
+  void task_end(TaskId t) override;
 
   /// Roll back everything task `t` did since it began: its created
   /// versions are unlinked and freed (the renaming machinery run
@@ -138,20 +162,20 @@ class VersionStore : private GcOwner {
   /// (task_begin) or retires it (task_end). Requires
   /// OStructConfig::track_aborts; host-context safe, charges no cycles.
   /// Emits kTaskAborted after the per-block/lock events.
-  void abort_task(TaskId t);
+  void abort_task(TaskId t) override;
 
   // ---- Protection ----
   // Inline: the conventional check runs on every ld()/st() a workload
   // issues, which is most of what the functional backend executes.
 
   /// True if `a` falls on an allocated O-structure slot.
-  bool is_versioned_addr(Addr a) const {
+  bool is_versioned_addr(Addr a) const override {
     if (a < kOStructBase || (a - kOStructBase) % 8 != 0) return false;
     const std::uint64_t slot = (a - kOStructBase) / 8;
     return slot < slots_.size() && slots_[slot].allocated;
   }
   /// Fault check for conventional loads/stores (versioned-bit protection).
-  void check_conventional(Addr a) const {
+  void check_conventional(Addr a) const override {
     if (is_versioned_addr(a)) fault_conventional(a);
   }
 
@@ -160,6 +184,19 @@ class VersionStore : private GcOwner {
   std::optional<Ver> newest_version(OAddr a) const;
   std::optional<TaskId> lock_holder(OAddr a, Ver v) const;
   int version_count(OAddr a) const;
+  // Facade spellings (non-const: the concurrent sibling takes shard locks).
+  std::optional<std::uint64_t> peek_version(OAddr a, Ver v) override {
+    return std::as_const(*this).peek_version(a, v);
+  }
+  std::optional<Ver> newest_version(OAddr a) override {
+    return std::as_const(*this).newest_version(a);
+  }
+  std::optional<TaskId> lock_holder(OAddr a, Ver v) override {
+    return std::as_const(*this).lock_holder(a, v);
+  }
+  int version_count(OAddr a) override {
+    return std::as_const(*this).version_count(a);
+  }
   std::size_t free_blocks() const { return pool_.free_count(); }
 
   /// The reclamation policy behind the GcPolicy seam (selected by
@@ -173,20 +210,22 @@ class VersionStore : private GcOwner {
   const telemetry::RingSink& trace() const { return ring_; }
   /// Event-trace dispatcher: attach extra sinks (lifecycle analysis, tests)
   /// before running; all version-lifecycle events flow through it.
-  telemetry::Tracer& tracer() { return tracer_; }
+  telemetry::Tracer& tracer() override { return tracer_; }
 
   /// The fault injector driving this engine's injection sites, or null
   /// when detached (OStructConfig::inject_spec empty). Null costs one
   /// branch per site — the SchedulePoint discipline.
-  FaultInjector* fault_injector() { return inj_; }
+  FaultInjector* fault_injector() override { return inj_.get(); }
   /// Attach an externally owned injector (tests); replaces any
   /// config-built one at the engine sites and the trace file sink.
-  void attach_fault_injector(FaultInjector* inj) {
-    inj_ = inj;
+  void attach_fault_injector(FaultInjector* inj) override {
+    inj_.attach(inj);
     if (file_sink_ != nullptr) file_sink_->set_fault_hook(inj);
   }
   /// Tasks rolled back by abort_task since construction.
-  std::uint64_t aborts() const { return aborts_; }
+  std::uint64_t aborts() const { return abort_stats_.tasks_aborted; }
+  /// Facade-level abort accounting (same fields as the concurrent engine).
+  EngineStats engine_stats() const override { return abort_stats_; }
 
   // ---- State the timing layer reads while charging ----
   // A charged hook may run while the semantic state has already moved on
@@ -275,8 +314,9 @@ class VersionStore : private GcOwner {
       pc.versioned_ops++;
       if (f.root) pc.root_loads++;
       if (tracer_.enabled()) {
-        tracer_.emit({t_.now(), core, telemetry::EventType::kIsaOp, op, a, v,
-                      0});
+        tracer_.emit(make_trace_event(t_.now(), core,
+                                      telemetry::EventType::kIsaOp, op, a, v,
+                                      0));
       }
     }
     if (cfg_.injected_latency != 0) t_.op_overhead();
@@ -318,26 +358,15 @@ class VersionStore : private GcOwner {
   /// UNLOCK-VERSION (assumes begin_attempt already ran).
   void store_impl(std::uint64_t slot, Ver v, std::uint64_t data);
 
-  /// One rollback-journal record: a version the task created (with the
-  /// block it shadowed, so abort can restore the old head) or a lock it
-  /// acquired. Generations guard against blocks the GC reclaimed and the
-  /// pool reissued in the meantime.
-  struct UndoEntry {
-    enum class Kind : std::uint8_t { kStore, kLock } kind;
-    std::uint64_t slot;
-    Ver version;
-    BlockIndex block = kNullBlock;       ///< created block (kStore)
-    std::uint32_t generation = 0;        ///< its generation at creation
-    BlockIndex shadowed = kNullBlock;    ///< block the insert shadowed
-    std::uint32_t shadowed_gen = 0;
-  };
-
   /// Journal a store/lock for the task running on the current core, when
-  /// track_aborts is on and a task is running. Inline cheap-exit.
+  /// track_aborts is on and a task is running. Inline cheap-exit. The
+  /// record type and replay discipline are shared with the concurrent
+  /// engine (core/undo_journal.hpp); this engine fills the block-identity
+  /// fields because its pool recycles indices.
   void journal(UndoEntry e) {
     if (!cfg_.track_aborts) return;
     const TaskId t = cur_task_[static_cast<std::size_t>(cur_core())];
-    if (t == kNoTask) return;
+    if (!undo_active(cfg_.track_aborts, t)) return;
     undo_[t].push_back(e);
   }
 
@@ -354,12 +383,13 @@ class VersionStore : private GcOwner {
   std::vector<TaskId> cur_task_;
   /// Rollback journals, per unfinished task (track_aborts only).
   FlatMap<TaskId, std::vector<UndoEntry>> undo_;
-  /// Fault injection (null = detached). owned_inj_ is the config-built
-  /// one; tests may point inj_ at their own via attach_fault_injector.
-  std::unique_ptr<FaultInjector> owned_inj_;
-  FaultInjector* inj_ = nullptr;
+  /// Fault-injection seam (core/fault_injection.hpp): owns the
+  /// config-built injector, detached = one null-check per site.
+  FaultShim inj_;
   telemetry::FileSink* file_sink_ = nullptr;  ///< borrowed from tracer_
-  std::uint64_t aborts_ = 0;
+  /// Abort accounting behind engine_stats(); plain fields, never registry
+  /// counters, so the timed backend's metric dump stays bit-identical.
+  EngineStats abort_stats_;
 
   // ---- Telemetry ----
   std::vector<PerCoreCounters> core_counters_;  ///< fixed; registry reads it

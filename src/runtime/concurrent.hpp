@@ -62,13 +62,10 @@ class ConcurrentTaskPool {
     std::uint64_t backoff_cap_us = 20000; ///< backoff ceiling per sleep
   };
 
-  /// Degradation telemetry, aggregated across workers.
-  struct RecoveryStats {
-    std::uint64_t aborts = 0;      ///< abort_task() rollbacks performed
-    std::uint64_t retries = 0;     ///< task re-runs after an abort
-    std::uint64_t giveups = 0;     ///< recoverable faults past the cap
-    std::uint64_t backoff_us = 0;  ///< total backoff sleep, microseconds
-  };
+  /// Degradation telemetry, aggregated across workers. The vocabulary is
+  /// the facade's (core/version_engine.hpp) so chaos JSON and osim-report
+  /// spell these fields identically for every engine.
+  using RecoveryStats = ::osim::RecoveryStats;
 
   ConcurrentTaskPool(ConcurrentVersionStore& store, int workers)
       : store_(store), workers_(workers < 1 ? 1 : workers) {}

@@ -78,6 +78,9 @@ class Env {
   /// The backend-independent semantic engine: the versioned ISA, allocation,
   /// protection, inspection and the event tracer — on either backend.
   VersionStore& store() { return m_ != nullptr ? osm_->store() : fb_->store(); }
+  /// The same engine through the backend-agnostic facade, for consumers
+  /// that should not care which implementation they drive.
+  VersionEngine& engine() { return store(); }
 
   /// The online protocol checker, when OStructConfig::check_mode enabled
   /// one for this backend; nullptr otherwise.

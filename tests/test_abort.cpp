@@ -16,6 +16,7 @@
 #include "core/concurrent_store.hpp"
 #include "core/fault.hpp"
 #include "core/fault_injection.hpp"
+#include "core/version_engine.hpp"
 #include "core/version_store.hpp"
 #include "runtime/concurrent.hpp"
 #include "runtime/functional.hpp"
@@ -69,6 +70,12 @@ TEST(SerialAbort, RollsBackStoresAndRestoresShadowedHead) {
   EXPECT_EQ(vs.peek_version(e.base, 1).value_or(0), 111u);
   EXPECT_EQ(vs.free_blocks(), free_before);
   EXPECT_EQ(vs.aborts(), 1u);
+  // Same accounting through the backend-agnostic facade: these are the
+  // fields bench JSON and osim-report read for BOTH engines.
+  const EngineStats es = static_cast<VersionEngine&>(vs).engine_stats();
+  EXPECT_EQ(es.tasks_aborted, 1u);
+  EXPECT_EQ(es.aborted_blocks, 2u);
+  EXPECT_EQ(es.aborted_locks, 0u);
 
   // The task is still unfinished: a plain task_begin retries it, and the
   // restored head accepts the same stores again.
@@ -99,6 +106,13 @@ TEST(SerialAbort, ReleasesLocksAndUndoesRename) {
   EXPECT_FALSE(vs.peek_version(e.base, 5).has_value());
   EXPECT_EQ(vs.peek_version(e.base, 1).value_or(0), 111u);
   EXPECT_FALSE(vs.lock_holder(e.base, 1).has_value());
+  // Journal replay is newest-first: release the lock on 5, unlink the
+  // renamed version 5 (one block), then skip the version-1 lock entry —
+  // the rename-unlock already released it.
+  const EngineStats es = static_cast<VersionEngine&>(vs).engine_stats();
+  EXPECT_EQ(es.tasks_aborted, 1u);
+  EXPECT_EQ(es.aborted_blocks, 1u);
+  EXPECT_EQ(es.aborted_locks, 1u);
   vs.task_end(2);
 
   // Nothing left locked: a third task can lock version 1 immediately.
@@ -220,6 +234,48 @@ TEST(SerialAbort, BothGcPoliciesRestoreShadowedState) {
   }
 }
 
+// One scripted abort driven purely through the facade: task 1 seeds
+// version 1, task 2 shadows it, stores a second slot, locks version 1,
+// then aborts. Returns the facade-level accounting.
+EngineStats scripted_abort(VersionEngine& eng) {
+  const OAddr base = eng.alloc(2);
+  eng.task_created(1);
+  eng.task_begin(1);
+  eng.store_version(base, 1, 111);
+  eng.task_end(1);
+
+  eng.task_created(2);
+  eng.task_begin(2);
+  eng.store_version(base, 2, 222);      // shadows version 1
+  eng.store_version(base + 8, 4, 444);
+  EXPECT_EQ(eng.lock_load_version(base, 1, 2), 111u);
+  eng.abort_task(2);
+  eng.task_end(2);
+
+  EXPECT_FALSE(eng.peek_version(base, 2).has_value());
+  EXPECT_EQ(eng.peek_version(base, 1).value_or(0), 111u);
+  EXPECT_FALSE(eng.lock_holder(base, 1).has_value());
+  return eng.engine_stats();
+}
+
+TEST(AbortStats, FacadeAccountingAgreesAcrossEngines) {
+  // The drift this guards against: the engines once counted undone work in
+  // backend-private structs with different field meanings. Identical op
+  // streams must now yield field-for-field identical EngineStats.
+  SerialEngine serial;
+  const EngineStats from_serial = scripted_abort(*serial.vs);
+
+  ConcurrencyConfig cfg;
+  cfg.track_aborts = true;
+  ConcurrentVersionStore conc(cfg);
+  const EngineStats from_conc = scripted_abort(conc);
+
+  EXPECT_EQ(from_serial.tasks_aborted, 1u);
+  EXPECT_EQ(from_conc.tasks_aborted, from_serial.tasks_aborted);
+  EXPECT_EQ(from_conc.aborted_blocks, from_serial.aborted_blocks);
+  EXPECT_EQ(from_conc.aborted_locks, from_serial.aborted_locks);
+}
+
 TEST(ConcurrentAbort, RollsBackStoresLocksAndShadow) {
   ConcurrencyConfig cfg;
   cfg.track_aborts = true;
@@ -243,6 +299,13 @@ TEST(ConcurrentAbort, RollsBackStoresLocksAndShadow) {
   EXPECT_EQ(s.aborts, 1u);
   EXPECT_EQ(s.aborted_blocks, 2u);
   EXPECT_EQ(s.aborted_locks, 1u);
+  // The facade view must spell the identical numbers under the identical
+  // field names the serial engine uses (see SerialAbort tests above).
+  const EngineStats es =
+      static_cast<VersionEngine&>(store).engine_stats();
+  EXPECT_EQ(es.tasks_aborted, s.aborts);
+  EXPECT_EQ(es.aborted_blocks, s.aborted_blocks);
+  EXPECT_EQ(es.aborted_locks, s.aborted_locks);
   EXPECT_TRUE(store.check_integrity().ok) << store.check_integrity().detail;
 
   store.task_begin(7);  // retry
@@ -302,6 +365,7 @@ TEST(ConcurrentAbort, PoolRetriesUnderInjectedExhaustion) {
   EXPECT_GE(inj.fired(FaultSite::kBlockPool), 1u);
   EXPECT_GE(rec.retries, 1u);
   EXPECT_EQ(store.stats().aborts, rec.aborts);
+  EXPECT_EQ(store.engine_stats().tasks_aborted, rec.aborts);
   for (int t = 0; t < kTasks; ++t) {
     const OAddr a = base + 8 * static_cast<OAddr>(t);
     const Ver v0 = static_cast<Ver>(t + 1) * 1000;

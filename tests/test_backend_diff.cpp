@@ -16,6 +16,7 @@
 
 #include "analysis/checker.hpp"
 #include "core/concurrent_store.hpp"
+#include "core/version_engine.hpp"
 #include "runtime/concurrent.hpp"
 #include "runtime/env.hpp"
 #include "runtime/task.hpp"
@@ -168,10 +169,129 @@ Stream make_stream(int slots, int tasks, std::uint64_t seed,
   return st;
 }
 
+/// One lowered step of a task body: either a facade op record destined
+/// for VersionEngine::execute(), or a conventional-access probe (the one
+/// PlannedOp with no versioned-ISA encoding, issued between batches).
+struct LoweredItem {
+  bool conventional = false;
+  Addr conv_addr = 0;
+  VersionEngine::Op op;
+};
+
+/// Lower one planned op into facade records — the single source of truth
+/// for how a PlannedOp maps onto the versioned ISA, shared by every
+/// backend (the timed machine, the functional backend, and the concurrent
+/// engine used to carry three copies of this switch).
+void lower_into(std::vector<LoweredItem>& out, const PlannedOp& op,
+                TaskId tid, OAddr base, int slots) {
+  const OAddr a = base + 8 * static_cast<OAddr>(op.slot);
+  LoweredItem it;
+  switch (op.kind) {
+    case PlannedOp::kStore:
+      it.op.op = OpCode::kStoreVersion;
+      it.op.addr = a;
+      it.op.version = tid;
+      it.op.data = tid * 7 + op.slot;
+      break;
+    case PlannedOp::kLoad:
+      it.op.op = OpCode::kLoadVersion;
+      it.op.addr = a;
+      it.op.version = op.ver;
+      break;
+    case PlannedOp::kLockRename: {
+      it.op.op = OpCode::kLockLoadVersion;
+      it.op.addr = a;
+      it.op.version = op.ver;
+      it.op.task = tid;
+      out.push_back(it);
+      it = LoweredItem{};
+      it.op.op = OpCode::kUnlockVersion;
+      it.op.addr = a;
+      it.op.version = op.ver;
+      it.op.task = tid;
+      it.op.rename_to = tid;
+      break;
+    }
+    case PlannedOp::kLoadLatestSetup:
+      it.op.op = OpCode::kLoadLatest;
+      it.op.addr = a;
+      it.op.cap = kSetupVersion;
+      break;
+    case PlannedOp::kDupStore:
+      it.op.op = OpCode::kStoreVersion;
+      it.op.addr = a;
+      it.op.version = tid;
+      it.op.data = 1;
+      break;
+    case PlannedOp::kWrongOwnerUnlock:
+    case PlannedOp::kUnlockNonexistent:
+      it.op.op = OpCode::kUnlockVersion;
+      it.op.addr = a;
+      it.op.version = op.ver;
+      it.op.task = tid;
+      break;
+    case PlannedOp::kBadVersionedAddr:
+      it.op.op = OpCode::kLoadVersion;
+      it.op.addr = base + 8 * static_cast<OAddr>(slots + 100);
+      it.op.version = op.ver;
+      break;
+    case PlannedOp::kBadConventional:
+      it.conventional = true;
+      it.conv_addr = a;
+      break;
+  }
+  out.push_back(it);
+}
+
+std::vector<LoweredItem> lower_task(const Stream& st, int i, TaskId tid,
+                                    OAddr base) {
+  std::vector<LoweredItem> prog;
+  for (const PlannedOp& op : st.ops[static_cast<std::size_t>(i)]) {
+    lower_into(prog, op, tid, base, st.slots);
+  }
+  return prog;
+}
+
+/// Run one task's lowered program on any engine: facade records go through
+/// execute() in maximal batches; conventional probes flush the batch and
+/// run between them so per-task fault order is preserved. Faults land as
+/// kinds, exactly as the old per-op catch blocks recorded them.
+void exec_program(VersionEngine& st, const std::vector<LoweredItem>& prog,
+                  std::vector<std::uint64_t>& reads, std::vector<Ver>& found,
+                  std::vector<int>& faults) {
+  std::vector<VersionEngine::Op> batch;
+  VersionEngine::Results res;
+  auto flush = [&] {
+    if (batch.empty()) return;
+    res.clear();
+    st.execute(batch, res);
+    reads.insert(reads.end(), res.reads.begin(), res.reads.end());
+    found.insert(found.end(), res.found.begin(), res.found.end());
+    for (const VersionEngine::Results::Fault& f : res.faults) {
+      faults.push_back(static_cast<int>(f.kind));
+    }
+    batch.clear();
+  };
+  for (const LoweredItem& it : prog) {
+    if (it.conventional) {
+      flush();
+      try {
+        st.check_conventional(it.conv_addr);
+      } catch (const OFault& f) {
+        faults.push_back(static_cast<int>(f.kind()));
+      }
+    } else {
+      batch.push_back(it.op);
+    }
+  }
+  flush();
+}
+
 /// Everything a backend run observes, flattened in task-creation order so
 /// the comparison is schedule-independent.
 struct Observed {
   std::vector<std::uint64_t> reads;
+  std::vector<Ver> found;   // LOAD-LATEST observed versions, in op order
   std::vector<int> faults;  // FaultKind per caught fault
   std::vector<std::pair<std::optional<Ver>, std::optional<std::uint64_t>>>
       latest;  // per slot: newest version and its value
@@ -182,7 +302,8 @@ struct Observed {
   std::uint64_t blocks_freed = 0;
 
   bool operator==(const Observed& o) const {
-    return reads == o.reads && faults == o.faults && latest == o.latest &&
+    return reads == o.reads && found == o.found && faults == o.faults &&
+           latest == o.latest &&
            check_clean == o.check_clean && check_errors == o.check_errors &&
            check_warnings == o.check_warnings;
   }
@@ -208,6 +329,7 @@ Observed run_stream(const Stream& st, BackendKind backend, int cores,
 
   std::vector<std::vector<std::uint64_t>> reads(
       static_cast<std::size_t>(st.tasks));
+  std::vector<std::vector<Ver>> found(static_cast<std::size_t>(st.tasks));
   std::vector<std::vector<int>> faults(static_cast<std::size_t>(st.tasks));
 
   OAddr base = 0;
@@ -224,49 +346,8 @@ Observed run_stream(const Stream& st, BackendKind backend, int cores,
     for (int i = 0; i < st.tasks; ++i) {
       const TaskId tid = kFirstTaskId + static_cast<TaskId>(i);
       rt.create_task(tid, [&, i, tid](TaskId) {
-        for (const PlannedOp& op : st.ops[static_cast<std::size_t>(i)]) {
-          const OAddr a = base + 8 * static_cast<OAddr>(op.slot);
-          try {
-            switch (op.kind) {
-              case PlannedOp::kStore:
-                env.store().store_version(a, tid, tid * 7 + op.slot);
-                break;
-              case PlannedOp::kLoad:
-                reads[i].push_back(env.store().load_version(a, op.ver));
-                break;
-              case PlannedOp::kLockRename: {
-                const std::uint64_t v =
-                    env.store().lock_load_version(a, op.ver, tid);
-                reads[i].push_back(v);
-                env.store().unlock_version(a, op.ver, tid, tid);
-                break;
-              }
-              case PlannedOp::kLoadLatestSetup: {
-                Ver got = 0;
-                reads[i].push_back(
-                    env.store().load_latest(a, kSetupVersion, &got));
-                reads[i].push_back(got);
-                break;
-              }
-              case PlannedOp::kDupStore:
-                env.store().store_version(a, tid, 1);
-                break;
-              case PlannedOp::kWrongOwnerUnlock:
-              case PlannedOp::kUnlockNonexistent:
-                env.store().unlock_version(a, op.ver, tid);
-                break;
-              case PlannedOp::kBadVersionedAddr:
-                env.store().load_version(
-                    base + 8 * static_cast<OAddr>(st.slots + 100), op.ver);
-                break;
-              case PlannedOp::kBadConventional:
-                env.store().check_conventional(a);
-                break;
-            }
-          } catch (const OFault& f) {
-            faults[i].push_back(static_cast<int>(f.kind()));
-          }
-        }
+        exec_program(env.engine(), lower_task(st, i, tid, base), reads[i],
+                     found[i], faults[i]);
       });
     }
     rt.run();
@@ -275,6 +356,7 @@ Observed run_stream(const Stream& st, BackendKind backend, int cores,
   Observed o;
   for (int i = 0; i < st.tasks; ++i) {
     o.reads.insert(o.reads.end(), reads[i].begin(), reads[i].end());
+    o.found.insert(o.found.end(), found[i].begin(), found[i].end());
     o.faults.insert(o.faults.end(), faults[i].begin(), faults[i].end());
   }
   for (int s = 0; s < st.slots; ++s) {
@@ -308,13 +390,10 @@ Observed run_stream_concurrent(const Stream& st, int threads,
   ccfg.gc_policy = gc;
   if (reclaim_threshold != 0) ccfg.reclaim_threshold = reclaim_threshold;
   ConcurrentVersionStore store(ccfg);
-  telemetry::Tracer tracer;
   analysis::CheckerOptions copt;
   copt.strict = true;
-  auto sink = std::make_unique<analysis::CheckerSink>(threads + 1, copt);
-  analysis::CheckerSink* checker = sink.get();
-  tracer.add_sink(std::move(sink));
-  store.attach_tracer(&tracer);
+  analysis::CheckerSink* checker =
+      analysis::attach_checker(store, threads + 1, copt);
 
   const OAddr base = store.alloc(static_cast<std::size_t>(st.slots));
   for (int s = 0; s < st.slots; ++s) {
@@ -324,54 +403,15 @@ Observed run_stream_concurrent(const Stream& st, int threads,
 
   std::vector<std::vector<std::uint64_t>> reads(
       static_cast<std::size_t>(st.tasks));
+  std::vector<std::vector<Ver>> found(static_cast<std::size_t>(st.tasks));
   std::vector<std::vector<int>> faults(static_cast<std::size_t>(st.tasks));
 
   ConcurrentTaskPool pool(store, threads);
   for (int i = 0; i < st.tasks; ++i) {
     const TaskId tid = kFirstTaskId + static_cast<TaskId>(i);
     pool.create_task(tid, [&, i, tid](TaskId) {
-      for (const PlannedOp& op : st.ops[static_cast<std::size_t>(i)]) {
-        const OAddr a = base + 8 * static_cast<OAddr>(op.slot);
-        try {
-          switch (op.kind) {
-            case PlannedOp::kStore:
-              store.store_version(a, tid, tid * 7 + op.slot);
-              break;
-            case PlannedOp::kLoad:
-              reads[i].push_back(store.load_version(a, op.ver));
-              break;
-            case PlannedOp::kLockRename: {
-              const std::uint64_t v =
-                  store.lock_load_version(a, op.ver, tid);
-              reads[i].push_back(v);
-              store.unlock_version(a, op.ver, tid, tid);
-              break;
-            }
-            case PlannedOp::kLoadLatestSetup: {
-              Ver got = 0;
-              reads[i].push_back(store.load_latest(a, kSetupVersion, &got));
-              reads[i].push_back(got);
-              break;
-            }
-            case PlannedOp::kDupStore:
-              store.store_version(a, tid, 1);
-              break;
-            case PlannedOp::kWrongOwnerUnlock:
-            case PlannedOp::kUnlockNonexistent:
-              store.unlock_version(a, op.ver, tid);
-              break;
-            case PlannedOp::kBadVersionedAddr:
-              store.load_version(
-                  base + 8 * static_cast<OAddr>(st.slots + 100), op.ver);
-              break;
-            case PlannedOp::kBadConventional:
-              store.check_conventional(a);
-              break;
-          }
-        } catch (const OFault& f) {
-          faults[i].push_back(static_cast<int>(f.kind()));
-        }
-      }
+      exec_program(store, lower_task(st, i, tid, base), reads[i], found[i],
+                   faults[i]);
     });
   }
   pool.run();
@@ -379,6 +419,7 @@ Observed run_stream_concurrent(const Stream& st, int threads,
   Observed o;
   for (int i = 0; i < st.tasks; ++i) {
     o.reads.insert(o.reads.end(), reads[i].begin(), reads[i].end());
+    o.found.insert(o.found.end(), found[i].begin(), found[i].end());
     o.faults.insert(o.faults.end(), faults[i].begin(), faults[i].end());
   }
   for (int s = 0; s < st.slots; ++s) {
@@ -489,6 +530,7 @@ TEST(BackendDiff, RandomStreamsAgreeAndCheckClean) {
     EXPECT_TRUE(timed.check_clean) << "seed " << seed;
     EXPECT_TRUE(func.check_clean) << "seed " << seed;
     EXPECT_EQ(timed.reads, func.reads) << "seed " << seed;
+    EXPECT_EQ(timed.found, func.found) << "seed " << seed;
     EXPECT_EQ(timed.faults, func.faults) << "seed " << seed;
     EXPECT_EQ(timed.latest, func.latest) << "seed " << seed;
   }
@@ -535,6 +577,8 @@ TEST(BackendDiff, ConcurrentEngineAgreesWithTimed) {
       EXPECT_TRUE(conc.check_clean)
           << "seed " << seed << ", " << threads << " threads";
       EXPECT_EQ(timed.reads, conc.reads)
+          << "seed " << seed << ", " << threads << " threads";
+      EXPECT_EQ(timed.found, conc.found)
           << "seed " << seed << ", " << threads << " threads";
       EXPECT_EQ(timed.faults, conc.faults)
           << "seed " << seed << ", " << threads << " threads";
@@ -623,11 +667,18 @@ TEST(BackendDiff, FunctionalWouldBlockFault) {
   bool faulted = false;
   std::string message;
   rt.create_task(kFirstTaskId, [&](TaskId) {
-    try {
-      env.store().load_version(a, /*v=*/kGhostVersion);
-    } catch (const OFault& f) {
-      faulted = f.kind() == FaultKind::kWouldBlock;
-      message = f.what();
+    // Through the batched facade: the per-op fault is captured into
+    // Results with the engine's full report text, so batch drivers see
+    // the same diagnostics per-op callers get from OFault::what().
+    VersionEngine::Op op;
+    op.op = OpCode::kLoadVersion;
+    op.addr = a;
+    op.version = kGhostVersion;
+    VersionEngine::Results res;
+    env.engine().execute({&op, 1}, res);
+    if (res.faults.size() == 1) {
+      faulted = res.faults.front().kind == FaultKind::kWouldBlock;
+      message = res.faults.front().message;
     }
   });
   rt.run();

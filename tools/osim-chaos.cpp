@@ -37,6 +37,7 @@
 #include "core/concurrent_store.hpp"
 #include "core/fault.hpp"
 #include "core/fault_injection.hpp"
+#include "core/version_engine.hpp"
 #include "core/version_store.hpp"
 #include "driver.hpp"
 #include "runtime/concurrent.hpp"
@@ -121,10 +122,11 @@ std::uint64_t first_store_slot(std::uint64_t round_seed, TaskId t) {
 /// the setup version, lock/unlock round-trips, renames, and an occasional
 /// read of the *previous* task's first store (the one op that can block in
 /// the concurrent engine). `mine` is rebuilt from scratch on every attempt
-/// — a retry replays the exact same effects the abort undid.
-template <typename Store>
-void run_body(Store& st, OAddr base, TaskId t, std::uint64_t round_seed,
-              int ops, std::vector<Store3>& mine) {
+/// — a retry replays the exact same effects the abort undid. Takes the
+/// facade, not a template: per-op calls (rather than one execute() batch)
+/// are deliberate — a fault must unwind to the retry machinery mid-body.
+void run_body(VersionEngine& st, OAddr base, TaskId t,
+              std::uint64_t round_seed, int ops, std::vector<Store3>& mine) {
   mine.clear();
   std::uint64_t s = task_seed(round_seed, t);
   Ver vnext = ver_base(t);
@@ -208,26 +210,6 @@ void note(RoundResult& rr, const std::string& what) {
   if (rr.first_problem.empty()) rr.first_problem = what;
 }
 
-void fill_check(CellResult& r, analysis::Checker& c) {
-  c.finish();
-  r.checked = true;
-  r.check_errors = c.error_count();
-  r.check = bench::Json::object();
-  r.check["errors"] = bench::Json::number(c.error_count());
-  r.check["warnings"] = bench::Json::number(c.warning_count());
-  r.check["total"] = bench::Json::number(c.total_findings());
-  bench::Json findings = bench::Json::array();
-  for (const analysis::Finding& f : c.findings()) {
-    bench::Json jf = bench::Json::object();
-    jf["severity"] = bench::Json::string(
-        f.severity == analysis::Severity::kError ? "error" : "warning");
-    jf["invariant"] = bench::Json::string(analysis::id(f.invariant));
-    jf["detail"] = bench::Json::string(f.detail);
-    findings.push_back(std::move(jf));
-  }
-  r.check["findings"] = std::move(findings);
-}
-
 /// Verify surviving state against the commit record through `peek`:
 /// committed stores present with the right data, giveup-only versions gone.
 template <typename Peek>
@@ -264,10 +246,7 @@ RoundResult run_serial_round(const ChaosOptions& opt, std::uint64_t round_seed,
   // task to absorb it by aborting.
   FaultInjector inj(FaultPlan::parse(spec));
 
-  analysis::CheckerOptions copt;
-  auto sink = std::make_unique<analysis::CheckerSink>(1, copt);
-  analysis::CheckerSink* checker = sink.get();
-  vs.tracer().add_sink(std::move(sink));
+  analysis::CheckerSink* checker = analysis::attach_checker(vs, 1);
 
   timing.set_core(0);
   const OAddr base = vs.alloc(kSlots);
@@ -311,7 +290,7 @@ RoundResult run_serial_round(const ChaosOptions& opt, std::uint64_t round_seed,
   verify_state(rr, per, committed, [&](std::uint64_t slot, Ver v) {
     return vs.peek_version(base + 8 * slot, v);
   });
-  fill_check(rr.cell, checker->checker());
+  bench::fill_check(checker->checker(), rr.cell);
   if (rr.cell.check_errors != 0) note(rr, "protocol checker found errors");
 
   rr.giveups = giveups;
@@ -321,10 +300,19 @@ RoundResult run_serial_round(const ChaosOptions& opt, std::uint64_t round_seed,
                 static_cast<std::uint64_t>(opt.ops);
   rr.cell.work_seconds = work;
   rr.cell.checksum = giveups == 0 ? committed_checksum(per, committed) : 0;
+  // Facade-level accounting: the same keys, from the same EngineStats
+  // fields, as the concurrent round below — osim-report's degradation
+  // table reads one schema for both engines.
+  const EngineStats es = vs.engine_stats();
   rr.cell.metrics = bench::Json::object();
-  rr.cell.metrics["chaos/aborts"] = bench::Json::number(vs.aborts());
+  rr.cell.metrics["chaos/aborts"] = bench::Json::number(es.tasks_aborted);
+  rr.cell.metrics["chaos/aborted_blocks"] =
+      bench::Json::number(es.aborted_blocks);
+  rr.cell.metrics["chaos/aborted_locks"] =
+      bench::Json::number(es.aborted_locks);
   rr.cell.metrics["chaos/retries"] = bench::Json::number(retries);
   rr.cell.metrics["chaos/giveups"] = bench::Json::number(giveups);
+  rr.cell.metrics["chaos/backoff_us"] = bench::Json::number(std::uint64_t{0});
   rr.cell.metrics["chaos/inject"] = bench::Json::string(spec);
   return rr;
 }
@@ -342,13 +330,10 @@ RoundResult run_concurrent_round(const ChaosOptions& opt,
   ConcurrentVersionStore store(cfg);
   FaultInjector inj(FaultPlan::parse(spec));  // armed after setup
 
-  telemetry::Tracer tracer;
-  analysis::CheckerOptions copt;
-  auto sink =
-      std::make_unique<analysis::CheckerSink>(opt.workers + 1, copt);
-  analysis::CheckerSink* checker = sink.get();
-  tracer.add_sink(std::move(sink));
-  store.attach_tracer(&tracer);
+  // engine.tracer() switches the concurrent store into linearized-trace
+  // mode; attach before any ISA op so setup stores are checked too.
+  analysis::CheckerSink* checker =
+      analysis::attach_checker(store, opt.workers + 1);
 
   const OAddr base = store.alloc(kSlots);
   for (std::uint64_t s = 0; s < kSlots; ++s) {
@@ -390,10 +375,10 @@ RoundResult run_concurrent_round(const ChaosOptions& opt,
   verify_state(rr, per, committed, [&](std::uint64_t slot, Ver v) {
     return store.peek_version(base + 8 * slot, v);
   });
-  fill_check(rr.cell, checker->checker());
+  bench::fill_check(checker->checker(), rr.cell);
   if (rr.cell.check_errors != 0) note(rr, "protocol checker found errors");
 
-  const ConcurrentVersionStore::Stats st = store.stats();
+  const EngineStats es = store.engine_stats();
   const ConcurrentTaskPool::RecoveryStats rs = pool.recovery_stats();
   rr.giveups = rs.giveups;
   rr.cell.backend = "functional";
@@ -405,11 +390,11 @@ RoundResult run_concurrent_round(const ChaosOptions& opt,
   rr.cell.checksum =
       rs.giveups == 0 && !run_failed ? committed_checksum(per, committed) : 0;
   rr.cell.metrics = bench::Json::object();
-  rr.cell.metrics["chaos/aborts"] = bench::Json::number(st.aborts);
+  rr.cell.metrics["chaos/aborts"] = bench::Json::number(es.tasks_aborted);
   rr.cell.metrics["chaos/aborted_blocks"] =
-      bench::Json::number(st.aborted_blocks);
+      bench::Json::number(es.aborted_blocks);
   rr.cell.metrics["chaos/aborted_locks"] =
-      bench::Json::number(st.aborted_locks);
+      bench::Json::number(es.aborted_locks);
   rr.cell.metrics["chaos/retries"] = bench::Json::number(rs.retries);
   rr.cell.metrics["chaos/giveups"] = bench::Json::number(rs.giveups);
   rr.cell.metrics["chaos/backoff_us"] = bench::Json::number(rs.backoff_us);

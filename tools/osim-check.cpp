@@ -115,10 +115,13 @@ int main(int argc, char** argv) {
           cores = static_cast<int>(e.core) + 1;
         }
       }
-      osim::analysis::Checker checker(cores, opt);
+      // Replay through the same sink front end the engines' tracers drive
+      // online: offline replay and --check runs share one ingestion path.
+      osim::analysis::CheckerSink sink(cores, opt);
       for (const osim::telemetry::TraceEvent& e : events) {
-        checker.on_event(e);
+        sink.on_event(e);
       }
+      osim::analysis::Checker& checker = sink.checker();
       checker.finish();
       ++traces;
       total_errors += static_cast<std::size_t>(checker.error_count());

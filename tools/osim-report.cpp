@@ -596,11 +596,13 @@ void report_concurrent(const BenchRecord& b) {
 
 void report_chaos(const BenchRecord& b) {
   // Cells: "r<round>/{serial,conc}" from osim-chaos, each recording the
-  // fault-injection degradation counters: rollbacks performed, task
-  // re-runs, tasks past the retry cap, and the checker verdict over the
-  // whole (aborts included) event stream.
-  md_header({"round/engine", "ops", "aborts", "retries", "giveups",
-             "backoff us", "checker"});
+  // fault-injection degradation counters — rollbacks performed, what the
+  // rollbacks undid (blocks unlinked, locks released), task re-runs, tasks
+  // past the retry cap — and the checker verdict over the whole (aborts
+  // included) event stream. Both engines report through the facade's
+  // EngineStats, so every column reads the same keys for either row.
+  md_header({"round/engine", "ops", "aborts", "undone blocks",
+             "undone locks", "retries", "giveups", "backoff us", "checker"});
   for (const Cell& c : b.cells) {
     std::string verdict = "(unchecked)";
     if (c.check != nullptr) {
@@ -610,6 +612,8 @@ void report_chaos(const BenchRecord& b) {
     }
     md_row({c.name, std::to_string(c.ops),
             std::to_string(metric_u64(c, "chaos/aborts")),
+            std::to_string(metric_u64(c, "chaos/aborted_blocks")),
+            std::to_string(metric_u64(c, "chaos/aborted_locks")),
             std::to_string(metric_u64(c, "chaos/retries")),
             std::to_string(metric_u64(c, "chaos/giveups")),
             std::to_string(metric_u64(c, "chaos/backoff_us")), verdict});

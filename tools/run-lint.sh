@@ -13,6 +13,19 @@ cd "$(dirname "$0")/.."
 build_dir="${1:-build}"
 jobs="${2:-$(nproc)}"
 
+# Layering lint (toolchain-free, always enforced): the backend-agnostic
+# engine layer must stay consumable by everything above it, so src/core
+# may depend only on core/, sim/, and telemetry/ headers — never on
+# runtime/, bench/, or analysis/. A violation here is how facade
+# abstractions rot: the shared layer quietly reaches back up the stack.
+layering_bad=$(grep -rn '#include "\(runtime\|bench\|analysis\)/' src/core || true)
+if [ -n "$layering_bad" ]; then
+  echo "run-lint: LAYERING VIOLATION — src/core includes an upper layer:"
+  echo "$layering_bad"
+  exit 1
+fi
+echo "run-lint: layering OK (src/core depends only on core/, sim/, telemetry/)"
+
 if ! command -v clang-tidy > /dev/null 2>&1; then
   echo "run-lint: clang-tidy not installed; skipping (install LLVM to lint)"
   exit 0

@@ -105,6 +105,17 @@ cmake --build --preset tsan -j "$jobs" --target test_gc_policy
 ./build-tsan/tests/test_gc_policy
 
 echo
+echo "== TSan: VersionEngine facade conformance (concurrent cells) =="
+# Batched execute() on real host threads: the conformance suite's
+# Concurrent* tests drive ConcurrentVersionStore purely through the
+# facade — the matrix cells single-driver, the threaded test as per-task
+# batches under the work pool — so a race in the dispatch loop or in
+# Results accumulation surfaces here. (The serial cells need the fiber
+# machine, which TSan cannot follow; the filter keeps them out.)
+cmake --build --preset tsan -j "$jobs" --target test_version_engine
+./build-tsan/tests/test_version_engine --gtest_filter='*Concurrent*'
+
+echo
 echo "== TSan: concurrent bench path (--exec=concurrent) =="
 # End to end: script generation, the work-stealing pool, the strict
 # checker riding the store's tracer, and the scaling cells.
